@@ -1,0 +1,135 @@
+/**
+ * Ablation study of the modelling choices DESIGN.md calls out — not a
+ * paper artifact, but the evidence for why the defaults are what they
+ * are:
+ *
+ *  1. scheduler memory disambiguation (AliasLevel);
+ *  2. the temp register supply (§3's finite temporary file);
+ *  3. issuing across (perfectly predicted) branches vs fencing;
+ *  4. scheduling for the machine actually measured vs scheduling for
+ *     the base machine (the §3 "according to this specification"
+ *     loop).
+ *
+ * Every value is the harmonic-mean speedup of the whole suite on an
+ * ideal 8-wide superscalar, except where noted.
+ */
+
+#include "bench/common.hh"
+#include "sim/interp.hh"
+
+using namespace ilp;
+
+namespace {
+
+double
+suiteSpeedup(const MachineConfig &timing_machine,
+             const MachineConfig &sched_machine,
+             AliasLevel alias, std::uint32_t temps)
+{
+    std::vector<double> speedups;
+    for (const auto &w : allWorkloads()) {
+        CompileOptions o = defaultCompileOptions(w);
+        o.alias = alias;
+        o.layout.numTemp = temps;
+        Module scheduled =
+            compileWorkload(w.source, sched_machine, o);
+        RunOutcome wide = runOnMachine(scheduled, timing_machine);
+        Module base_sched =
+            compileWorkload(w.source, baseMachine(), o);
+        RunOutcome base = runOnMachine(base_sched, baseMachine());
+        speedups.push_back(base.cycles / wide.cycles);
+    }
+    return harmonicMean(speedups);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation", "design choices behind the defaults");
+
+    MachineConfig wide = idealSuperscalar(8);
+
+    // --- 1. Alias level. --------------------------------------------
+    Table alias_t("Scheduler memory disambiguation (suite HM speedup, "
+                  "8-wide):");
+    alias_t.setHeader({"alias level", "speedup"});
+    struct AliasRow
+    {
+        const char *name;
+        AliasLevel level;
+    };
+    for (const AliasRow &r :
+         {AliasRow{"Conservative", AliasLevel::Conservative},
+          AliasRow{"Arrays (default)", AliasLevel::Arrays},
+          AliasRow{"Symbols", AliasLevel::Symbols},
+          AliasRow{"Careful", AliasLevel::Careful}}) {
+        alias_t.row().cell(r.name).cell(
+            suiteSpeedup(wide, wide, r.level, 16), 3);
+    }
+    alias_t.print();
+    std::printf("\n");
+
+    // --- 2. Temp registers. -----------------------------------------
+    Table temps_t("Expression-temp supply (§3; suite HM speedup, "
+                  "8-wide):");
+    temps_t.setHeader({"temps", "speedup"});
+    for (std::uint32_t temps : {6u, 8u, 12u, 16u, 24u, 40u}) {
+        temps_t.row()
+            .cell(static_cast<long long>(temps))
+            .cell(suiteSpeedup(wide, wide, AliasLevel::Arrays, temps),
+                  3);
+    }
+    temps_t.print();
+    std::printf("\n");
+
+    // --- 3. Branch fencing. -----------------------------------------
+    MachineConfig fenced = idealSuperscalar(8);
+    fenced.issueAcrossBranches = false;
+    fenced.name += "+fence";
+    Table fence_t("Issue across predicted branches (8-wide):");
+    fence_t.setHeader({"policy", "speedup"});
+    fence_t.row()
+        .cell("issue across branches (default)")
+        .cell(suiteSpeedup(wide, wide, AliasLevel::Arrays, 16), 3);
+    fence_t.row()
+        .cell("fence at every branch")
+        .cell(suiteSpeedup(fenced, fenced, AliasLevel::Arrays, 16), 3);
+    fence_t.print();
+    std::printf("\nnon-numeric code branches every ~6 instructions: "
+                "fencing caps its ILP near\nthe block length and costs "
+                "the suite a large fraction of its speedup.\n\n");
+
+    // --- 4. Schedule-for-the-right-machine. --------------------------
+    Table sched_t("Scheduling target vs timing target (8-wide "
+                  "timing):");
+    sched_t.setHeader({"scheduled for", "speedup"});
+    sched_t.row()
+        .cell("the measured machine (default)")
+        .cell(suiteSpeedup(wide, wide, AliasLevel::Arrays, 16), 3);
+    sched_t.row()
+        .cell("the base machine")
+        .cell(suiteSpeedup(wide, baseMachine(), AliasLevel::Arrays,
+                           16),
+              3);
+    MachineConfig mt = multiTitan();
+    Table sched2_t("Same, timing on the MultiTitan (real latencies):");
+    sched2_t.setHeader({"scheduled for", "suite HM speedup vs base"});
+    sched2_t.row()
+        .cell("the MultiTitan")
+        .cell(suiteSpeedup(mt, mt, AliasLevel::Arrays, 16), 3);
+    sched2_t.row()
+        .cell("the base machine")
+        .cell(suiteSpeedup(mt, baseMachine(), AliasLevel::Arrays, 16),
+              3);
+    sched_t.print();
+    std::printf("\n");
+    sched2_t.print();
+    std::printf("\n\"the compile-time pipeline instruction scheduler "
+                "knows this and schedules\nthe instructions ... so "
+                "that the resulting stall time will be minimized\"\n"
+                "(§3) — mis-targeted schedules leave measurable "
+                "performance behind on\nlatency machines.\n");
+    return 0;
+}

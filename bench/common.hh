@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Shared scaffolding for the per-table/per-figure bench binaries.
+ * Each binary regenerates one table or figure of the paper as an
+ * aligned text table (absolute values are ours; the *shape* is what
+ * reproduces — see EXPERIMENTS.md).
+ */
+
+#ifndef SUPERSYM_BENCH_COMMON_HH
+#define SUPERSYM_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "core/machine/models.hh"
+#include "core/study/experiment.hh"
+#include "support/table.hh"
+
+namespace ilp::bench {
+
+/** Print the standard header naming the paper artifact. */
+inline void
+banner(const std::string &artifact, const std::string &caption)
+{
+    std::printf("==== %s — %s ====\n", artifact.c_str(),
+                caption.c_str());
+    std::printf("(Jouppi & Wall, ASPLOS 1989; reproduced by supersym."
+                " Shapes, not absolute values, are the target.)\n\n");
+}
+
+} // namespace ilp::bench
+
+#endif // SUPERSYM_BENCH_COMMON_HH

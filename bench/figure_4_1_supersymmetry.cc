@@ -1,0 +1,38 @@
+/**
+ * Figure 4-1 "Supersymmetry": harmonic-mean speedup over the eight
+ * benchmarks for ideal superscalar and superpipelined machines of
+ * degree 1..8.  Expected shape: both curves rise and flatten near the
+ * suite's available parallelism (~2); the superscalar curve leads by
+ * under ~10%, and the gap narrows with increasing degree (§4.1).
+ */
+
+#include "bench/common.hh"
+
+using namespace ilp;
+
+int
+main()
+{
+    bench::banner("Figure 4-1",
+                  "speedup vs degree, superscalar vs superpipelined");
+
+    Study study;
+    Table t;
+    t.setHeader({"degree", "superscalar", "superpipelined",
+                 "gap (SS/SP)"});
+    for (int degree = 1; degree <= kMaxDegree; ++degree) {
+        double ss = study.harmonicSpeedup(idealSuperscalar(degree));
+        double sp = study.harmonicSpeedup(superpipelined(degree));
+        t.row()
+            .cell(static_cast<long long>(degree))
+            .cell(ss, 3)
+            .cell(sp, 3)
+            .cell(ss / sp, 3);
+    }
+    t.print();
+    std::printf("\npaper: both curves saturate near ~2; the "
+                "superpipelined machine trails by <10%%\nand "
+                "converges towards the superscalar one as the degree "
+                "grows.\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * Figure 4-3: instruction-level parallelism required for full
+ * utilization of a superpipelined superscalar machine of degree
+ * (n, m) — the n*m product grid, annotated with the average degrees
+ * of superpipelining of the MultiTitan (1.7) and the CRAY-1 (4.4).
+ */
+
+#include "bench/common.hh"
+#include "core/metrics/metrics.hh"
+
+using namespace ilp;
+
+int
+main()
+{
+    bench::banner("Figure 4-3", "parallelism required for full "
+                                "utilization (n x m grid)");
+
+    Table t;
+    std::vector<std::string> header{"m \\ n"};
+    for (int n = 1; n <= 5; ++n)
+        header.push_back("n=" + std::to_string(n));
+    t.setHeader(header);
+    for (int m = 5; m >= 1; --m) {
+        auto &row = t.row();
+        row.cell("m=" + std::to_string(m));
+        for (int n = 1; n <= 5; ++n)
+            row.cell(
+                static_cast<long long>(parallelismRequired(n, m)));
+    }
+    t.print();
+
+    std::printf(
+        "\nMultiTitan average degree of superpipelining: %.1f\n"
+        "CRAY-1     average degree of superpipelining: %.1f\n",
+        nominalMultiTitanSuperpipelining(),
+        nominalCray1Superpipelining());
+    std::printf(
+        "\npaper: \"a superpipelined superscalar machine of only "
+        "degree (2,2) would\nrequire an instruction-level parallelism "
+        "of 4\" — beyond most non-numeric\ncode; and the CRAY-1 sits "
+        "at 4.4 on the superpipelining axis before any\nparallel "
+        "issue at all (§4.2).\n");
+    return 0;
+}

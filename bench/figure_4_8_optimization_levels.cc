@@ -1,0 +1,45 @@
+/**
+ * Figure 4-8: the effect of cumulative optimization levels on
+ * available parallelism, per benchmark: none -> +pipeline scheduling
+ * -> +intra-block optimization -> +global optimization -> +global
+ * register allocation, with 16 expression temps and 26 home
+ * registers.  Expected shape: scheduling raises parallelism 10-60%;
+ * later classical levels barely move it (sometimes down); register
+ * allocation nudges numeric benchmarks up and others slightly down.
+ */
+
+#include "bench/common.hh"
+
+using namespace ilp;
+
+int
+main()
+{
+    bench::banner("Figure 4-8", "parallelism vs optimization level");
+
+    Study study;
+    Table t;
+    t.setHeader({"benchmark", "none", "+sched", "+local", "+global",
+                 "+regalloc"});
+    for (const auto &w : allWorkloads()) {
+        auto &row = t.row();
+        row.cell(w.name);
+        for (int level = 0; level <= 4; ++level) {
+            CompileOptions o = defaultCompileOptions(w);
+            o.level = static_cast<OptLevel>(level);
+            o.layout.numTemp = 16;
+            o.layout.numHome = 26;
+            row.cell(study.availableParallelism(w, o, 8), 2);
+        }
+    }
+    t.print();
+    std::printf(
+        "\npaper: \"doing pipeline scheduling can increase the "
+        "available parallelism by\n10%% to 60%%... for most programs, "
+        "further optimization has little effect on\nthe "
+        "instruction-level parallelism (although of course it has a "
+        "large effect\non the performance)\"; global register "
+        "allocation slightly lowers most\nbenchmarks but raises the "
+        "numeric ones (§4.4).\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * Google-benchmark microbenchmarks of the toolchain itself: compile
+ * throughput, functional-simulation rate, and timing-simulation rate.
+ * Not a paper artifact — operational health of the reproduction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/study/driver.hh"
+#include "core/machine/models.hh"
+#include "sim/interp.hh"
+#include "sim/issue.hh"
+
+using namespace ilp;
+
+namespace {
+
+const Workload &
+wl()
+{
+    return workloadByName("yacc");
+}
+
+void
+BM_CompileWorkload(benchmark::State &state)
+{
+    const Workload &w = wl();
+    CompileOptions o = defaultCompileOptions(w);
+    for (auto _ : state) {
+        Module m = compileWorkload(w.source, idealSuperscalar(4), o);
+        benchmark::DoNotOptimize(m.functions().size());
+    }
+}
+BENCHMARK(BM_CompileWorkload)->Unit(benchmark::kMillisecond);
+
+void
+BM_FunctionalSimulation(benchmark::State &state)
+{
+    const Workload &w = wl();
+    CompileOptions o = defaultCompileOptions(w);
+    Module m = compileWorkload(w.source, baseMachine(), o);
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        Interpreter interp(m);
+        RunResult r = interp.run();
+        instrs += r.instructions;
+        benchmark::DoNotOptimize(r.returnValue);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_TimingSimulation(benchmark::State &state)
+{
+    const Workload &w = wl();
+    CompileOptions o = defaultCompileOptions(w);
+    MachineConfig mc = idealSuperscalar(4);
+    Module m = compileWorkload(w.source, mc, o);
+    Interpreter trace_run(m);
+    TraceBuffer trace;
+    trace_run.run("main", &trace);
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        IssueEngine engine(mc);
+        trace.replay(engine);
+        instrs += engine.instructions();
+        benchmark::DoNotOptimize(engine.baseCycles());
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TimingSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_ListScheduler(benchmark::State &state)
+{
+    const Workload &w = workloadByName("linpack");
+    CompileOptions o = defaultCompileOptions(w);
+    o.unroll.factor = 10; // big blocks stress the scheduler
+    for (auto _ : state) {
+        Module m = compileWorkload(w.source, idealSuperscalar(8), o);
+        benchmark::DoNotOptimize(m.functions().size());
+    }
+}
+BENCHMARK(BM_ListScheduler)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

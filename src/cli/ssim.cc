@@ -1,0 +1,311 @@
+/**
+ * @file
+ * ssim — the command-line front door to the toolchain.
+ *
+ *   ssim run FILE.mt [options]     compile, simulate, report
+ *   ssim ilp FILE.mt [options]     degree sweep (available parallelism)
+ *   ssim profile FILE.mt [options] dynamic instruction-class mix
+ *   ssim dump FILE.mt [options]    print the optimized, scheduled IR
+ *   ssim suite [options]           run the built-in 8-benchmark suite
+ *   ssim machines                  list predefined machine models
+ *
+ * Options:
+ *   --machine NAME   base | ssN | spM | ssNxM | multititan | cray1 |
+ *                    conflictsN          (default ss4)
+ *   --level N        0..4 optimization level        (default 4)
+ *   --unroll N       source-level unroll factor     (default 1)
+ *   --careful        careful unrolling (reassociation + Heroic alias)
+ *   --alias LEVEL    conservative|arrays|symbols|careful|heroic
+ *   --temps N        expression temp registers      (default 16)
+ *   --homes N        home registers                 (default 26)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/machine/models.hh"
+#include "core/study/experiment.hh"
+#include "ir/printer.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+using namespace ilp;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ssim run|ilp|profile|dump FILE.mt [options]\n"
+        "       ssim suite [options]\n"
+        "       ssim machines\n"
+        "options: --machine NAME --level 0..4 --unroll N --careful\n"
+        "         --alias conservative|arrays|symbols|careful|heroic\n"
+        "         --temps N --homes N\n");
+    std::exit(2);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        SS_FATAL("cannot open '", path, "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+MachineConfig
+parseMachine(const std::string &name)
+{
+    if (name == "base")
+        return baseMachine();
+    if (name == "multititan")
+        return multiTitan();
+    if (name == "cray1")
+        return cray1();
+    if (name.rfind("conflicts", 0) == 0)
+        return superscalarWithClassConflicts(
+            std::max(1, std::atoi(name.c_str() + 9)));
+    if (name.rfind("ss", 0) == 0) {
+        std::size_t x = name.find('x');
+        if (x != std::string::npos) {
+            int n = std::atoi(name.substr(2, x - 2).c_str());
+            int m = std::atoi(name.substr(x + 1).c_str());
+            return superpipelinedSuperscalar(std::max(1, n),
+                                             std::max(1, m));
+        }
+        return idealSuperscalar(std::max(1, std::atoi(name.c_str() + 2)));
+    }
+    if (name.rfind("sp", 0) == 0)
+        return superpipelined(std::max(1, std::atoi(name.c_str() + 2)));
+    SS_FATAL("unknown machine '", name,
+             "' (try: base ss4 sp4 ss2x2 multititan cray1 conflicts4)");
+}
+
+AliasLevel
+parseAlias(const std::string &name)
+{
+    if (name == "conservative")
+        return AliasLevel::Conservative;
+    if (name == "arrays")
+        return AliasLevel::Arrays;
+    if (name == "symbols")
+        return AliasLevel::Symbols;
+    if (name == "careful")
+        return AliasLevel::Careful;
+    if (name == "heroic")
+        return AliasLevel::Heroic;
+    SS_FATAL("unknown alias level '", name, "'");
+}
+
+struct Cli
+{
+    std::string command;
+    std::string file;
+    MachineConfig machine = idealSuperscalar(4);
+    CompileOptions options;
+};
+
+Cli
+parseArgs(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    Cli cli;
+    cli.command = argv[1];
+    cli.options.level = OptLevel::RegAlloc;
+    cli.options.alias = AliasLevel::Arrays;
+
+    int i = 2;
+    if (cli.command == "run" || cli.command == "ilp" ||
+        cli.command == "profile" || cli.command == "dump") {
+        if (argc < 3)
+            usage();
+        cli.file = argv[2];
+        i = 3;
+    } else if (cli.command != "suite" && cli.command != "machines") {
+        usage();
+    }
+
+    for (; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--machine")
+            cli.machine = parseMachine(next());
+        else if (arg == "--level")
+            cli.options.level = static_cast<OptLevel>(
+                std::max(0, std::min(4, std::atoi(next().c_str()))));
+        else if (arg == "--unroll")
+            cli.options.unroll.factor =
+                std::max(1, std::atoi(next().c_str()));
+        else if (arg == "--careful") {
+            cli.options.unroll.careful = true;
+            cli.options.alias = AliasLevel::Heroic;
+        } else if (arg == "--alias")
+            cli.options.alias = parseAlias(next());
+        else if (arg == "--temps")
+            cli.options.layout.numTemp = static_cast<std::uint32_t>(
+                std::max(2, std::atoi(next().c_str())));
+        else if (arg == "--homes")
+            cli.options.layout.numHome = static_cast<std::uint32_t>(
+                std::max(0, std::atoi(next().c_str())));
+        else
+            usage();
+    }
+    return cli;
+}
+
+int
+cmdRun(const Cli &cli)
+{
+    Workload w{cli.file, "user program", readFile(cli.file), 0, false,
+               1};
+    RunOutcome base = runWorkload(w, baseMachine(), cli.options);
+    RunOutcome out = runWorkload(w, cli.machine, cli.options);
+    std::printf("program      : %s\n", cli.file.c_str());
+    std::printf("machine      : %s\n", cli.machine.name.c_str());
+    std::printf("opt level    : %s\n",
+                optLevelName(cli.options.level));
+    std::printf("checksum     : %lld\n",
+                static_cast<long long>(out.checksum));
+    std::printf("instructions : %llu\n",
+                static_cast<unsigned long long>(out.instructions));
+    std::printf("base cycles  : %.1f\n", out.cycles);
+    std::printf("instr/cycle  : %.3f\n", out.ipc());
+    std::printf("speedup      : %.3f over the base machine\n",
+                base.cycles / out.cycles);
+    return 0;
+}
+
+int
+cmdIlp(const Cli &cli)
+{
+    Workload w{cli.file, "user program", readFile(cli.file), 0, false,
+               1};
+    Study study;
+    Table t("Available parallelism (ideal superscalar sweep):");
+    t.setHeader({"degree", "speedup"});
+    for (int d = 1; d <= 8; ++d)
+        t.row()
+            .cell(static_cast<long long>(d))
+            .cell(study.speedup(w, idealSuperscalar(d), cli.options),
+                  3);
+    t.print();
+    return 0;
+}
+
+int
+cmdProfile(const Cli &cli)
+{
+    Workload w{cli.file, "user program", readFile(cli.file), 0, false,
+               1};
+    ClassFrequencies f = profileWorkload(w, cli.options);
+    Table t("Dynamic instruction mix:");
+    t.setHeader({"class", "fraction"});
+    for (std::size_t c = 0; c < kNumInstrClasses; ++c) {
+        if (f[c] > 0.0)
+            t.row()
+                .cell(std::string(
+                    instrClassName(static_cast<InstrClass>(c))))
+                .cell(f[c], 4);
+    }
+    t.print();
+    std::printf("\navg degree of superpipelining: %.2f (MultiTitan), "
+                "%.2f (CRAY-1)\n",
+                averageDegreeOfSuperpipelining(f,
+                                               multiTitan().latency),
+                averageDegreeOfSuperpipelining(f, cray1().latency));
+    return 0;
+}
+
+int
+cmdDump(const Cli &cli)
+{
+    Module m = compileWorkload(readFile(cli.file), cli.machine,
+                               cli.options);
+    std::printf("%s", toString(m).c_str());
+    return 0;
+}
+
+int
+cmdSuite(const Cli &cli)
+{
+    Study study;
+    Table t("Built-in suite on " + cli.machine.name + ":");
+    t.setHeader({"benchmark", "instructions", "cycles", "instr/cycle",
+                 "speedup"});
+    for (const auto &w : allWorkloads()) {
+        CompileOptions o = cli.options;
+        o.unroll.factor =
+            std::max(o.unroll.factor, w.defaultUnroll);
+        RunOutcome base = runWorkload(w, baseMachine(), o);
+        RunOutcome out = runWorkload(w, cli.machine, o);
+        t.row()
+            .cell(w.name)
+            .cell(static_cast<long long>(out.instructions))
+            .cell(out.cycles, 0)
+            .cell(out.ipc(), 2)
+            .cell(base.cycles / out.cycles, 2);
+    }
+    t.print();
+    return 0;
+}
+
+int
+cmdMachines()
+{
+    Table t("Predefined machine models:");
+    t.setHeader({"name", "n (issue)", "m (degree)", "notes"});
+    auto row = [&](const MachineConfig &m, const char *notes) {
+        t.row()
+            .cell(m.name)
+            .cell(static_cast<long long>(m.issueWidth))
+            .cell(static_cast<long long>(m.pipelineDegree))
+            .cell(notes);
+    };
+    row(baseMachine(), "unit latencies, never stalls");
+    row(idealSuperscalar(4), "ssN: N issues/cycle, no conflicts");
+    row(superpipelined(4), "spM: minor cycle = 1/M base cycle");
+    row(superpipelinedSuperscalar(2, 2), "ssNxM: both at once");
+    row(multiTitan(), "real latencies (loads 2, FP 3)");
+    row(cray1(), "real latencies (loads 11, FP ~7)");
+    row(superscalarWithClassConflicts(4),
+        "conflictsN: width N, one unit pool");
+    row(underpipelinedHalfIssue(), "issues every other cycle");
+    t.print();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli = parseArgs(argc, argv);
+    if (cli.command == "run")
+        return cmdRun(cli);
+    if (cli.command == "ilp")
+        return cmdIlp(cli);
+    if (cli.command == "profile")
+        return cmdProfile(cli);
+    if (cli.command == "dump")
+        return cmdDump(cli);
+    if (cli.command == "suite")
+        return cmdSuite(cli);
+    if (cli.command == "machines")
+        return cmdMachines();
+    usage();
+}

@@ -1,0 +1,68 @@
+#include "core/machine/machine.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+LatencyTable
+unitLatencies()
+{
+    LatencyTable t;
+    t.fill(1);
+    return t;
+}
+
+bool
+FuncUnit::handles(InstrClass cls) const
+{
+    return std::find(classes.begin(), classes.end(), cls) !=
+           classes.end();
+}
+
+int
+MachineConfig::unitFor(InstrClass cls) const
+{
+    if (units.empty())
+        return -1;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        if (units[i].handles(cls))
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+MachineConfig::validate() const
+{
+    if (issueWidth < 1)
+        SS_FATAL("machine '", name, "': issue width must be >= 1");
+    if (pipelineDegree < 1)
+        SS_FATAL("machine '", name, "': pipeline degree must be >= 1");
+    for (std::size_t c = 0; c < kNumInstrClasses; ++c) {
+        if (latency[c] < 1)
+            SS_FATAL("machine '", name, "': class ",
+                     instrClassName(static_cast<InstrClass>(c)),
+                     " has latency ", latency[c], " (must be >= 1)");
+    }
+    if (!units.empty()) {
+        for (std::size_t c = 0; c < kNumInstrClasses; ++c) {
+            if (unitFor(static_cast<InstrClass>(c)) < 0)
+                SS_FATAL("machine '", name, "': class ",
+                         instrClassName(static_cast<InstrClass>(c)),
+                         " is not served by any functional unit");
+        }
+        for (const auto &u : units) {
+            if (u.multiplicity < 1 || u.issueLatency < 1)
+                SS_FATAL("machine '", name, "': unit '", u.name,
+                         "' has non-positive multiplicity or issue "
+                         "latency");
+        }
+    }
+    if (regs.numTemp < 2)
+        SS_FATAL("machine '", name,
+                 "': need at least two temp registers");
+}
+
+} // namespace ilp

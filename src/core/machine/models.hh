@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Predefined machine models used throughout the study.
+ *
+ * The ideal machines (base, superscalar(n), superpipelined(m),
+ * superpipelined-superscalar(n,m)) have unit latencies and no class
+ * conflicts, matching §4's measurement assumptions.  The MultiTitan
+ * and CRAY-1 models carry the paper's real operation latencies
+ * (Table 2-1 and §2.7).
+ */
+
+#ifndef SUPERSYM_CORE_MACHINE_MODELS_HH
+#define SUPERSYM_CORE_MACHINE_MODELS_HH
+
+#include "core/machine/machine.hh"
+
+namespace ilp {
+
+/** §2.1: 1 issue/cycle, unit latencies, no conflicts. */
+MachineConfig baseMachine();
+
+/** §2.3: n issues/cycle, unit latencies, no class conflicts. */
+MachineConfig idealSuperscalar(int n);
+
+/** §2.4: 1 issue per minor cycle, m minor cycles per base cycle. */
+MachineConfig superpipelined(int m);
+
+/** §2.5: n issues per minor cycle at pipeline degree m. */
+MachineConfig superpipelinedSuperscalar(int n, int m);
+
+/**
+ * §2.2 Figure 2-3: an underpipelined machine that can only issue an
+ * instruction every other cycle (modelled with a single universal
+ * unit of issue latency 2).
+ */
+MachineConfig underpipelinedHalfIssue();
+
+/**
+ * §2.2 Figure 2-2: an underpipelined machine whose cycle time is
+ * twice the simple-operation time (all latencies stay one cycle but
+ * each base cycle counts double; modelled as latency-1 ops on a
+ * machine whose reported time is scaled by the caller).  Provided for
+ * the taxonomy example; reports pipelineDegree 1 with doubled
+ * latencies, which has identical timing.
+ */
+MachineConfig underpipelinedSlowClock();
+
+/**
+ * The MultiTitan (§2.7): ALU 1 cycle; loads, stores and branches 2;
+ * floating point 3.  Average degree of superpipelining 1.7 under the
+ * paper's nominal frequencies.
+ */
+MachineConfig multiTitan();
+
+/**
+ * The CRAY-1 (§2.7/Table 2-1): logical 1, shift 2, add/sub 3,
+ * load 11, store 1, branch 3, FP ~7.  Average degree of
+ * superpipelining 4.4 under the paper's nominal frequencies.
+ * @param unit_latencies Replace the real latencies with 1-cycle
+ *        latencies (the mistaken assumption §4.2 criticizes, after
+ *        Acosta et al. [1]).
+ */
+MachineConfig cray1(bool unit_latencies = false);
+
+/**
+ * A superscalar machine with class conflicts (§2.3.2): issue width n
+ * but a conventional one-unit-per-class-group pool (one integer ALU
+ * group per `alu_copies`, one load/store port per `mem_ports`, one FP
+ * add and one FP multiply unit, ...).
+ */
+MachineConfig superscalarWithClassConflicts(int n, int alu_copies = 1,
+                                            int mem_ports = 1);
+
+/** All ideal-machine degrees used by Figure 4-1 (1..8). */
+inline constexpr int kMaxDegree = 8;
+
+} // namespace ilp
+
+#endif // SUPERSYM_CORE_MACHINE_MODELS_HH

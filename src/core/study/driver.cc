@@ -1,0 +1,74 @@
+#include "core/study/driver.hh"
+
+#include <bit>
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+CompileOptions
+defaultCompileOptions(const Workload &workload)
+{
+    CompileOptions o;
+    o.level = OptLevel::RegAlloc;
+    o.unroll.factor = workload.defaultUnroll;
+    o.unroll.careful = false;
+    o.alias = AliasLevel::Arrays;
+    o.layout.numTemp = 16;
+    o.layout.numHome = 26;
+    return o;
+}
+
+Module
+compileWorkload(const std::string &source, const MachineConfig &machine,
+                const CompileOptions &options)
+{
+    Module module = compileToIr(source, options.unroll);
+    OptimizeOptions oo;
+    oo.level = options.level;
+    oo.layout = options.layout;
+    oo.alias = options.alias;
+    oo.reassociate = options.unroll.careful;
+    optimizeModule(module, machine, oo);
+    return module;
+}
+
+RunOutcome
+runOnMachine(const Module &module, const MachineConfig &machine)
+{
+    Interpreter interp(module);
+    IssueEngine engine(machine);
+    RunResult r = interp.run("main", &engine);
+
+    RunOutcome out;
+    out.checksum = static_cast<std::int64_t>(r.returnValue);
+    out.instructions = r.instructions;
+    out.cycles = engine.baseCycles();
+    if (module.findGlobal("result_fp")) {
+        out.fpChecksum = std::bit_cast<double>(
+            interp.memory().readGlobal(module, "result_fp"));
+    }
+    return out;
+}
+
+RunOutcome
+runWorkload(const Workload &workload, const MachineConfig &machine,
+            const CompileOptions &options)
+{
+    Module module =
+        compileWorkload(workload.source, machine, options);
+    return runOnMachine(module, machine);
+}
+
+ClassFrequencies
+profileWorkload(const Workload &workload, const CompileOptions &options)
+{
+    MachineConfig base = MachineConfig{};
+    Module module = compileWorkload(workload.source, base, options);
+    Interpreter interp(module);
+    ClassProfileSink profile;
+    interp.run("main", &profile);
+    return profile.frequencies();
+}
+
+} // namespace ilp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The machine evaluation environment of Section 3, end to end: "the
+ * language system then optimizes the code, allocates registers, and
+ * schedules the instructions for the pipeline, all according to this
+ * specification.  The simulator executes the program according to the
+ * same specification."
+ *
+ * compileWorkload() runs source -> (unroll) -> IR -> optimizer ->
+ * register allocation -> machine-specific scheduling; runOnMachine()
+ * then executes the result functionally while the in-order issue
+ * engine times the dynamic stream against the *same* machine
+ * description.
+ */
+
+#ifndef SUPERSYM_CORE_STUDY_DRIVER_HH
+#define SUPERSYM_CORE_STUDY_DRIVER_HH
+
+#include <string>
+
+#include "core/machine/machine.hh"
+#include "frontend/compile.hh"
+#include "opt/pipeline.hh"
+#include "sim/interp.hh"
+#include "sim/issue.hh"
+#include "workloads/workloads.hh"
+
+namespace ilp {
+
+struct CompileOptions
+{
+    OptLevel level = OptLevel::RegAlloc;
+    UnrollOptions unroll;
+    AliasLevel alias = AliasLevel::Conservative;
+    RegFileLayout layout;
+};
+
+/** The paper's default measurement configuration (§4 headline runs):
+ *  full optimization, 16 temps / 26 homes, array-symbol memory
+ *  disambiguation, the workload's own default unroll factor. */
+CompileOptions defaultCompileOptions(const Workload &workload);
+
+/** Compile MT source for a machine (parses, unrolls, optimizes,
+ *  allocates, schedules). */
+Module compileWorkload(const std::string &source,
+                       const MachineConfig &machine,
+                       const CompileOptions &options);
+
+/** Everything a timing run produces. */
+struct RunOutcome
+{
+    /** main()'s checksum. */
+    std::int64_t checksum = 0;
+    /** Bit pattern of the `result_fp` global after the run (0 if the
+     *  program has no such global). */
+    double fpChecksum = 0.0;
+    /** Dynamic instructions executed. */
+    std::uint64_t instructions = 0;
+    /** Elapsed time in base cycles on the machine. */
+    double cycles = 0.0;
+
+    /** Instructions per base cycle (the exploited parallelism). */
+    double ipc() const { return instructions / cycles; }
+};
+
+/** Execute an already-compiled module against a machine. */
+RunOutcome runOnMachine(const Module &module,
+                        const MachineConfig &machine);
+
+/** compileWorkload + runOnMachine in one step. */
+RunOutcome runWorkload(const Workload &workload,
+                       const MachineConfig &machine,
+                       const CompileOptions &options);
+
+/** Dynamic class frequencies of a workload (for Table 2-1). */
+ClassFrequencies profileWorkload(const Workload &workload,
+                                 const CompileOptions &options);
+
+} // namespace ilp
+
+#endif // SUPERSYM_CORE_STUDY_DRIVER_HH

@@ -1,0 +1,65 @@
+#include "core/study/experiment.hh"
+
+#include "core/machine/models.hh"
+#include "support/statistics.hh"
+
+namespace ilp {
+
+std::string
+Study::fingerprint(const Workload &workload,
+                   const CompileOptions &options)
+{
+    return workload.name + "/" +
+           std::to_string(static_cast<int>(options.level)) + "/" +
+           std::to_string(options.unroll.factor) + "/" +
+           std::to_string(options.unroll.careful ? 1 : 0) + "/" +
+           std::to_string(static_cast<int>(options.alias)) + "/" +
+           std::to_string(options.layout.numTemp) + "/" +
+           std::to_string(options.layout.numHome);
+}
+
+double
+Study::baseCycles(const Workload &workload,
+                  const CompileOptions &options)
+{
+    std::string key = fingerprint(workload, options);
+    auto it = base_cycles_.find(key);
+    if (it != base_cycles_.end())
+        return it->second;
+    RunOutcome out = runWorkload(workload, baseMachine(), options);
+    base_cycles_[key] = out.cycles;
+    return out.cycles;
+}
+
+double
+Study::speedup(const Workload &workload, const MachineConfig &machine,
+               const CompileOptions &options)
+{
+    double base = baseCycles(workload, options);
+    RunOutcome out = runWorkload(workload, machine, options);
+    return base / out.cycles;
+}
+
+double
+Study::speedup(const Workload &workload, const MachineConfig &machine)
+{
+    return speedup(workload, machine, defaultCompileOptions(workload));
+}
+
+double
+Study::harmonicSpeedup(const MachineConfig &machine)
+{
+    std::vector<double> values;
+    for (const auto &w : allWorkloads())
+        values.push_back(speedup(w, machine));
+    return harmonicMean(values);
+}
+
+double
+Study::availableParallelism(const Workload &workload,
+                            const CompileOptions &options, int degree)
+{
+    return speedup(workload, idealSuperscalar(degree), options);
+}
+
+} // namespace ilp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Experiment harness shared by the bench binaries: speedups relative
+ * to the base machine, per-benchmark sweeps, and harmonic-mean suite
+ * aggregation (§4.3 plots "the harmonic mean of all eight
+ * benchmarks").
+ *
+ * Every point recompiles the workload *for the machine being
+ * evaluated* (the paper's system reschedules per machine
+ * specification) and re-runs the functional simulator; base-machine
+ * reference cycles are memoized per compile configuration.
+ */
+
+#ifndef SUPERSYM_CORE_STUDY_EXPERIMENT_HH
+#define SUPERSYM_CORE_STUDY_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+
+#include "core/study/driver.hh"
+
+namespace ilp {
+
+class Study
+{
+  public:
+    /**
+     * Base-machine elapsed cycles for a workload under a compile
+     * configuration (memoized).  With unit latencies this equals the
+     * dynamic instruction count — §2.1's stall-free base machine.
+     */
+    double baseCycles(const Workload &workload,
+                      const CompileOptions &options);
+
+    /**
+     * Speedup of `machine` over the base machine (§4's "relative
+     * performance"), compiling/scheduling the workload for each
+     * machine respectively.
+     */
+    double speedup(const Workload &workload,
+                   const MachineConfig &machine,
+                   const CompileOptions &options);
+
+    /** speedup() with each workload's default options. */
+    double speedup(const Workload &workload,
+                   const MachineConfig &machine);
+
+    /** Harmonic mean of speedup() across the whole suite. */
+    double harmonicSpeedup(const MachineConfig &machine);
+
+    /**
+     * Available parallelism of one workload at a compile
+     * configuration: speedup on an ideal superscalar machine of
+     * `degree`, unit latencies (§4: "the available parallelism must
+     * be divided by the average operation latency" — unit latencies
+     * make speedup and parallelism coincide).
+     */
+    double availableParallelism(const Workload &workload,
+                                const CompileOptions &options,
+                                int degree = 8);
+
+  private:
+    static std::string fingerprint(const Workload &workload,
+                                   const CompileOptions &options);
+
+    std::map<std::string, double> base_cycles_;
+};
+
+} // namespace ilp
+
+#endif // SUPERSYM_CORE_STUDY_EXPERIMENT_HH

@@ -1,0 +1,278 @@
+#include "frontend/ast.hh"
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+ExprPtr
+Expr::clone() const
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->intValue = intValue;
+    e->realValue = realValue;
+    e->name = name;
+    e->binOp = binOp;
+    e->unOp = unOp;
+    e->castTo = castTo;
+    e->line = line;
+    if (lhs)
+        e->lhs = lhs->clone();
+    if (rhs)
+        e->rhs = rhs->clone();
+    e->args.reserve(args.size());
+    for (const auto &a : args)
+        e->args.push_back(a->clone());
+    return e;
+}
+
+ExprPtr
+Expr::intLit(std::int64_t v)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::IntLit;
+    e->intValue = v;
+    return e;
+}
+
+ExprPtr
+Expr::realLit(double v)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::RealLit;
+    e->realValue = v;
+    return e;
+}
+
+ExprPtr
+Expr::var(std::string name)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Var;
+    e->name = std::move(name);
+    return e;
+}
+
+ExprPtr
+Expr::index(std::string name, ExprPtr idx)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Index;
+    e->name = std::move(name);
+    e->lhs = std::move(idx);
+    return e;
+}
+
+ExprPtr
+Expr::unary(UnOp op, ExprPtr inner)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Unary;
+    e->unOp = op;
+    e->lhs = std::move(inner);
+    return e;
+}
+
+ExprPtr
+Expr::binary(BinOp op, ExprPtr l, ExprPtr r)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Binary;
+    e->binOp = op;
+    e->lhs = std::move(l);
+    e->rhs = std::move(r);
+    return e;
+}
+
+ExprPtr
+Expr::call(std::string name, std::vector<ExprPtr> args)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Call;
+    e->name = std::move(name);
+    e->args = std::move(args);
+    return e;
+}
+
+ExprPtr
+Expr::cast(MtType to, ExprPtr inner)
+{
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Cast;
+    e->castTo = to;
+    e->lhs = std::move(inner);
+    return e;
+}
+
+StmtPtr
+Stmt::clone() const
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    s->declType = declType;
+    s->name = name;
+    s->line = line;
+    if (indexExpr)
+        s->indexExpr = indexExpr->clone();
+    if (value)
+        s->value = value->clone();
+    if (cond)
+        s->cond = cond->clone();
+    if (thenStmt)
+        s->thenStmt = thenStmt->clone();
+    if (elseStmt)
+        s->elseStmt = elseStmt->clone();
+    if (initExpr)
+        s->initExpr = initExpr->clone();
+    if (stepExpr)
+        s->stepExpr = stepExpr->clone();
+    s->body.reserve(body.size());
+    for (const auto &b : body)
+        s->body.push_back(b->clone());
+    return s;
+}
+
+StmtPtr
+Stmt::varDecl(MtType type, std::string name, ExprPtr init)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::VarDecl;
+    s->declType = type;
+    s->name = std::move(name);
+    s->value = std::move(init);
+    return s;
+}
+
+StmtPtr
+Stmt::assign(std::string name, ExprPtr index, ExprPtr value)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Assign;
+    s->name = std::move(name);
+    s->indexExpr = std::move(index);
+    s->value = std::move(value);
+    return s;
+}
+
+StmtPtr
+Stmt::ifStmt(ExprPtr cond, StmtPtr then_s, StmtPtr else_s)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::If;
+    s->cond = std::move(cond);
+    s->thenStmt = std::move(then_s);
+    s->elseStmt = std::move(else_s);
+    return s;
+}
+
+StmtPtr
+Stmt::whileStmt(ExprPtr cond, StmtPtr body)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::While;
+    s->cond = std::move(cond);
+    s->elseStmt = std::move(body);
+    return s;
+}
+
+StmtPtr
+Stmt::forStmt(std::string var, ExprPtr init, ExprPtr cond, ExprPtr step,
+              StmtPtr body)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::For;
+    s->name = std::move(var);
+    s->initExpr = std::move(init);
+    s->cond = std::move(cond);
+    s->stepExpr = std::move(step);
+    s->elseStmt = std::move(body);
+    return s;
+}
+
+StmtPtr
+Stmt::block(std::vector<StmtPtr> stmts)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Block;
+    s->body = std::move(stmts);
+    return s;
+}
+
+StmtPtr
+Stmt::returnStmt(ExprPtr value)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Return;
+    s->value = std::move(value);
+    return s;
+}
+
+StmtPtr
+Stmt::exprStmt(ExprPtr value)
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::ExprStmt;
+    s->value = std::move(value);
+    return s;
+}
+
+StmtPtr
+Stmt::breakStmt()
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Break;
+    return s;
+}
+
+StmtPtr
+Stmt::continueStmt()
+{
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::Continue;
+    return s;
+}
+
+ExprPtr
+substituteVar(ExprPtr e, const std::string &name, const Expr &replacement)
+{
+    if (!e)
+        return nullptr;
+    if (e->kind == ExprKind::Var && e->name == name)
+        return replacement.clone();
+    if (e->lhs)
+        e->lhs = substituteVar(std::move(e->lhs), name, replacement);
+    if (e->rhs)
+        e->rhs = substituteVar(std::move(e->rhs), name, replacement);
+    for (auto &a : e->args)
+        a = substituteVar(std::move(a), name, replacement);
+    return e;
+}
+
+StmtPtr
+substituteVarStmt(StmtPtr s, const std::string &name,
+                  const Expr &replacement)
+{
+    if (!s)
+        return nullptr;
+    SS_ASSERT(!(s->kind == StmtKind::Assign && s->name == name &&
+                !s->indexExpr),
+              "substituteVarStmt: target variable '", name,
+              "' is assigned inside the region");
+    s->indexExpr = substituteVar(std::move(s->indexExpr), name,
+                                 replacement);
+    s->value = substituteVar(std::move(s->value), name, replacement);
+    s->cond = substituteVar(std::move(s->cond), name, replacement);
+    s->initExpr = substituteVar(std::move(s->initExpr), name,
+                                replacement);
+    s->stepExpr = substituteVar(std::move(s->stepExpr), name,
+                                replacement);
+    s->thenStmt = substituteVarStmt(std::move(s->thenStmt), name,
+                                    replacement);
+    s->elseStmt = substituteVarStmt(std::move(s->elseStmt), name,
+                                    replacement);
+    for (auto &b : s->body)
+        b = substituteVarStmt(std::move(b), name, replacement);
+    return s;
+}
+
+} // namespace ilp

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Abstract syntax of the MT language.
+ *
+ * Expression and statement nodes are closed variant hierarchies with
+ * deep clone() (the unroller duplicates loop bodies) and a visitor-free
+ * kind() dispatch, keeping the tree cheap to pattern-match.
+ */
+
+#ifndef SUPERSYM_FRONTEND_AST_HH
+#define SUPERSYM_FRONTEND_AST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ilp {
+
+enum class MtType : std::uint8_t { Int, Real };
+
+// ---------------------------------------------------------------- Expr
+
+enum class ExprKind : std::uint8_t
+{
+    IntLit, RealLit, Var, Index, Unary, Binary, Call, Cast,
+};
+
+/** Binary operators, in source-level terms. */
+enum class BinOp : std::uint8_t
+{
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    LogAnd, LogOr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+enum class UnOp : std::uint8_t { Neg, Not };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr
+{
+    ExprKind kind;
+    // IntLit / RealLit.
+    std::int64_t intValue = 0;
+    double realValue = 0.0;
+    // Var / Index / Call: the referenced name.
+    std::string name;
+    // Unary/Binary/Cast operands; Index: index in lhs; Call: args.
+    ExprPtr lhs;
+    ExprPtr rhs;
+    std::vector<ExprPtr> args;
+    BinOp binOp = BinOp::Add;
+    UnOp unOp = UnOp::Neg;
+    MtType castTo = MtType::Int;
+    int line = 0;
+
+    ExprPtr clone() const;
+
+    static ExprPtr intLit(std::int64_t v);
+    static ExprPtr realLit(double v);
+    static ExprPtr var(std::string name);
+    static ExprPtr index(std::string name, ExprPtr idx);
+    static ExprPtr unary(UnOp op, ExprPtr e);
+    static ExprPtr binary(BinOp op, ExprPtr l, ExprPtr r);
+    static ExprPtr call(std::string name, std::vector<ExprPtr> args);
+    static ExprPtr cast(MtType to, ExprPtr e);
+};
+
+// ---------------------------------------------------------------- Stmt
+
+enum class StmtKind : std::uint8_t
+{
+    VarDecl, Assign, If, While, For, Block, Return, ExprStmt,
+    Break, Continue,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt
+{
+    StmtKind kind;
+    // VarDecl: type/name/init(lhs may be null).
+    MtType declType = MtType::Int;
+    std::string name;      ///< VarDecl name; Assign/For target variable
+    // Assign: lhs optional index expr (null for scalar), rhs value.
+    ExprPtr indexExpr;     ///< non-null for array element assignment
+    ExprPtr value;         ///< Assign rhs / Return value / ExprStmt expr
+    // If/While/For.
+    ExprPtr cond;
+    StmtPtr thenStmt;
+    StmtPtr elseStmt;      ///< also While/For body
+    // For: name = initExpr; cond; name = stepExpr.
+    ExprPtr initExpr;
+    ExprPtr stepExpr;
+    // Block.
+    std::vector<StmtPtr> body;
+    int line = 0;
+
+    StmtPtr clone() const;
+
+    static StmtPtr varDecl(MtType type, std::string name, ExprPtr init);
+    static StmtPtr assign(std::string name, ExprPtr index, ExprPtr value);
+    static StmtPtr ifStmt(ExprPtr cond, StmtPtr then_s, StmtPtr else_s);
+    static StmtPtr whileStmt(ExprPtr cond, StmtPtr body);
+    static StmtPtr forStmt(std::string var, ExprPtr init, ExprPtr cond,
+                           ExprPtr step, StmtPtr body);
+    static StmtPtr block(std::vector<StmtPtr> stmts);
+    static StmtPtr returnStmt(ExprPtr value);
+    static StmtPtr exprStmt(ExprPtr value);
+    static StmtPtr breakStmt();
+    static StmtPtr continueStmt();
+};
+
+// ------------------------------------------------------------ Toplevel
+
+struct GlobalDecl
+{
+    MtType type = MtType::Int;
+    std::string name;
+    std::int64_t arraySize = 0;  ///< 0 for scalars
+    /** Constant initializers (ints or reals per `type`). */
+    std::vector<double> realInit;
+    std::vector<std::int64_t> intInit;
+    int line = 0;
+};
+
+struct Param
+{
+    MtType type;
+    std::string name;
+};
+
+struct FuncDecl
+{
+    std::string name;
+    std::vector<Param> params;
+    bool hasReturn = false;
+    MtType returnType = MtType::Int;
+    StmtPtr body;
+    int line = 0;
+};
+
+struct Program
+{
+    std::vector<GlobalDecl> globals;
+    std::vector<FuncDecl> funcs;
+};
+
+/**
+ * Walk an expression tree bottom-up, replacing every occurrence of
+ * scalar variable `name` with a clone of `replacement`.
+ */
+ExprPtr substituteVar(ExprPtr e, const std::string &name,
+                      const Expr &replacement);
+
+/** Statement-level variant of substituteVar (skips redeclarations —
+ *  MT has no shadowing inside a function, enforced by codegen). */
+StmtPtr substituteVarStmt(StmtPtr s, const std::string &name,
+                          const Expr &replacement);
+
+} // namespace ilp
+
+#endif // SUPERSYM_FRONTEND_AST_HH

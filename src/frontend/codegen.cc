@@ -1,0 +1,688 @@
+#include "frontend/codegen.hh"
+
+#include <bit>
+#include <unordered_map>
+
+#include "ir/builder.hh"
+#include "support/logging.hh"
+
+namespace ilp {
+
+namespace {
+
+struct Value
+{
+    Reg reg = kNoReg;
+    MtType type = MtType::Int;
+};
+
+struct LocalInfo
+{
+    MtType type = MtType::Int;
+    std::int64_t frameOffset = 0;
+};
+
+class FuncCodegen
+{
+  public:
+    FuncCodegen(Module &module, const Program &program,
+                const FuncDecl &decl, Function &func)
+        : module_(module), program_(program), decl_(decl), func_(func),
+          b_(func)
+    {
+    }
+
+    void
+    run()
+    {
+        func_.fpReg = func_.newVirtReg();
+        func_.returnsValue = decl_.hasReturn;
+        func_.returnsFloat =
+            decl_.hasReturn && decl_.returnType == MtType::Real;
+
+        // Parameters: fresh virtual registers, stored to frame slots
+        // at entry so the body sees ordinary memory-resident locals.
+        for (const auto &p : decl_.params) {
+            declareLocal(p.name, p.type, decl_.line);
+            Reg r = func_.newVirtReg();
+            func_.paramRegs.push_back(r);
+            func_.paramIsFloat.push_back(p.type == MtType::Real);
+            const LocalInfo &info = locals_.at(p.name);
+            b_.store(p.type == MtType::Real ? Opcode::StoreF
+                                            : Opcode::StoreW,
+                     func_.fpReg, info.frameOffset, r);
+        }
+
+        genStmt(*decl_.body);
+
+        if (!b_.blockTerminated()) {
+            if (decl_.hasReturn) {
+                // Structurally-unreachable or fell-off-the-end return.
+                Reg zero = decl_.returnType == MtType::Real
+                               ? b_.lif(0.0)
+                               : b_.li(0);
+                b_.ret(zero);
+            } else {
+                b_.ret();
+            }
+        }
+    }
+
+  private:
+    [[noreturn]] void
+    error(int line, const std::string &msg) const
+    {
+        SS_FATAL(decl_.name, ":", line, ": ", msg);
+    }
+
+    void
+    declareLocal(const std::string &name, MtType type, int line)
+    {
+        if (locals_.count(name))
+            error(line, "redeclaration of '" + name + "'");
+        if (module_.findGlobal(name))
+            error(line, "'" + name + "' shadows a global");
+        LocalInfo info;
+        info.type = type;
+        info.frameOffset =
+            func_.addFrameSlot(name, type == MtType::Real);
+        locals_.emplace(name, info);
+    }
+
+    Value
+    widen(Value v, MtType want, int line)
+    {
+        if (v.type == want)
+            return v;
+        if (v.type == MtType::Int && want == MtType::Real)
+            return {b_.unary(Opcode::CvtIF, v.reg), MtType::Real};
+        error(line, "cannot implicitly convert real to int "
+                    "(use int(...))");
+    }
+
+    /** Pick the common type of a binary op and widen both sides. */
+    MtType
+    unify(Value &l, Value &r, int line)
+    {
+        if (l.type == r.type)
+            return l.type;
+        l = widen(l, MtType::Real, line);
+        r = widen(r, MtType::Real, line);
+        return MtType::Real;
+    }
+
+    // ------------------------------------------------- expressions
+
+    Value
+    genExpr(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::IntLit:
+            return {b_.li(e.intValue), MtType::Int};
+          case ExprKind::RealLit:
+            return {b_.lif(e.realValue), MtType::Real};
+          case ExprKind::Var:
+            return genVarRead(e);
+          case ExprKind::Index:
+            return genIndexRead(e);
+          case ExprKind::Unary:
+            return genUnary(e);
+          case ExprKind::Binary:
+            return genBinary(e);
+          case ExprKind::Call:
+            return genCall(e, /*wants_value=*/true);
+          case ExprKind::Cast: {
+            Value v = genExpr(*e.lhs);
+            if (v.type == e.castTo)
+                return v;
+            if (e.castTo == MtType::Real)
+                return {b_.unary(Opcode::CvtIF, v.reg), MtType::Real};
+            return {b_.unary(Opcode::CvtFI, v.reg), MtType::Int};
+          }
+        }
+        SS_PANIC("unhandled expression kind");
+    }
+
+    Value
+    genVarRead(const Expr &e)
+    {
+        auto it = locals_.find(e.name);
+        if (it != locals_.end()) {
+            const LocalInfo &info = it->second;
+            Opcode op = info.type == MtType::Real ? Opcode::LoadF
+                                                  : Opcode::LoadW;
+            return {b_.load(op, func_.fpReg, info.frameOffset),
+                    info.type};
+        }
+        const GlobalVar *g = module_.findGlobal(e.name);
+        if (!g)
+            error(e.line, "undefined variable '" + e.name + "'");
+        if (g->words != 1)
+            error(e.line, "array '" + e.name + "' used as scalar");
+        Reg addr = b_.li(g->address);
+        Opcode op = g->isFloat ? Opcode::LoadF : Opcode::LoadW;
+        return {b_.load(op, addr, 0),
+                g->isFloat ? MtType::Real : MtType::Int};
+    }
+
+    /** Compute the address register for array element name[idx]. */
+    std::pair<Reg, MtType>
+    genElemAddr(const Expr &e)
+    {
+        const GlobalVar *g = module_.findGlobal(e.name);
+        if (!g) {
+            if (locals_.count(e.name))
+                error(e.line, "scalar '" + e.name + "' is not an array");
+            error(e.line, "undefined array '" + e.name + "'");
+        }
+        Value idx = genExpr(*e.lhs);
+        if (idx.type != MtType::Int)
+            error(e.line, "array index must be int");
+        Reg scaled = b_.binaryImm(Opcode::ShlI, idx.reg, 3);
+        Reg addr = b_.binaryImm(Opcode::AddI, scaled, g->address);
+        return {addr, g->isFloat ? MtType::Real : MtType::Int};
+    }
+
+    Value
+    genIndexRead(const Expr &e)
+    {
+        auto [addr, type] = genElemAddr(e);
+        Opcode op =
+            type == MtType::Real ? Opcode::LoadF : Opcode::LoadW;
+        return {b_.load(op, addr, 0), type};
+    }
+
+    Value
+    genUnary(const Expr &e)
+    {
+        if (e.unOp == UnOp::Not) {
+            Value v = genExpr(*e.lhs);
+            if (v.type != MtType::Int)
+                error(e.line, "'!' needs an int operand");
+            return {b_.binaryImm(Opcode::CmpEqI, v.reg, 0), MtType::Int};
+        }
+        // Negation.
+        Value v = genExpr(*e.lhs);
+        if (v.type == MtType::Real)
+            return {b_.unary(Opcode::NegF, v.reg), MtType::Real};
+        Reg zero = b_.li(0);
+        return {b_.binary(Opcode::SubI, zero, v.reg), MtType::Int};
+    }
+
+    Value
+    genBinary(const Expr &e)
+    {
+        if (e.binOp == BinOp::LogAnd || e.binOp == BinOp::LogOr)
+            return genShortCircuit(e);
+
+        Value l = genExpr(*e.lhs);
+        Value r = genExpr(*e.rhs);
+
+        auto int_only = [&](const char *what) {
+            if (l.type != MtType::Int || r.type != MtType::Int)
+                error(e.line, std::string(what) + " needs int operands");
+        };
+
+        switch (e.binOp) {
+          case BinOp::Add:
+          case BinOp::Sub:
+          case BinOp::Mul:
+          case BinOp::Div: {
+            MtType t = unify(l, r, e.line);
+            Opcode op;
+            if (t == MtType::Real) {
+                switch (e.binOp) {
+                  case BinOp::Add: op = Opcode::AddF; break;
+                  case BinOp::Sub: op = Opcode::SubF; break;
+                  case BinOp::Mul: op = Opcode::MulF; break;
+                  default: op = Opcode::DivF; break;
+                }
+            } else {
+                switch (e.binOp) {
+                  case BinOp::Add: op = Opcode::AddI; break;
+                  case BinOp::Sub: op = Opcode::SubI; break;
+                  case BinOp::Mul: op = Opcode::MulI; break;
+                  default: op = Opcode::DivI; break;
+                }
+            }
+            return {b_.binary(op, l.reg, r.reg), t};
+          }
+          case BinOp::Rem:
+            int_only("'%'");
+            return {b_.binary(Opcode::RemI, l.reg, r.reg), MtType::Int};
+          case BinOp::And:
+            int_only("'&'");
+            return {b_.binary(Opcode::AndI, l.reg, r.reg), MtType::Int};
+          case BinOp::Or:
+            int_only("'|'");
+            return {b_.binary(Opcode::OrI, l.reg, r.reg), MtType::Int};
+          case BinOp::Xor:
+            int_only("'^'");
+            return {b_.binary(Opcode::XorI, l.reg, r.reg), MtType::Int};
+          case BinOp::Shl:
+            int_only("'<<'");
+            return {b_.binary(Opcode::ShlI, l.reg, r.reg), MtType::Int};
+          case BinOp::Shr:
+            int_only("'>>'");
+            return {b_.binary(Opcode::ShrAI, l.reg, r.reg),
+                    MtType::Int};
+          case BinOp::Eq: case BinOp::Ne: case BinOp::Lt:
+          case BinOp::Le: case BinOp::Gt: case BinOp::Ge: {
+            MtType t = unify(l, r, e.line);
+            Opcode op;
+            if (t == MtType::Real) {
+                switch (e.binOp) {
+                  case BinOp::Eq: op = Opcode::CmpEqF; break;
+                  case BinOp::Ne: op = Opcode::CmpNeF; break;
+                  case BinOp::Lt: op = Opcode::CmpLtF; break;
+                  case BinOp::Le: op = Opcode::CmpLeF; break;
+                  case BinOp::Gt: op = Opcode::CmpGtF; break;
+                  default: op = Opcode::CmpGeF; break;
+                }
+            } else {
+                switch (e.binOp) {
+                  case BinOp::Eq: op = Opcode::CmpEqI; break;
+                  case BinOp::Ne: op = Opcode::CmpNeI; break;
+                  case BinOp::Lt: op = Opcode::CmpLtI; break;
+                  case BinOp::Le: op = Opcode::CmpLeI; break;
+                  case BinOp::Gt: op = Opcode::CmpGtI; break;
+                  default: op = Opcode::CmpGeI; break;
+                }
+            }
+            return {b_.binary(op, l.reg, r.reg), MtType::Int};
+          }
+          default:
+            SS_PANIC("unhandled binary operator");
+        }
+    }
+
+    Value
+    genShortCircuit(const Expr &e)
+    {
+        // Result register written on both paths (0/1 normalized).
+        Reg result = func_.newVirtReg();
+        BlockId eval_rhs = b_.makeBlock("sc.rhs");
+        BlockId short_bb = b_.makeBlock("sc.short");
+        BlockId join = b_.makeBlock("sc.join");
+
+        Value l = genExpr(*e.lhs);
+        if (l.type != MtType::Int)
+            error(e.line, "logical operator needs int operands");
+        if (e.binOp == BinOp::LogAnd)
+            b_.br(l.reg, eval_rhs, short_bb);
+        else
+            b_.br(l.reg, short_bb, eval_rhs);
+
+        b_.setBlock(eval_rhs);
+        Value r = genExpr(*e.rhs);
+        if (r.type != MtType::Int)
+            error(e.line, "logical operator needs int operands");
+        Reg norm = b_.binaryImm(Opcode::CmpNeI, r.reg, 0);
+        b_.emit(Instr::unary(Opcode::MovI, result, norm));
+        b_.jmp(join);
+
+        b_.setBlock(short_bb);
+        b_.emit(Instr::li(result, e.binOp == BinOp::LogAnd ? 0 : 1));
+        b_.jmp(join);
+
+        b_.setBlock(join);
+        return {result, MtType::Int};
+    }
+
+    Value
+    genCall(const Expr &e, bool wants_value)
+    {
+        FuncId callee_id = module_.findFunction(e.name);
+        if (callee_id == kNoFunc)
+            error(e.line, "call to undefined function '" + e.name + "'");
+        const FuncDecl *callee_decl = nullptr;
+        for (const auto &f : program_.funcs) {
+            if (f.name == e.name) {
+                callee_decl = &f;
+                break;
+            }
+        }
+        SS_ASSERT(callee_decl, "function table out of sync");
+        if (e.args.size() != callee_decl->params.size())
+            error(e.line, "call to '" + e.name + "' with " +
+                              std::to_string(e.args.size()) +
+                              " args, expected " +
+                              std::to_string(callee_decl->params.size()));
+        if (wants_value && !callee_decl->hasReturn)
+            error(e.line, "void function '" + e.name +
+                              "' used as a value");
+
+        std::vector<Reg> args;
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+            Value v = genExpr(*e.args[i]);
+            v = widen(v, callee_decl->params[i].type, e.line);
+            args.push_back(v.reg);
+        }
+        Reg dst = b_.call(callee_id, std::move(args),
+                          wants_value && callee_decl->hasReturn);
+        return {dst, callee_decl->hasReturn ? callee_decl->returnType
+                                            : MtType::Int};
+    }
+
+    // -------------------------------------------------- statements
+
+    void
+    genStmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case StmtKind::Block:
+            for (const auto &sub : s.body) {
+                if (b_.blockTerminated())
+                    break; // unreachable tail of the block
+                genStmt(*sub);
+            }
+            break;
+          case StmtKind::VarDecl: {
+            declareLocal(s.name, s.declType, s.line);
+            if (s.value) {
+                Value v = genExpr(*s.value);
+                v = widen(v, s.declType, s.line);
+                const LocalInfo &info = locals_.at(s.name);
+                b_.store(s.declType == MtType::Real ? Opcode::StoreF
+                                                    : Opcode::StoreW,
+                         func_.fpReg, info.frameOffset, v.reg);
+            }
+            break;
+          }
+          case StmtKind::Assign:
+            genAssign(s);
+            break;
+          case StmtKind::If:
+            genIf(s);
+            break;
+          case StmtKind::While:
+            genWhile(s);
+            break;
+          case StmtKind::For:
+            genFor(s);
+            break;
+          case StmtKind::Return: {
+            if (decl_.hasReturn) {
+                if (!s.value)
+                    error(s.line, "missing return value");
+                Value v = genExpr(*s.value);
+                v = widen(v, decl_.returnType, s.line);
+                b_.ret(v.reg);
+            } else {
+                if (s.value)
+                    error(s.line, "void function returns a value");
+                b_.ret();
+            }
+            break;
+          }
+          case StmtKind::ExprStmt: {
+            const Expr &e = *s.value;
+            if (e.kind == ExprKind::Call) {
+                genCall(e, /*wants_value=*/false);
+            } else {
+                genExpr(e); // evaluated for nothing; DCE will clean
+            }
+            break;
+          }
+          case StmtKind::Break:
+            if (break_targets_.empty())
+                error(s.line, "'break' outside a loop");
+            b_.jmp(break_targets_.back());
+            break;
+          case StmtKind::Continue:
+            if (continue_targets_.empty())
+                error(s.line, "'continue' outside a loop");
+            b_.jmp(continue_targets_.back());
+            break;
+        }
+    }
+
+    void
+    genAssign(const Stmt &s)
+    {
+        if (s.indexExpr) {
+            // Array element.  Note evaluation order: rhs first, like
+            // the paper's compiler (stores schedule late anyway).
+            const GlobalVar *g = module_.findGlobal(s.name);
+            if (!g)
+                error(s.line, "undefined array '" + s.name + "'");
+            Value v = genExpr(*s.value);
+            v = widen(v, g->isFloat ? MtType::Real : MtType::Int,
+                      s.line);
+            Value idx = genExpr(*s.indexExpr);
+            if (idx.type != MtType::Int)
+                error(s.line, "array index must be int");
+            Reg scaled = b_.binaryImm(Opcode::ShlI, idx.reg, 3);
+            Reg addr = b_.binaryImm(Opcode::AddI, scaled, g->address);
+            b_.store(g->isFloat ? Opcode::StoreF : Opcode::StoreW,
+                     addr, 0, v.reg);
+            return;
+        }
+
+        auto it = locals_.find(s.name);
+        if (it != locals_.end()) {
+            const LocalInfo &info = it->second;
+            Value v = genExpr(*s.value);
+            v = widen(v, info.type, s.line);
+            b_.store(info.type == MtType::Real ? Opcode::StoreF
+                                               : Opcode::StoreW,
+                     func_.fpReg, info.frameOffset, v.reg);
+            return;
+        }
+        const GlobalVar *g = module_.findGlobal(s.name);
+        if (!g)
+            error(s.line, "assignment to undefined variable '" +
+                              s.name + "'");
+        if (g->words != 1)
+            error(s.line, "array '" + s.name + "' assigned as scalar");
+        Value v = genExpr(*s.value);
+        v = widen(v, g->isFloat ? MtType::Real : MtType::Int, s.line);
+        Reg addr = b_.li(g->address);
+        b_.store(g->isFloat ? Opcode::StoreF : Opcode::StoreW, addr, 0,
+                 v.reg);
+    }
+
+    void
+    genIf(const Stmt &s)
+    {
+        BlockId then_bb = b_.makeBlock("if.then");
+        BlockId else_bb =
+            s.elseStmt ? b_.makeBlock("if.else") : kNoBlock;
+        BlockId join = b_.makeBlock("if.join");
+
+        Value c = genExpr(*s.cond);
+        if (c.type != MtType::Int)
+            error(s.line, "condition must be int");
+        b_.br(c.reg, then_bb, s.elseStmt ? else_bb : join);
+
+        b_.setBlock(then_bb);
+        genStmt(*s.thenStmt);
+        if (!b_.blockTerminated())
+            b_.jmp(join);
+
+        if (s.elseStmt) {
+            b_.setBlock(else_bb);
+            genStmt(*s.elseStmt);
+            if (!b_.blockTerminated())
+                b_.jmp(join);
+        }
+        b_.setBlock(join);
+    }
+
+    /** Does this statement subtree contain a continue? */
+    static bool
+    hasContinue(const Stmt &s)
+    {
+        if (s.kind == StmtKind::Continue)
+            return true;
+        // Nested loops capture their own continues.
+        if (s.kind == StmtKind::While || s.kind == StmtKind::For)
+            return false;
+        if (s.thenStmt && hasContinue(*s.thenStmt))
+            return true;
+        if (s.elseStmt && hasContinue(*s.elseStmt))
+            return true;
+        for (const auto &sub : s.body) {
+            if (hasContinue(*sub))
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Loops are rotated into bottom-test form (guard + do/while), the
+     * shape the paper's compiler produces: one block per iteration,
+     * so the pipeline scheduler sees the whole loop body, the
+     * induction update, and the exit test together.
+     */
+    void
+    genWhile(const Stmt &s)
+    {
+        BlockId body = b_.makeBlock("while.body");
+        BlockId exit = b_.makeBlock("while.exit");
+
+        // Guard: evaluate the condition once before entering.
+        Value c = genExpr(*s.cond);
+        if (c.type != MtType::Int)
+            error(s.line, "condition must be int");
+        b_.br(c.reg, body, exit);
+
+        bool needs_latch = hasContinue(*s.elseStmt);
+        BlockId latch = needs_latch ? b_.makeBlock("while.latch")
+                                    : kNoBlock;
+
+        break_targets_.push_back(exit);
+        continue_targets_.push_back(needs_latch ? latch : kNoBlock);
+        b_.setBlock(body);
+        genStmt(*s.elseStmt);
+        bool body_open = !b_.blockTerminated();
+        if (needs_latch) {
+            if (body_open)
+                b_.jmp(latch);
+            b_.setBlock(latch);
+            Value c2 = genExpr(*s.cond);
+            b_.br(c2.reg, body, exit);
+        } else if (body_open) {
+            // Bottom test inline: the loop iterates in one block.
+            Value c2 = genExpr(*s.cond);
+            b_.br(c2.reg, body, exit);
+        }
+        break_targets_.pop_back();
+        continue_targets_.pop_back();
+
+        b_.setBlock(exit);
+    }
+
+    void
+    genFor(const Stmt &s)
+    {
+        // for (i = init; cond; i = step) body
+        // Lowered with a dedicated step block so `continue` works.
+        auto it = locals_.find(s.name);
+        if (it == locals_.end())
+            error(s.line, "loop variable '" + s.name +
+                              "' must be a declared local");
+        if (it->second.type != MtType::Int)
+            error(s.line, "loop variable must be int");
+
+        Stmt init;
+        init.kind = StmtKind::Assign;
+        init.name = s.name;
+        init.value = s.initExpr->clone();
+        init.line = s.line;
+        genAssign(init);
+
+        BlockId body = b_.makeBlock("for.body");
+        BlockId exit = b_.makeBlock("for.exit");
+
+        // Rotated form: guard, then a bottom-tested body that also
+        // carries the induction update (see genWhile).
+        Value c = genExpr(*s.cond);
+        if (c.type != MtType::Int)
+            error(s.line, "condition must be int");
+        b_.br(c.reg, body, exit);
+
+        bool needs_latch = hasContinue(*s.elseStmt);
+        BlockId latch =
+            needs_latch ? b_.makeBlock("for.latch") : kNoBlock;
+
+        auto emit_step_and_test = [&]() {
+            Stmt step_assign;
+            step_assign.kind = StmtKind::Assign;
+            step_assign.name = s.name;
+            step_assign.value = s.stepExpr->clone();
+            step_assign.line = s.line;
+            genAssign(step_assign);
+            Value c2 = genExpr(*s.cond);
+            b_.br(c2.reg, body, exit);
+        };
+
+        break_targets_.push_back(exit);
+        continue_targets_.push_back(needs_latch ? latch : kNoBlock);
+        b_.setBlock(body);
+        genStmt(*s.elseStmt);
+        bool body_open = !b_.blockTerminated();
+        if (needs_latch) {
+            if (body_open)
+                b_.jmp(latch);
+            b_.setBlock(latch);
+            emit_step_and_test();
+        } else if (body_open) {
+            emit_step_and_test();
+        }
+        break_targets_.pop_back();
+        continue_targets_.pop_back();
+
+        b_.setBlock(exit);
+    }
+
+    Module &module_;
+    const Program &program_;
+    const FuncDecl &decl_;
+    Function &func_;
+    IrBuilder b_;
+    std::unordered_map<std::string, LocalInfo> locals_;
+    std::vector<BlockId> break_targets_;
+    std::vector<BlockId> continue_targets_;
+};
+
+} // namespace
+
+Module
+generateIr(const Program &program)
+{
+    Module module;
+
+    for (const auto &g : program.globals) {
+        std::int64_t words = g.arraySize == 0 ? 1 : g.arraySize;
+        module.addGlobal(g.name, words, g.type == MtType::Real);
+        if (!g.intInit.empty()) {
+            std::vector<std::uint64_t> init;
+            std::size_t n = g.type == MtType::Real ? g.realInit.size()
+                                                   : g.intInit.size();
+            init.reserve(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                if (g.type == MtType::Real)
+                    init.push_back(std::bit_cast<std::uint64_t>(
+                        g.realInit[i]));
+                else
+                    init.push_back(std::bit_cast<std::uint64_t>(
+                        g.intInit[i]));
+            }
+            module.setGlobalInit(g.name, std::move(init));
+        }
+    }
+
+    // Declare all functions first so forward calls resolve.
+    for (const auto &f : program.funcs)
+        module.addFunction(f.name);
+
+    for (const auto &f : program.funcs) {
+        Function &func = module.function(module.findFunction(f.name));
+        FuncCodegen cg(module, program, f, func);
+        cg.run();
+    }
+    return module;
+}
+
+} // namespace ilp

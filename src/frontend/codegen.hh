@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Code generation: MT AST -> IR module.
+ *
+ * Storage model (matches the paper's pre-register-allocation world):
+ * every variable is memory-resident — locals and parameters in frame
+ * slots addressed off the frame pointer, global scalars and arrays at
+ * absolute addresses materialized with LiI.  All computation flows
+ * through fresh virtual temporaries.  Global register allocation and
+ * temp assignment happen later, in src/opt.
+ *
+ * Semantic rules enforced here (user errors -> fatal()):
+ *  - names are unique within a function; no shadowing of globals
+ *  - arrays are global-only and indexed by int expressions
+ *  - int widens to real implicitly; real -> int needs an explicit cast
+ *  - calls match arity; void functions cannot be used as values
+ */
+
+#ifndef SUPERSYM_FRONTEND_CODEGEN_HH
+#define SUPERSYM_FRONTEND_CODEGEN_HH
+
+#include "frontend/ast.hh"
+#include "ir/module.hh"
+
+namespace ilp {
+
+/** Generate IR for a whole program. */
+Module generateIr(const Program &program);
+
+} // namespace ilp
+
+#endif // SUPERSYM_FRONTEND_CODEGEN_HH

@@ -1,0 +1,21 @@
+#include "frontend/compile.hh"
+
+#include "frontend/codegen.hh"
+#include "frontend/parser.hh"
+#include "ir/verifier.hh"
+
+namespace ilp {
+
+Module
+compileToIr(const std::string &source, const UnrollOptions &unroll,
+            const std::string &unit)
+{
+    Program program = parseProgram(source, unit);
+    if (unroll.factor > 1)
+        unrollProgram(program, unroll);
+    Module module = generateIr(program);
+    verifyOrDie(module);
+    return module;
+}
+
+} // namespace ilp

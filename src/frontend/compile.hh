@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Front-end driver: MT source text -> IR module, with optional
+ * source-level loop unrolling in between.
+ */
+
+#ifndef SUPERSYM_FRONTEND_COMPILE_HH
+#define SUPERSYM_FRONTEND_COMPILE_HH
+
+#include <string>
+
+#include "frontend/unroll.hh"
+#include "ir/module.hh"
+
+namespace ilp {
+
+/**
+ * Parse, optionally unroll, and lower a program.
+ *
+ * @param source  MT program text.
+ * @param unroll  Loop unrolling applied before lowering.
+ * @param unit    Name used in diagnostics.
+ */
+Module compileToIr(const std::string &source,
+                   const UnrollOptions &unroll = {},
+                   const std::string &unit = "<input>");
+
+} // namespace ilp
+
+#endif // SUPERSYM_FRONTEND_COMPILE_HH

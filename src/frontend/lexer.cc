@@ -1,0 +1,266 @@
+#include "frontend/lexer.hh"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+std::string
+tokName(Tok kind)
+{
+    switch (kind) {
+      case Tok::IntLit: return "integer literal";
+      case Tok::RealLit: return "real literal";
+      case Tok::Ident: return "identifier";
+      case Tok::KwVar: return "'var'";
+      case Tok::KwFunc: return "'func'";
+      case Tok::KwInt: return "'int'";
+      case Tok::KwReal: return "'real'";
+      case Tok::KwIf: return "'if'";
+      case Tok::KwElse: return "'else'";
+      case Tok::KwWhile: return "'while'";
+      case Tok::KwFor: return "'for'";
+      case Tok::KwReturn: return "'return'";
+      case Tok::KwBreak: return "'break'";
+      case Tok::KwContinue: return "'continue'";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::Comma: return "','";
+      case Tok::Semicolon: return "';'";
+      case Tok::Colon: return "':'";
+      case Tok::Assign: return "'='";
+      case Tok::PipePipe: return "'||'";
+      case Tok::AmpAmp: return "'&&'";
+      case Tok::Pipe: return "'|'";
+      case Tok::Caret: return "'^'";
+      case Tok::Amp: return "'&'";
+      case Tok::EqEq: return "'=='";
+      case Tok::BangEq: return "'!='";
+      case Tok::Lt: return "'<'";
+      case Tok::Le: return "'<='";
+      case Tok::Gt: return "'>'";
+      case Tok::Ge: return "'>='";
+      case Tok::Shl: return "'<<'";
+      case Tok::Shr: return "'>>'";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::Slash: return "'/'";
+      case Tok::Percent: return "'%'";
+      case Tok::Bang: return "'!'";
+      case Tok::Eof: return "end of input";
+    }
+    return "?";
+}
+
+Lexer::Lexer(std::string source, std::string unit)
+    : src_(std::move(source)), unit_(std::move(unit))
+{
+}
+
+std::vector<Token>
+Lexer::lexAll()
+{
+    std::vector<Token> out;
+    while (true) {
+        Token t = next();
+        bool done = t.kind == Tok::Eof;
+        out.push_back(std::move(t));
+        if (done)
+            break;
+    }
+    return out;
+}
+
+bool
+Lexer::atEnd() const
+{
+    return pos_ >= src_.size();
+}
+
+char
+Lexer::peek(int ahead) const
+{
+    std::size_t p = pos_ + static_cast<std::size_t>(ahead);
+    return p < src_.size() ? src_[p] : '\0';
+}
+
+char
+Lexer::advance()
+{
+    char c = src_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        col_ = 1;
+    } else {
+        ++col_;
+    }
+    return c;
+}
+
+void
+Lexer::error(const std::string &what) const
+{
+    SS_FATAL(unit_, ":", line_, ":", col_, ": ", what);
+}
+
+void
+Lexer::skipWhitespaceAndComments()
+{
+    while (!atEnd()) {
+        char c = peek();
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (!atEnd() && peek() != '\n')
+                advance();
+        } else if (c == '/' && peek(1) == '*') {
+            advance();
+            advance();
+            while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+                advance();
+            if (atEnd())
+                error("unterminated comment");
+            advance();
+            advance();
+        } else {
+            break;
+        }
+    }
+}
+
+Token
+Lexer::next()
+{
+    static const std::unordered_map<std::string, Tok> keywords = {
+        {"var", Tok::KwVar},       {"func", Tok::KwFunc},
+        {"int", Tok::KwInt},       {"real", Tok::KwReal},
+        {"if", Tok::KwIf},         {"else", Tok::KwElse},
+        {"while", Tok::KwWhile},   {"for", Tok::KwFor},
+        {"return", Tok::KwReturn}, {"break", Tok::KwBreak},
+        {"continue", Tok::KwContinue},
+    };
+
+    skipWhitespaceAndComments();
+
+    Token t;
+    t.line = line_;
+    t.col = col_;
+    if (atEnd()) {
+        t.kind = Tok::Eof;
+        return t;
+    }
+
+    char c = advance();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string name(1, c);
+        while (!atEnd() && (std::isalnum(static_cast<unsigned char>(
+                                peek())) ||
+                            peek() == '_'))
+            name.push_back(advance());
+        auto kw = keywords.find(name);
+        if (kw != keywords.end()) {
+            t.kind = kw->second;
+        } else {
+            t.kind = Tok::Ident;
+            t.text = std::move(name);
+        }
+        return t;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::string num(1, c);
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+            num.push_back(advance());
+        bool is_real = false;
+        if (!atEnd() && peek() == '.' &&
+            std::isdigit(static_cast<unsigned char>(peek(1)))) {
+            is_real = true;
+            num.push_back(advance());
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                num.push_back(advance());
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            char sign = peek(1);
+            if (std::isdigit(static_cast<unsigned char>(sign)) ||
+                ((sign == '+' || sign == '-') &&
+                 std::isdigit(static_cast<unsigned char>(peek(2))))) {
+                is_real = true;
+                num.push_back(advance());
+                if (peek() == '+' || peek() == '-')
+                    num.push_back(advance());
+                while (!atEnd() &&
+                       std::isdigit(static_cast<unsigned char>(peek())))
+                    num.push_back(advance());
+            }
+        }
+        if (is_real) {
+            t.kind = Tok::RealLit;
+            t.realValue = std::stod(num);
+        } else {
+            t.kind = Tok::IntLit;
+            t.intValue = std::stoll(num);
+        }
+        return t;
+    }
+
+    auto two = [&](char second, Tok yes, Tok no) {
+        if (!atEnd() && peek() == second) {
+            advance();
+            t.kind = yes;
+        } else {
+            t.kind = no;
+        }
+    };
+
+    switch (c) {
+      case '(': t.kind = Tok::LParen; break;
+      case ')': t.kind = Tok::RParen; break;
+      case '{': t.kind = Tok::LBrace; break;
+      case '}': t.kind = Tok::RBrace; break;
+      case '[': t.kind = Tok::LBracket; break;
+      case ']': t.kind = Tok::RBracket; break;
+      case ',': t.kind = Tok::Comma; break;
+      case ';': t.kind = Tok::Semicolon; break;
+      case ':': t.kind = Tok::Colon; break;
+      case '+': t.kind = Tok::Plus; break;
+      case '-': t.kind = Tok::Minus; break;
+      case '*': t.kind = Tok::Star; break;
+      case '/': t.kind = Tok::Slash; break;
+      case '%': t.kind = Tok::Percent; break;
+      case '^': t.kind = Tok::Caret; break;
+      case '=': two('=', Tok::EqEq, Tok::Assign); break;
+      case '!': two('=', Tok::BangEq, Tok::Bang); break;
+      case '<':
+        if (peek() == '<') {
+            advance();
+            t.kind = Tok::Shl;
+        } else {
+            two('=', Tok::Le, Tok::Lt);
+        }
+        break;
+      case '>':
+        if (peek() == '>') {
+            advance();
+            t.kind = Tok::Shr;
+        } else {
+            two('=', Tok::Ge, Tok::Gt);
+        }
+        break;
+      case '|': two('|', Tok::PipePipe, Tok::Pipe); break;
+      case '&': two('&', Tok::AmpAmp, Tok::Amp); break;
+      default:
+        error(std::string("unexpected character '") + c + "'");
+    }
+    return t;
+}
+
+} // namespace ilp

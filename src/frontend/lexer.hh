@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Hand-written lexer for the MT language.  Supports // and C-style
+ * comments; reports malformed input via fatal() with line/column.
+ */
+
+#ifndef SUPERSYM_FRONTEND_LEXER_HH
+#define SUPERSYM_FRONTEND_LEXER_HH
+
+#include <string>
+#include <vector>
+
+#include "frontend/token.hh"
+
+namespace ilp {
+
+class Lexer
+{
+  public:
+    /** @param source The whole program text.
+     *  @param unit   Name used in diagnostics. */
+    explicit Lexer(std::string source, std::string unit = "<input>");
+
+    /** Lex the whole input; the last token is always Eof. */
+    std::vector<Token> lexAll();
+
+  private:
+    Token next();
+    char peek(int ahead = 0) const;
+    char advance();
+    bool atEnd() const;
+    void skipWhitespaceAndComments();
+    [[noreturn]] void error(const std::string &what) const;
+
+    std::string src_;
+    std::string unit_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+};
+
+} // namespace ilp
+
+#endif // SUPERSYM_FRONTEND_LEXER_HH

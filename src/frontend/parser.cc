@@ -1,0 +1,549 @@
+#include "frontend/parser.hh"
+
+#include <vector>
+
+#include "frontend/lexer.hh"
+#include "support/logging.hh"
+
+namespace ilp {
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(std::vector<Token> tokens, std::string unit)
+        : toks_(std::move(tokens)), unit_(std::move(unit))
+    {
+    }
+
+    Program
+    parse()
+    {
+        Program prog;
+        while (!at(Tok::Eof)) {
+            if (at(Tok::KwVar))
+                prog.globals.push_back(parseGlobal());
+            else if (at(Tok::KwFunc))
+                prog.funcs.push_back(parseFunc());
+            else
+                error("expected 'var' or 'func' at top level");
+        }
+        return prog;
+    }
+
+  private:
+    const Token &peek(int ahead = 0) const
+    {
+        std::size_t p = pos_ + static_cast<std::size_t>(ahead);
+        return p < toks_.size() ? toks_[p] : toks_.back();
+    }
+
+    bool at(Tok k) const { return peek().kind == k; }
+
+    const Token &
+    advance()
+    {
+        const Token &t = toks_[pos_];
+        if (pos_ + 1 < toks_.size())
+            ++pos_;
+        return t;
+    }
+
+    bool
+    accept(Tok k)
+    {
+        if (at(k)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    const Token &
+    expect(Tok k, const char *what)
+    {
+        if (!at(k))
+            error(std::string("expected ") + tokName(k) + " (" + what +
+                  "), got " + tokName(peek().kind));
+        return advance();
+    }
+
+    [[noreturn]] void
+    error(const std::string &msg) const
+    {
+        SS_FATAL(unit_, ":", peek().line, ":", peek().col, ": ", msg);
+    }
+
+    MtType
+    parseType()
+    {
+        if (accept(Tok::KwInt))
+            return MtType::Int;
+        if (accept(Tok::KwReal))
+            return MtType::Real;
+        error("expected 'int' or 'real'");
+    }
+
+    GlobalDecl
+    parseGlobal()
+    {
+        GlobalDecl g;
+        g.line = peek().line;
+        expect(Tok::KwVar, "global declaration");
+        g.type = parseType();
+        g.name = expect(Tok::Ident, "global name").text;
+        if (accept(Tok::LBracket)) {
+            g.arraySize =
+                expect(Tok::IntLit, "array size").intValue;
+            if (g.arraySize <= 0)
+                error("array size must be positive");
+            expect(Tok::RBracket, "array size");
+        }
+        if (accept(Tok::Assign))
+            parseInitializer(g);
+        expect(Tok::Semicolon, "global declaration");
+        return g;
+    }
+
+    void
+    parseInitializer(GlobalDecl &g)
+    {
+        auto one = [&]() {
+            bool neg = accept(Tok::Minus);
+            if (at(Tok::IntLit)) {
+                std::int64_t v = advance().intValue;
+                if (neg)
+                    v = -v;
+                g.intInit.push_back(v);
+                g.realInit.push_back(static_cast<double>(v));
+            } else if (at(Tok::RealLit)) {
+                double v = advance().realValue;
+                if (neg)
+                    v = -v;
+                g.realInit.push_back(v);
+                g.intInit.push_back(static_cast<std::int64_t>(v));
+            } else {
+                error("expected literal initializer");
+            }
+        };
+        if (accept(Tok::LBrace)) {
+            if (!at(Tok::RBrace)) {
+                one();
+                while (accept(Tok::Comma))
+                    one();
+            }
+            expect(Tok::RBrace, "initializer list");
+            if (g.arraySize == 0)
+                error("brace initializer on scalar");
+            if (static_cast<std::int64_t>(g.intInit.size()) > g.arraySize)
+                error("too many initializers");
+        } else {
+            one();
+            if (g.arraySize != 0)
+                error("scalar initializer on array");
+        }
+    }
+
+    FuncDecl
+    parseFunc()
+    {
+        FuncDecl f;
+        f.line = peek().line;
+        expect(Tok::KwFunc, "function");
+        f.name = expect(Tok::Ident, "function name").text;
+        expect(Tok::LParen, "parameter list");
+        if (!at(Tok::RParen)) {
+            do {
+                Param p;
+                p.type = parseType();
+                p.name = expect(Tok::Ident, "parameter name").text;
+                f.params.push_back(std::move(p));
+            } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "parameter list");
+        if (accept(Tok::Colon)) {
+            f.hasReturn = true;
+            f.returnType = parseType();
+        }
+        f.body = parseBlock();
+        return f;
+    }
+
+    StmtPtr
+    parseBlock()
+    {
+        expect(Tok::LBrace, "block");
+        std::vector<StmtPtr> stmts;
+        while (!at(Tok::RBrace) && !at(Tok::Eof))
+            stmts.push_back(parseStmt());
+        expect(Tok::RBrace, "block");
+        return Stmt::block(std::move(stmts));
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        int line = peek().line;
+        StmtPtr s;
+        switch (peek().kind) {
+          case Tok::KwVar:
+            s = parseLocalDecl();
+            break;
+          case Tok::KwIf:
+            s = parseIf();
+            break;
+          case Tok::KwWhile:
+            s = parseWhile();
+            break;
+          case Tok::KwFor:
+            s = parseFor();
+            break;
+          case Tok::KwReturn:
+            advance();
+            if (at(Tok::Semicolon)) {
+                s = Stmt::returnStmt(nullptr);
+            } else {
+                s = Stmt::returnStmt(parseExpr());
+            }
+            expect(Tok::Semicolon, "return");
+            break;
+          case Tok::KwBreak:
+            advance();
+            expect(Tok::Semicolon, "break");
+            s = Stmt::breakStmt();
+            break;
+          case Tok::KwContinue:
+            advance();
+            expect(Tok::Semicolon, "continue");
+            s = Stmt::continueStmt();
+            break;
+          case Tok::LBrace:
+            s = parseBlock();
+            break;
+          default:
+            s = parseAssignOrExpr();
+            break;
+        }
+        s->line = line;
+        return s;
+    }
+
+    StmtPtr
+    parseLocalDecl()
+    {
+        expect(Tok::KwVar, "declaration");
+        MtType type = parseType();
+        const std::string name =
+            expect(Tok::Ident, "variable name").text;
+        if (at(Tok::LBracket))
+            error("arrays may only be declared at global scope");
+        ExprPtr init;
+        if (accept(Tok::Assign))
+            init = parseExpr();
+        expect(Tok::Semicolon, "declaration");
+        return Stmt::varDecl(type, name, std::move(init));
+    }
+
+    StmtPtr
+    parseIf()
+    {
+        expect(Tok::KwIf, "if");
+        expect(Tok::LParen, "if condition");
+        ExprPtr cond = parseExpr();
+        expect(Tok::RParen, "if condition");
+        StmtPtr then_s = parseStmt();
+        StmtPtr else_s;
+        if (accept(Tok::KwElse))
+            else_s = parseStmt();
+        return Stmt::ifStmt(std::move(cond), std::move(then_s),
+                            std::move(else_s));
+    }
+
+    StmtPtr
+    parseWhile()
+    {
+        expect(Tok::KwWhile, "while");
+        expect(Tok::LParen, "while condition");
+        ExprPtr cond = parseExpr();
+        expect(Tok::RParen, "while condition");
+        StmtPtr body = parseStmt();
+        return Stmt::whileStmt(std::move(cond), std::move(body));
+    }
+
+    StmtPtr
+    parseFor()
+    {
+        expect(Tok::KwFor, "for");
+        expect(Tok::LParen, "for header");
+        const std::string var = expect(Tok::Ident, "loop variable").text;
+        expect(Tok::Assign, "loop initialization");
+        ExprPtr init = parseExpr();
+        expect(Tok::Semicolon, "for header");
+        ExprPtr cond = parseExpr();
+        expect(Tok::Semicolon, "for header");
+        const std::string var2 =
+            expect(Tok::Ident, "loop step variable").text;
+        if (var2 != var)
+            error("for-step must assign the loop variable '" + var +
+                  "'");
+        expect(Tok::Assign, "loop step");
+        ExprPtr step = parseExpr();
+        expect(Tok::RParen, "for header");
+        StmtPtr body = parseStmt();
+        return Stmt::forStmt(var, std::move(init), std::move(cond),
+                             std::move(step), std::move(body));
+    }
+
+    StmtPtr
+    parseAssignOrExpr()
+    {
+        // Lookahead: IDENT ('=' | '[' ... ']' '=') means assignment.
+        if (at(Tok::Ident)) {
+            if (peek(1).kind == Tok::Assign) {
+                std::string name = advance().text;
+                advance(); // '='
+                ExprPtr value = parseExpr();
+                expect(Tok::Semicolon, "assignment");
+                return Stmt::assign(std::move(name), nullptr,
+                                    std::move(value));
+            }
+            if (peek(1).kind == Tok::LBracket) {
+                // Could be `a[i] = e;` or an expression statement
+                // starting with an index read; scan for the matching
+                // bracket and check for '='.
+                std::size_t p = pos_ + 2;
+                int depth = 1;
+                while (p < toks_.size() && depth > 0) {
+                    if (toks_[p].kind == Tok::LBracket)
+                        ++depth;
+                    else if (toks_[p].kind == Tok::RBracket)
+                        --depth;
+                    ++p;
+                }
+                if (p < toks_.size() && toks_[p].kind == Tok::Assign) {
+                    std::string name = advance().text;
+                    advance(); // '['
+                    ExprPtr idx = parseExpr();
+                    expect(Tok::RBracket, "array subscript");
+                    expect(Tok::Assign, "array assignment");
+                    ExprPtr value = parseExpr();
+                    expect(Tok::Semicolon, "assignment");
+                    return Stmt::assign(std::move(name), std::move(idx),
+                                        std::move(value));
+                }
+            }
+        }
+        ExprPtr e = parseExpr();
+        expect(Tok::Semicolon, "expression statement");
+        return Stmt::exprStmt(std::move(e));
+    }
+
+    // ---- Expressions: precedence climbing -----------------------
+
+    ExprPtr
+    parseExpr()
+    {
+        return parseLogOr();
+    }
+
+    ExprPtr
+    parseLogOr()
+    {
+        ExprPtr e = parseLogAnd();
+        while (accept(Tok::PipePipe))
+            e = Expr::binary(BinOp::LogOr, std::move(e), parseLogAnd());
+        return e;
+    }
+
+    ExprPtr
+    parseLogAnd()
+    {
+        ExprPtr e = parseBitOr();
+        while (accept(Tok::AmpAmp))
+            e = Expr::binary(BinOp::LogAnd, std::move(e), parseBitOr());
+        return e;
+    }
+
+    ExprPtr
+    parseBitOr()
+    {
+        ExprPtr e = parseBitXor();
+        while (accept(Tok::Pipe))
+            e = Expr::binary(BinOp::Or, std::move(e), parseBitXor());
+        return e;
+    }
+
+    ExprPtr
+    parseBitXor()
+    {
+        ExprPtr e = parseBitAnd();
+        while (accept(Tok::Caret))
+            e = Expr::binary(BinOp::Xor, std::move(e), parseBitAnd());
+        return e;
+    }
+
+    ExprPtr
+    parseBitAnd()
+    {
+        ExprPtr e = parseEquality();
+        while (accept(Tok::Amp))
+            e = Expr::binary(BinOp::And, std::move(e), parseEquality());
+        return e;
+    }
+
+    ExprPtr
+    parseEquality()
+    {
+        ExprPtr e = parseRelational();
+        while (true) {
+            if (accept(Tok::EqEq))
+                e = Expr::binary(BinOp::Eq, std::move(e),
+                                 parseRelational());
+            else if (accept(Tok::BangEq))
+                e = Expr::binary(BinOp::Ne, std::move(e),
+                                 parseRelational());
+            else
+                break;
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseRelational()
+    {
+        ExprPtr e = parseShift();
+        while (true) {
+            if (accept(Tok::Lt))
+                e = Expr::binary(BinOp::Lt, std::move(e), parseShift());
+            else if (accept(Tok::Le))
+                e = Expr::binary(BinOp::Le, std::move(e), parseShift());
+            else if (accept(Tok::Gt))
+                e = Expr::binary(BinOp::Gt, std::move(e), parseShift());
+            else if (accept(Tok::Ge))
+                e = Expr::binary(BinOp::Ge, std::move(e), parseShift());
+            else
+                break;
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseShift()
+    {
+        ExprPtr e = parseAdditive();
+        while (true) {
+            if (accept(Tok::Shl))
+                e = Expr::binary(BinOp::Shl, std::move(e),
+                                 parseAdditive());
+            else if (accept(Tok::Shr))
+                e = Expr::binary(BinOp::Shr, std::move(e),
+                                 parseAdditive());
+            else
+                break;
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseAdditive()
+    {
+        ExprPtr e = parseMultiplicative();
+        while (true) {
+            if (accept(Tok::Plus))
+                e = Expr::binary(BinOp::Add, std::move(e),
+                                 parseMultiplicative());
+            else if (accept(Tok::Minus))
+                e = Expr::binary(BinOp::Sub, std::move(e),
+                                 parseMultiplicative());
+            else
+                break;
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseMultiplicative()
+    {
+        ExprPtr e = parseUnary();
+        while (true) {
+            if (accept(Tok::Star))
+                e = Expr::binary(BinOp::Mul, std::move(e), parseUnary());
+            else if (accept(Tok::Slash))
+                e = Expr::binary(BinOp::Div, std::move(e), parseUnary());
+            else if (accept(Tok::Percent))
+                e = Expr::binary(BinOp::Rem, std::move(e), parseUnary());
+            else
+                break;
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        if (accept(Tok::Minus))
+            return Expr::unary(UnOp::Neg, parseUnary());
+        if (accept(Tok::Bang))
+            return Expr::unary(UnOp::Not, parseUnary());
+        return parsePrimary();
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        int line = peek().line;
+        ExprPtr e;
+        if (at(Tok::IntLit)) {
+            e = Expr::intLit(advance().intValue);
+        } else if (at(Tok::RealLit)) {
+            e = Expr::realLit(advance().realValue);
+        } else if (accept(Tok::LParen)) {
+            e = parseExpr();
+            expect(Tok::RParen, "parenthesized expression");
+        } else if (at(Tok::KwInt) || at(Tok::KwReal)) {
+            MtType to = parseType();
+            expect(Tok::LParen, "cast");
+            e = Expr::cast(to, parseExpr());
+            expect(Tok::RParen, "cast");
+        } else if (at(Tok::Ident)) {
+            std::string name = advance().text;
+            if (accept(Tok::LParen)) {
+                std::vector<ExprPtr> args;
+                if (!at(Tok::RParen)) {
+                    args.push_back(parseExpr());
+                    while (accept(Tok::Comma))
+                        args.push_back(parseExpr());
+                }
+                expect(Tok::RParen, "call");
+                e = Expr::call(std::move(name), std::move(args));
+            } else if (accept(Tok::LBracket)) {
+                ExprPtr idx = parseExpr();
+                expect(Tok::RBracket, "array subscript");
+                e = Expr::index(std::move(name), std::move(idx));
+            } else {
+                e = Expr::var(std::move(name));
+            }
+        } else {
+            error("expected expression, got " + tokName(peek().kind));
+        }
+        e->line = line;
+        return e;
+    }
+
+    std::vector<Token> toks_;
+    std::string unit_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Program
+parseProgram(const std::string &source, const std::string &unit)
+{
+    Lexer lexer(source, unit);
+    Parser parser(lexer.lexAll(), unit);
+    return parser.parse();
+}
+
+} // namespace ilp

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Recursive-descent parser for the MT language.
+ *
+ * Grammar sketch (see tests/frontend/parser_test.cc for examples):
+ *
+ *   program    := (globalDecl | funcDecl)*
+ *   globalDecl := "var" type IDENT ("[" INT "]")? ("=" init)? ";"
+ *   funcDecl   := "func" IDENT "(" params? ")" (":" type)? block
+ *   stmt       := localDecl | assign | if | while | for | return
+ *               | break | continue | block | exprStmt
+ *   for        := "for" "(" IDENT "=" expr ";" expr ";"
+ *                 IDENT "=" expr ")" stmt
+ *   expr       := precedence climbing over || && | ^ & == != < <= > >=
+ *                 << >> + - * / % with C-like binding; unary - !;
+ *                 int(e) / real(e) casts.
+ *
+ * Arrays may only be declared at global scope (Modula-2 style data
+ * layout; simplifies the frame model — see DESIGN.md).
+ */
+
+#ifndef SUPERSYM_FRONTEND_PARSER_HH
+#define SUPERSYM_FRONTEND_PARSER_HH
+
+#include <string>
+
+#include "frontend/ast.hh"
+
+namespace ilp {
+
+/**
+ * Parse a whole program.  Syntax errors are reported via fatal()
+ * (FatalError in throw-mode) with line/column info.
+ *
+ * @param source Program text.
+ * @param unit   Name used in diagnostics.
+ */
+Program parseProgram(const std::string &source,
+                     const std::string &unit = "<input>");
+
+} // namespace ilp
+
+#endif // SUPERSYM_FRONTEND_PARSER_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tokens of the MT language — the small imperative language the study
+ * benchmarks are written in (standing in for the paper's Modula-2; see
+ * DESIGN.md §1 "Substitutions").
+ */
+
+#ifndef SUPERSYM_FRONTEND_TOKEN_HH
+#define SUPERSYM_FRONTEND_TOKEN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ilp {
+
+enum class Tok : std::uint8_t
+{
+    // Literals and names.
+    IntLit, RealLit, Ident,
+    // Keywords.
+    KwVar, KwFunc, KwInt, KwReal, KwIf, KwElse, KwWhile, KwFor,
+    KwReturn, KwBreak, KwContinue,
+    // Punctuation.
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semicolon, Colon,
+    // Operators.
+    Assign,                                  // =
+    PipePipe, AmpAmp,                        // || &&
+    Pipe, Caret, Amp,                        // | ^ &
+    EqEq, BangEq, Lt, Le, Gt, Ge,            // == != < <= > >=
+    Shl, Shr,                                // << >>
+    Plus, Minus, Star, Slash, Percent,       // + - * / %
+    Bang,                                    // !
+    Eof,
+};
+
+struct Token
+{
+    Tok kind = Tok::Eof;
+    std::string text;          ///< identifier spelling
+    std::int64_t intValue = 0;
+    double realValue = 0.0;
+    int line = 0;
+    int col = 0;
+};
+
+/** Printable name of a token kind, for diagnostics. */
+std::string tokName(Tok kind);
+
+} // namespace ilp
+
+#endif // SUPERSYM_FRONTEND_TOKEN_HH

@@ -1,0 +1,613 @@
+#include "frontend/unroll.hh"
+
+#include <set>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+namespace {
+
+// ----------------------------------------------------------- helpers
+
+void
+collectAssigned(const Stmt &s, std::set<std::string> &out)
+{
+    switch (s.kind) {
+      case StmtKind::Assign:
+        if (!s.indexExpr)
+            out.insert(s.name);
+        break;
+      case StmtKind::VarDecl:
+        out.insert(s.name);
+        break;
+      case StmtKind::For:
+        out.insert(s.name);
+        break;
+      default:
+        break;
+    }
+    if (s.thenStmt)
+        collectAssigned(*s.thenStmt, out);
+    if (s.elseStmt)
+        collectAssigned(*s.elseStmt, out);
+    for (const auto &b : s.body)
+        collectAssigned(*b, out);
+}
+
+bool
+exprReferences(const Expr &e, const std::string &name)
+{
+    if ((e.kind == ExprKind::Var || e.kind == ExprKind::Index ||
+         e.kind == ExprKind::Call) &&
+        e.name == name)
+        return true;
+    if (e.lhs && exprReferences(*e.lhs, name))
+        return true;
+    if (e.rhs && exprReferences(*e.rhs, name))
+        return true;
+    for (const auto &a : e.args) {
+        if (exprReferences(*a, name))
+            return true;
+    }
+    return false;
+}
+
+bool
+exprHasCall(const Expr &e)
+{
+    if (e.kind == ExprKind::Call)
+        return true;
+    if (e.lhs && exprHasCall(*e.lhs))
+        return true;
+    if (e.rhs && exprHasCall(*e.rhs))
+        return true;
+    for (const auto &a : e.args) {
+        if (exprHasCall(*a))
+            return true;
+    }
+    return false;
+}
+
+bool
+exprHasArrayOrGlobalRead(const Expr &e, const Program &prog)
+{
+    if (e.kind == ExprKind::Index)
+        return true;
+    if (e.kind == ExprKind::Var) {
+        for (const auto &g : prog.globals) {
+            if (g.name == e.name)
+                return true;
+        }
+    }
+    if (e.lhs && exprHasArrayOrGlobalRead(*e.lhs, prog))
+        return true;
+    if (e.rhs && exprHasArrayOrGlobalRead(*e.rhs, prog))
+        return true;
+    for (const auto &a : e.args) {
+        if (exprHasArrayOrGlobalRead(*a, prog))
+            return true;
+    }
+    return false;
+}
+
+bool
+stmtHasCall(const Stmt &s)
+{
+    auto check = [](const ExprPtr &e) { return e && exprHasCall(*e); };
+    if (check(s.indexExpr) || check(s.value) || check(s.cond) ||
+        check(s.initExpr) || check(s.stepExpr))
+        return true;
+    if (s.thenStmt && stmtHasCall(*s.thenStmt))
+        return true;
+    if (s.elseStmt && stmtHasCall(*s.elseStmt))
+        return true;
+    for (const auto &b : s.body) {
+        if (stmtHasCall(*b))
+            return true;
+    }
+    return false;
+}
+
+bool
+stmtHas(const Stmt &s, StmtKind kind)
+{
+    if (s.kind == kind)
+        return true;
+    if (s.thenStmt && stmtHas(*s.thenStmt, kind))
+        return true;
+    if (s.elseStmt && stmtHas(*s.elseStmt, kind))
+        return true;
+    for (const auto &b : s.body) {
+        if (stmtHas(*b, kind))
+            return true;
+    }
+    return false;
+}
+
+bool
+stmtReferences(const Stmt &s, const std::string &name)
+{
+    auto check = [&](const ExprPtr &e) {
+        return e && exprReferences(*e, name);
+    };
+    if (s.name == name &&
+        (s.kind == StmtKind::Assign || s.kind == StmtKind::VarDecl ||
+         s.kind == StmtKind::For))
+        return true;
+    if (check(s.indexExpr) || check(s.value) || check(s.cond) ||
+        check(s.initExpr) || check(s.stepExpr))
+        return true;
+    if (s.thenStmt && stmtReferences(*s.thenStmt, name))
+        return true;
+    if (s.elseStmt && stmtReferences(*s.elseStmt, name))
+        return true;
+    for (const auto &b : s.body) {
+        if (stmtReferences(*b, name))
+            return true;
+    }
+    return false;
+}
+
+/** Rename every reference to scalar `from` (reads and writes). */
+void renameScalarStmt(Stmt &s, const std::string &from,
+                      const std::string &to);
+
+void
+renameScalarExpr(Expr &e, const std::string &from, const std::string &to)
+{
+    if (e.kind == ExprKind::Var && e.name == from)
+        e.name = to;
+    if (e.lhs)
+        renameScalarExpr(*e.lhs, from, to);
+    if (e.rhs)
+        renameScalarExpr(*e.rhs, from, to);
+    for (auto &a : e.args)
+        renameScalarExpr(*a, from, to);
+}
+
+void
+renameScalarStmt(Stmt &s, const std::string &from, const std::string &to)
+{
+    if ((s.kind == StmtKind::Assign && !s.indexExpr &&
+         s.name == from) ||
+        (s.kind == StmtKind::VarDecl && s.name == from) ||
+        (s.kind == StmtKind::For && s.name == from))
+        s.name = to;
+    auto fix = [&](ExprPtr &e) {
+        if (e)
+            renameScalarExpr(*e, from, to);
+    };
+    fix(s.indexExpr);
+    fix(s.value);
+    fix(s.cond);
+    fix(s.initExpr);
+    fix(s.stepExpr);
+    if (s.thenStmt)
+        renameScalarStmt(*s.thenStmt, from, to);
+    if (s.elseStmt)
+        renameScalarStmt(*s.elseStmt, from, to);
+    for (auto &b : s.body)
+        renameScalarStmt(*b, from, to);
+}
+
+void
+collectDecls(const Stmt &s, std::vector<std::string> &out)
+{
+    if (s.kind == StmtKind::VarDecl)
+        out.push_back(s.name);
+    if (s.thenStmt)
+        collectDecls(*s.thenStmt, out);
+    if (s.elseStmt)
+        collectDecls(*s.elseStmt, out);
+    for (const auto &b : s.body)
+        collectDecls(*b, out);
+}
+
+/** Scalar type lookup: function locals/params then globals. */
+class TypeResolver
+{
+  public:
+    TypeResolver(const Program &prog, const FuncDecl &func)
+    {
+        for (const auto &g : prog.globals) {
+            if (g.arraySize == 0)
+                types_[g.name] = g.type;
+        }
+        for (const auto &p : func.params)
+            types_[p.name] = p.type;
+        if (func.body)
+            walk(*func.body);
+    }
+
+    bool
+    lookup(const std::string &name, MtType &out) const
+    {
+        auto it = types_.find(name);
+        if (it == types_.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+  private:
+    void
+    walk(const Stmt &s)
+    {
+        if (s.kind == StmtKind::VarDecl)
+            types_[s.name] = s.declType;
+        if (s.thenStmt)
+            walk(*s.thenStmt);
+        if (s.elseStmt)
+            walk(*s.elseStmt);
+        for (const auto &b : s.body)
+            walk(*b);
+    }
+
+    std::unordered_map<std::string, MtType> types_;
+};
+
+// ------------------------------------------------------- eligibility
+
+struct LoopShape
+{
+    std::string var;
+    BinOp condOp = BinOp::Lt;   ///< Lt or Le
+    const Expr *bound = nullptr;
+    std::int64_t step = 0;
+};
+
+bool
+matchLoop(const Program &prog, const Stmt &loop, LoopShape &shape)
+{
+    if (loop.kind != StmtKind::For)
+        return false;
+    shape.var = loop.name;
+
+    // Condition: var < bound or var <= bound.
+    const Expr &cond = *loop.cond;
+    if (cond.kind != ExprKind::Binary ||
+        (cond.binOp != BinOp::Lt && cond.binOp != BinOp::Le))
+        return false;
+    if (cond.lhs->kind != ExprKind::Var || cond.lhs->name != shape.var)
+        return false;
+    shape.condOp = cond.binOp;
+    shape.bound = cond.rhs.get();
+
+    // Step: var = var + c, c a positive int literal.
+    const Expr &step = *loop.stepExpr;
+    if (step.kind != ExprKind::Binary || step.binOp != BinOp::Add)
+        return false;
+    const Expr *lhs = step.lhs.get();
+    const Expr *rhs = step.rhs.get();
+    if (lhs->kind != ExprKind::Var && rhs->kind == ExprKind::Var)
+        std::swap(lhs, rhs);
+    if (lhs->kind != ExprKind::Var || lhs->name != shape.var)
+        return false;
+    if (rhs->kind != ExprKind::IntLit || rhs->intValue <= 0)
+        return false;
+    shape.step = rhs->intValue;
+
+    const Stmt &body = *loop.elseStmt;
+    if (stmtHas(body, StmtKind::Break) ||
+        stmtHas(body, StmtKind::Continue) ||
+        stmtHas(body, StmtKind::Return))
+        return false;
+
+    std::set<std::string> assigned;
+    collectAssigned(body, assigned);
+    if (assigned.count(shape.var))
+        return false;
+
+    // The bound must be invariant: no calls or array reads inside it,
+    // no variables the body assigns, and if it reads globals the body
+    // must not call out (a callee could change them).
+    if (exprHasCall(*shape.bound))
+        return false;
+    for (const auto &name : assigned) {
+        if (exprReferences(*shape.bound, name))
+            return false;
+    }
+    if (exprHasArrayOrGlobalRead(*shape.bound, prog) &&
+        stmtHasCall(body))
+        return false;
+
+    return true;
+}
+
+// ------------------------------------------------ reduction analysis
+
+struct Reduction
+{
+    Stmt *stmt = nullptr;       ///< the `v = v op e` statement
+    std::string var;
+    BinOp op = BinOp::Add;      ///< Add or Mul
+    MtType type = MtType::Real;
+};
+
+/**
+ * Find reassociable reductions: top-level statements of the body block
+ * of the form `v = v + e` / `v = v * e` where v is a scalar that the
+ * body references nowhere else.
+ */
+std::vector<Reduction>
+findReductions(Stmt &body, const TypeResolver &types)
+{
+    std::vector<Reduction> out;
+    if (body.kind != StmtKind::Block)
+        return out;
+    for (auto &sp : body.body) {
+        Stmt &s = *sp;
+        if (s.kind != StmtKind::Assign || s.indexExpr)
+            continue;
+        const Expr &v = *s.value;
+        if (v.kind != ExprKind::Binary ||
+            (v.binOp != BinOp::Add && v.binOp != BinOp::Mul))
+            continue;
+        const Expr *acc = v.lhs.get();
+        const Expr *term = v.rhs.get();
+        if (!(acc->kind == ExprKind::Var && acc->name == s.name)) {
+            std::swap(acc, term);
+            if (!(acc->kind == ExprKind::Var && acc->name == s.name))
+                continue;
+        }
+        if (exprReferences(*term, s.name))
+            continue;
+        MtType type;
+        if (!types.lookup(s.name, type))
+            continue;
+
+        Reduction r;
+        r.stmt = &s;
+        r.var = s.name;
+        r.op = v.binOp;
+        r.type = type;
+        out.push_back(r);
+    }
+
+    // Reject reductions whose variable is referenced elsewhere in the
+    // body (another statement reads or writes it).
+    std::vector<Reduction> kept;
+    for (const auto &r : out) {
+        int refs = 0;
+        bool elsewhere = false;
+        for (auto &sp : body.body) {
+            if (sp.get() == r.stmt) {
+                ++refs;
+                continue;
+            }
+            if (stmtReferences(*sp, r.var))
+                elsewhere = true;
+        }
+        int same_var = 0;
+        for (const auto &other : out) {
+            if (other.var == r.var)
+                ++same_var;
+        }
+        if (!elsewhere && refs == 1 && same_var == 1)
+            kept.push_back(r);
+    }
+    return kept;
+}
+
+// -------------------------------------------------------- the unroll
+
+class Unroller
+{
+  public:
+    Unroller(const Program &prog, FuncDecl &func,
+             const UnrollOptions &opts)
+        : prog_(prog), opts_(opts), types_(prog, func)
+    {
+    }
+
+    int
+    run(FuncDecl &func)
+    {
+        return walk(func.body);
+    }
+
+  private:
+    /** Recurse; returns number of loops unrolled under `sp`. */
+    int
+    walk(StmtPtr &sp)
+    {
+        if (!sp)
+            return 0;
+        Stmt &s = *sp;
+        int n = 0;
+        // Innermost-first: recurse into children before matching.
+        n += walk(s.thenStmt);
+        n += walk(s.elseStmt);
+        for (auto &b : s.body)
+            n += walk(b);
+
+        if (s.kind == StmtKind::For && n == 0 &&
+            !stmtHas(*s.elseStmt, StmtKind::For) &&
+            !stmtHas(*s.elseStmt, StmtKind::While)) {
+            LoopShape shape;
+            if (matchLoop(prog_, s, shape)) {
+                sp = rewrite(s, shape);
+                return 1;
+            }
+        }
+        return n;
+    }
+
+    std::string
+    uniqueName(const std::string &base)
+    {
+        return base + "__u" + std::to_string(counter_++);
+    }
+
+    /** Clone the body, renaming its local declarations with `tag`. */
+    StmtPtr
+    cloneBodyRenamed(const Stmt &body, const std::string &tag)
+    {
+        StmtPtr copy = body.clone();
+        std::vector<std::string> decls;
+        collectDecls(*copy, decls);
+        for (const auto &d : decls)
+            renameScalarStmt(*copy, d, d + tag);
+        return copy;
+    }
+
+    StmtPtr
+    rewrite(Stmt &loop, const LoopShape &shape)
+    {
+        const int u = opts_.factor;
+        SS_ASSERT(u >= 1, "unroll factor must be >= 1");
+        const std::int64_t c = shape.step;
+        Stmt &body = *loop.elseStmt;
+
+        std::vector<StmtPtr> result;
+
+        // Careful mode: split reductions into per-copy partials.
+        std::vector<Reduction> reductions;
+        if (opts_.careful && u > 1)
+            reductions = findReductions(body, types_);
+
+        struct Partial
+        {
+            std::string var;
+            std::vector<std::string> partials;
+            BinOp op;
+            MtType type;
+        };
+        std::vector<Partial> partials;
+        for (const auto &r : reductions) {
+            Partial p;
+            p.var = r.var;
+            p.op = r.op;
+            p.type = r.type;
+            for (int k = 1; k < u; ++k) {
+                std::string name = uniqueName(r.var + "__p");
+                p.partials.push_back(name);
+                ExprPtr ident =
+                    r.type == MtType::Real
+                        ? Expr::realLit(r.op == BinOp::Add ? 0.0 : 1.0)
+                        : Expr::intLit(r.op == BinOp::Add ? 0 : 1);
+                result.push_back(Stmt::varDecl(r.type, name,
+                                               std::move(ident)));
+            }
+            partials.push_back(std::move(p));
+        }
+
+        // i = init;
+        result.push_back(
+            Stmt::assign(shape.var, nullptr, loop.initExpr->clone()));
+
+        // Main loop guard: i + (u-1)*c </<= bound.
+        ExprPtr guard_lhs =
+            u > 1 ? Expr::binary(BinOp::Add, Expr::var(shape.var),
+                                 Expr::intLit((u - 1) * c))
+                  : Expr::var(shape.var);
+        ExprPtr guard = Expr::binary(shape.condOp, std::move(guard_lhs),
+                                     shape.bound->clone());
+
+        std::vector<StmtPtr> main_body;
+        if (opts_.careful) {
+            for (int k = 0; k < u; ++k) {
+                StmtPtr copy =
+                    cloneBodyRenamed(body, "__c" + std::to_string(k));
+                if (k > 0) {
+                    // Substitute i -> (i + k*c) in this copy.
+                    ExprPtr repl = Expr::binary(
+                        BinOp::Add, Expr::var(shape.var),
+                        Expr::intLit(k * c));
+                    copy = substituteVarStmt(std::move(copy), shape.var,
+                                             *repl);
+                    // Retarget reductions at the per-copy partials.
+                    for (const auto &p : partials)
+                        renameScalarStmt(*copy, p.var,
+                                         p.partials[k - 1]);
+                }
+                main_body.push_back(std::move(copy));
+            }
+            // Single induction update: i = i + u*c.
+            main_body.push_back(Stmt::assign(
+                shape.var, nullptr,
+                Expr::binary(BinOp::Add, Expr::var(shape.var),
+                             Expr::intLit(u * c))));
+        } else {
+            // Naive: copy; i = i + c; copy; ... ; i = i + c.
+            for (int k = 0; k < u; ++k) {
+                main_body.push_back(
+                    cloneBodyRenamed(body, "__c" + std::to_string(k)));
+                main_body.push_back(Stmt::assign(
+                    shape.var, nullptr,
+                    Expr::binary(BinOp::Add, Expr::var(shape.var),
+                                 Expr::intLit(c))));
+            }
+        }
+        result.push_back(Stmt::whileStmt(
+            std::move(guard), Stmt::block(std::move(main_body))));
+
+        // Remainder loop: while (i cond bound) { body; i = i + c; }
+        std::vector<StmtPtr> rem_body;
+        rem_body.push_back(cloneBodyRenamed(body, "__r"));
+        rem_body.push_back(Stmt::assign(
+            shape.var, nullptr,
+            Expr::binary(BinOp::Add, Expr::var(shape.var),
+                         Expr::intLit(c))));
+        ExprPtr rem_guard = Expr::binary(
+            shape.condOp, Expr::var(shape.var), shape.bound->clone());
+        result.push_back(Stmt::whileStmt(
+            std::move(rem_guard), Stmt::block(std::move(rem_body))));
+
+        // Combine partials back into the accumulators, as a balanced
+        // tree: v = (v + p1) + (p2 + p3) ...
+        for (const auto &p : partials) {
+            std::vector<ExprPtr> terms;
+            terms.push_back(Expr::var(p.var));
+            for (const auto &name : p.partials)
+                terms.push_back(Expr::var(name));
+            while (terms.size() > 1) {
+                std::vector<ExprPtr> next;
+                for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+                    next.push_back(Expr::binary(p.op,
+                                                std::move(terms[i]),
+                                                std::move(terms[i + 1])));
+                }
+                if (terms.size() % 2)
+                    next.push_back(std::move(terms.back()));
+                terms = std::move(next);
+            }
+            result.push_back(
+                Stmt::assign(p.var, nullptr, std::move(terms[0])));
+        }
+
+        return Stmt::block(std::move(result));
+    }
+
+    const Program &prog_;
+    const UnrollOptions &opts_;
+    TypeResolver types_;
+    int counter_ = 0;
+};
+
+} // namespace
+
+int
+unrollFunction(const Program &program, FuncDecl &func,
+               const UnrollOptions &options)
+{
+    if (options.factor <= 1 && !options.careful)
+        return 0;
+    if (options.factor <= 1)
+        return 0;
+    Unroller unroller(program, func, options);
+    return unroller.run(func);
+}
+
+int
+unrollProgram(Program &program, const UnrollOptions &options)
+{
+    int n = 0;
+    for (auto &f : program.funcs)
+        n += unrollFunction(program, f, options);
+    return n;
+}
+
+} // namespace ilp

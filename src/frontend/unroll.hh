@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Source-level loop unrolling, naive and careful (§4.4, Figure 4-6).
+ *
+ * The paper unrolled Linpack and Livermore inner loops by hand, two
+ * ways:
+ *
+ *  - "Naive unrolling consists simply of duplicating the loop body
+ *    inside the loop, and allowing the normal code optimizer and
+ *    scheduler to remove redundant computations and to re-order the
+ *    instructions" — we duplicate the body textually, with the real
+ *    induction-variable increment between copies (so the copies are
+ *    chained through i, the "sequential framework" the paper
+ *    describes).
+ *
+ *  - "In careful unrolling, we reassociate long strings of additions
+ *    or multiplications to maximize the parallelism, and we analyze
+ *    the stores in the unrolled loop so that stores from early copies
+ *    of the loop do not interfere with loads in later copies." — we
+ *    substitute i+k*c into copy k (no serial chain), split reduction
+ *    accumulators into per-copy partial sums combined in a balanced
+ *    tree after the loop, and the caller schedules with
+ *    AliasLevel::Careful.
+ *
+ * Mechanized here instead of by hand; the transformation is the same.
+ *
+ * Eligibility: innermost `for (i = e0; i </<= B; i = i + c)` loops
+ * with a positive constant step, no break/continue, no assignment to
+ * the loop variable in the body, and a bound B that the body provably
+ * does not change (B references only scalars not assigned in the body;
+ * if B reads a global, the body must not call functions).
+ */
+
+#ifndef SUPERSYM_FRONTEND_UNROLL_HH
+#define SUPERSYM_FRONTEND_UNROLL_HH
+
+#include "frontend/ast.hh"
+
+namespace ilp {
+
+struct UnrollOptions
+{
+    /** Copies of the body per iteration of the transformed loop. */
+    int factor = 1;
+    /** Careful mode (see file comment). */
+    bool careful = false;
+};
+
+/**
+ * Unroll all eligible innermost for-loops in the program, in place.
+ * @return Number of loops unrolled.
+ */
+int unrollProgram(Program &program, const UnrollOptions &options);
+
+/** Unroll eligible innermost for-loops of one function, in place. */
+int unrollFunction(const Program &program, FuncDecl &func,
+                   const UnrollOptions &options);
+
+} // namespace ilp
+
+#endif // SUPERSYM_FRONTEND_UNROLL_HH

@@ -1,0 +1,310 @@
+#include "ir/alias.hh"
+
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+namespace {
+
+/**
+ * A value in the block-local value numbering: a symbolic term plus a
+ * constant.  term == -1 means the value is the constant alone.
+ */
+struct LinVal
+{
+    std::int32_t term = -1;
+    std::int64_t c = 0;
+    bool isFrameBase = false; ///< value == fp + c
+};
+
+/**
+ * Builds (term, constant) linear forms for the registers of one block.
+ */
+class ValueNumbering
+{
+  public:
+    ValueNumbering(const Function &func, const BasicBlock &block)
+        : func_(func)
+    {
+        Reg fp = func.framePointer();
+        for (const auto &in : block.instrs) {
+            process(in, fp);
+        }
+    }
+
+    /** Linear forms of load/store base registers, per instruction. */
+    const std::vector<LinVal> &baseForms() const { return base_forms_; }
+
+  private:
+    /** A fresh symbolic term no other term compares equal to. */
+    std::int32_t
+    freshTerm()
+    {
+        return next_term_++;
+    }
+
+    /** Canonical term for a binary combination of two terms. */
+    std::int32_t
+    combineTerm(int kind, std::int32_t a, std::int32_t b)
+    {
+        auto key = std::make_tuple(kind, a, b);
+        auto it = combos_.find(key);
+        if (it != combos_.end())
+            return it->second;
+        std::int32_t t = freshTerm();
+        combos_.emplace(key, t);
+        return t;
+    }
+
+    /** The current value of a register (entry regs get leaf terms). */
+    LinVal
+    valueOf(Reg r, Reg fp)
+    {
+        auto it = reg_val_.find(r);
+        if (it != reg_val_.end())
+            return it->second;
+        LinVal v;
+        auto leaf = leaves_.find(r);
+        if (leaf != leaves_.end()) {
+            v.term = leaf->second;
+        } else {
+            v.term = freshTerm();
+            leaves_[r] = v.term;
+        }
+        if (r == fp)
+            v.isFrameBase = true;
+        reg_val_[r] = v;
+        return v;
+    }
+
+    void
+    process(const Instr &in, Reg fp)
+    {
+        if (isMem(in.op)) {
+            LinVal base = valueOf(in.src1, fp);
+            base.c += in.imm;
+            base_forms_.push_back(base);
+            if (isStore(in.op)) {
+                (void)valueOf(in.src2, fp);
+            }
+        } else {
+            base_forms_.push_back(LinVal{});
+        }
+
+        if (in.dst == kNoReg) {
+            return;
+        }
+
+        LinVal v;
+        switch (in.op) {
+          case Opcode::LiI:
+            v.term = -1;
+            v.c = in.imm;
+            break;
+          case Opcode::MovI:
+          case Opcode::MovF:
+            v = valueOf(in.src1, fp);
+            break;
+          case Opcode::AddI: {
+            LinVal a = valueOf(in.src1, fp);
+            LinVal b = in.hasImm ? LinVal{-1, in.imm, false}
+                                 : valueOf(in.src2, fp);
+            if (a.term == -1) {
+                v = b;
+                v.c += a.c;
+            } else if (b.term == -1) {
+                v = a;
+                v.c += b.c;
+            } else {
+                std::int32_t lo = std::min(a.term, b.term);
+                std::int32_t hi = std::max(a.term, b.term);
+                v.term = combineTerm(0, lo, hi);
+                v.c = a.c + b.c;
+            }
+            break;
+          }
+          case Opcode::SubI: {
+            LinVal a = valueOf(in.src1, fp);
+            LinVal b = in.hasImm ? LinVal{-1, in.imm, false}
+                                 : valueOf(in.src2, fp);
+            if (b.term == -1) {
+                v = a;
+                v.c -= b.c;
+            } else {
+                v.term = combineTerm(1, a.term, b.term);
+                v.c = a.c - b.c;
+            }
+            break;
+          }
+          case Opcode::ShlI: {
+            LinVal a = valueOf(in.src1, fp);
+            if (in.hasImm && in.imm >= 0 && in.imm < 32) {
+                if (a.term == -1) {
+                    v.term = -1;
+                    v.c = a.c << in.imm;
+                } else {
+                    v.term = combineTerm(2, a.term,
+                                         static_cast<std::int32_t>(in.imm));
+                    v.c = a.c << in.imm;
+                }
+            } else {
+                v.term = freshTerm();
+            }
+            break;
+          }
+          case Opcode::MulI: {
+            LinVal a = valueOf(in.src1, fp);
+            if (in.hasImm) {
+                if (a.term == -1) {
+                    v.term = -1;
+                    v.c = a.c * in.imm;
+                } else {
+                    v.term = combineTerm(
+                        3, a.term, static_cast<std::int32_t>(in.imm));
+                    v.c = a.c * in.imm;
+                }
+            } else {
+                v.term = freshTerm();
+            }
+            break;
+          }
+          default:
+            // Loads, calls, compares, FP ops...: opaque values.
+            v.term = freshTerm();
+            break;
+        }
+        // Frame-base propagation: fp + constant stays a frame address.
+        if (in.op == Opcode::AddI || in.op == Opcode::SubI ||
+            in.op == Opcode::MovI) {
+            LinVal a = valueOf(in.src1, fp);
+            bool imm_rhs = in.hasImm || in.op == Opcode::MovI;
+            if (a.isFrameBase && imm_rhs)
+                v.isFrameBase = true;
+        }
+        reg_val_[in.dst] = v;
+    }
+
+    const Function &func_;
+    std::int32_t next_term_ = 0;
+    std::unordered_map<Reg, LinVal> reg_val_;
+    std::unordered_map<Reg, std::int32_t> leaves_;
+    std::map<std::tuple<int, std::int32_t, std::int32_t>, std::int32_t>
+        combos_;
+    std::vector<LinVal> base_forms_;
+};
+
+} // namespace
+
+BlockAliasAnalysis::BlockAliasAnalysis(const Module &module,
+                                       const Function &func,
+                                       const BasicBlock &block)
+{
+    ValueNumbering vn(func, block);
+    const auto &forms = vn.baseForms();
+    refs_.resize(block.instrs.size());
+
+    // Frame-slot object encoding starts below -1.
+    for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+        const Instr &in = block.instrs[i];
+        if (!isMem(in.op))
+            continue;
+        MemRefInfo &info = refs_[i];
+        info.isMem = true;
+        const LinVal &form = forms[i];
+        info.term = form.term;
+        info.disp = form.c;
+        if (form.isFrameBase) {
+            info.region = MemRegion::Frame;
+            // A frame scalar slot: term is the fp leaf, identity by
+            // displacement.
+            info.object = -2 - form.c / kWordBytes;
+        } else if (form.term == -1) {
+            info.region = MemRegion::Absolute;
+        } else {
+            info.region = MemRegion::Unknown;
+        }
+
+        if (info.region == MemRegion::Absolute ||
+            info.region == MemRegion::Unknown) {
+            // Identify the containing global from the base constant.
+            // For Absolute refs the displacement is the full address;
+            // for Unknown refs it is the array base plus a constant
+            // offset, and the dynamic index is assumed in bounds.
+            const auto &globals = module.globals();
+            for (std::size_t gi = 0; gi < globals.size(); ++gi) {
+                const auto &g = globals[gi];
+                if (info.disp >= g.address &&
+                    info.disp < g.address + g.words * kWordBytes) {
+                    info.object = static_cast<std::int64_t>(gi);
+                    info.objectIsArray = g.words > 1;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+const MemRefInfo &
+BlockAliasAnalysis::refInfo(std::size_t idx) const
+{
+    SS_ASSERT(idx < refs_.size(), "refInfo: bad index");
+    return refs_[idx];
+}
+
+bool
+BlockAliasAnalysis::mayAlias(std::size_t a, std::size_t b,
+                             AliasLevel level) const
+{
+    const MemRefInfo &x = refInfo(a);
+    const MemRefInfo &y = refInfo(b);
+    SS_ASSERT(x.isMem && y.isMem, "mayAlias on non-memory instruction");
+
+    if (level == AliasLevel::Conservative)
+        return true;
+
+    if (level == AliasLevel::Heroic) {
+        // Hand-analysis mode: only same-base same-word conflicts.
+        if (x.term == y.term) {
+            std::int64_t delta = x.disp - y.disp;
+            if (delta < 0)
+                delta = -delta;
+            return delta < kWordBytes;
+        }
+        return false;
+    }
+
+    if (level == AliasLevel::Arrays) {
+        // Only distinct *named arrays* are separated; scalars and
+        // unidentified addresses stay conservative.
+        return !(x.objectIsArray && y.objectIsArray &&
+                 x.object != y.object);
+    }
+
+    // Different provable regions never alias: the frame segment lives
+    // above the global segment by construction (see sim/memory).
+    if (x.region != MemRegion::Unknown && y.region != MemRegion::Unknown &&
+        x.region != y.region)
+        return false;
+
+    // Distinct known objects never alias.
+    if (x.object != -1 && y.object != -1 && x.object != y.object)
+        return false;
+
+    if (level == AliasLevel::Symbols)
+        return true;
+
+    // Careful: same symbolic term, different word => disjoint.
+    if (x.term == y.term) {
+        std::int64_t delta = x.disp - y.disp;
+        if (delta < 0)
+            delta = -delta;
+        return delta < kWordBytes;
+    }
+    return true;
+}
+
+} // namespace ilp

@@ -1,0 +1,132 @@
+#include "ir/builder.hh"
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+IrBuilder::IrBuilder(Function &func)
+    : func_(func)
+{
+    if (func_.blocks.empty())
+        func_.addBlock("entry");
+    cur_ = 0;
+}
+
+BlockId
+IrBuilder::makeBlock(const std::string &label)
+{
+    return func_.addBlock(label);
+}
+
+void
+IrBuilder::setBlock(BlockId block)
+{
+    SS_ASSERT(block >= 0 &&
+                  static_cast<std::size_t>(block) < func_.blocks.size(),
+              "setBlock: bad block id ", block);
+    cur_ = block;
+}
+
+bool
+IrBuilder::blockTerminated() const
+{
+    const auto &instrs = func_.blocks[cur_].instrs;
+    return !instrs.empty() && isTerminator(instrs.back().op);
+}
+
+void
+IrBuilder::emit(Instr instr)
+{
+    SS_ASSERT(cur_ != kNoBlock, "no current block");
+    SS_ASSERT(!blockTerminated(),
+              "emitting into terminated block ", cur_);
+    func_.blocks[cur_].instrs.push_back(std::move(instr));
+}
+
+Reg
+IrBuilder::binary(Opcode op, Reg a, Reg b)
+{
+    Reg d = func_.newVirtReg();
+    emit(Instr::binary(op, d, a, b));
+    return d;
+}
+
+Reg
+IrBuilder::binaryImm(Opcode op, Reg a, std::int64_t imm)
+{
+    Reg d = func_.newVirtReg();
+    emit(Instr::binaryImm(op, d, a, imm));
+    return d;
+}
+
+Reg
+IrBuilder::unary(Opcode op, Reg a)
+{
+    Reg d = func_.newVirtReg();
+    emit(Instr::unary(op, d, a));
+    return d;
+}
+
+Reg
+IrBuilder::li(std::int64_t value)
+{
+    Reg d = func_.newVirtReg();
+    emit(Instr::li(d, value));
+    return d;
+}
+
+Reg
+IrBuilder::lif(double value)
+{
+    Reg d = func_.newVirtReg();
+    emit(Instr::lif(d, value));
+    return d;
+}
+
+Reg
+IrBuilder::load(Opcode op, Reg base, std::int64_t off)
+{
+    Reg d = func_.newVirtReg();
+    emit(Instr::load(op, d, base, off));
+    return d;
+}
+
+Reg
+IrBuilder::call(FuncId callee, std::vector<Reg> args, bool wants_value)
+{
+    Reg d = wants_value ? func_.newVirtReg() : kNoReg;
+    emit(Instr::call(callee, std::move(args), d));
+    return d;
+}
+
+void
+IrBuilder::store(Opcode op, Reg base, std::int64_t off, Reg value)
+{
+    emit(Instr::store(op, base, off, value));
+}
+
+void
+IrBuilder::br(Reg cond, BlockId if_true, BlockId if_false)
+{
+    emit(Instr::br(cond, if_true, if_false));
+}
+
+void
+IrBuilder::jmp(BlockId target)
+{
+    emit(Instr::jmp(target));
+}
+
+void
+IrBuilder::ret(Reg value)
+{
+    emit(Instr::ret(value));
+}
+
+void
+IrBuilder::callVoid(FuncId callee, std::vector<Reg> args)
+{
+    emit(Instr::call(callee, std::move(args), kNoReg));
+}
+
+} // namespace ilp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * IrBuilder: append-at-point construction of IR, used by the front
+ * end's code generator, by tests, and by library users building
+ * workloads directly (see examples/custom_workload.cc).
+ */
+
+#ifndef SUPERSYM_IR_BUILDER_HH
+#define SUPERSYM_IR_BUILDER_HH
+
+#include "ir/module.hh"
+
+namespace ilp {
+
+class IrBuilder
+{
+  public:
+    /** Builds into `func`, which must outlive the builder. */
+    explicit IrBuilder(Function &func);
+
+    Function &function() { return func_; }
+
+    /** Create a block (does not move the insertion point). */
+    BlockId makeBlock(const std::string &label = "");
+
+    /** Move the insertion point to the end of `block`. */
+    void setBlock(BlockId block);
+    BlockId currentBlock() const { return cur_; }
+
+    /** True if the current block already has a terminator. */
+    bool blockTerminated() const;
+
+    /** Append a raw instruction to the current block. */
+    void emit(Instr instr);
+
+    // --- Value-producing helpers; each returns a fresh virtual reg --
+
+    Reg binary(Opcode op, Reg a, Reg b);
+    Reg binaryImm(Opcode op, Reg a, std::int64_t imm);
+    Reg unary(Opcode op, Reg a);
+    Reg li(std::int64_t value);
+    Reg lif(double value);
+    Reg load(Opcode op, Reg base, std::int64_t off);
+    Reg call(FuncId callee, std::vector<Reg> args, bool wants_value);
+
+    // --- Effects ---------------------------------------------------
+
+    void store(Opcode op, Reg base, std::int64_t off, Reg value);
+    void br(Reg cond, BlockId if_true, BlockId if_false);
+    void jmp(BlockId target);
+    void ret(Reg value = kNoReg);
+    void callVoid(FuncId callee, std::vector<Reg> args);
+
+  private:
+    Function &func_;
+    BlockId cur_ = kNoBlock;
+};
+
+} // namespace ilp
+
+#endif // SUPERSYM_IR_BUILDER_HH

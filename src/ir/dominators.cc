@@ -1,0 +1,167 @@
+#include "ir/dominators.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+Dominators::Dominators(const Function &func)
+{
+    const std::size_t n = func.blocks.size();
+    SS_ASSERT(n > 0, "dominators of empty function");
+    idom_.assign(n, kNoBlock);
+    rpo_index_.assign(n, -1);
+    preds_.assign(n, {});
+
+    for (const auto &bb : func.blocks) {
+        for (BlockId s : bb.successors())
+            preds_[s].push_back(bb.id);
+    }
+
+    // Iterative DFS to compute postorder.
+    std::vector<BlockId> postorder;
+    std::vector<char> visited(n, 0);
+    struct StackEntry { BlockId block; std::size_t next_succ; };
+    std::vector<StackEntry> stack;
+    stack.push_back({0, 0});
+    visited[0] = 1;
+    std::vector<std::vector<BlockId>> succs(n);
+    for (const auto &bb : func.blocks)
+        succs[bb.id] = bb.successors();
+    while (!stack.empty()) {
+        auto &top = stack.back();
+        if (top.next_succ < succs[top.block].size()) {
+            BlockId s = succs[top.block][top.next_succ++];
+            if (!visited[s]) {
+                visited[s] = 1;
+                stack.push_back({s, 0});
+            }
+        } else {
+            postorder.push_back(top.block);
+            stack.pop_back();
+        }
+    }
+
+    rpo_.assign(postorder.rbegin(), postorder.rend());
+    for (std::size_t i = 0; i < rpo_.size(); ++i)
+        rpo_index_[rpo_[i]] = static_cast<int>(i);
+
+    // Cooper-Harvey-Kennedy iteration.
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (rpo_index_[a] > rpo_index_[b])
+                a = idom_[a];
+            while (rpo_index_[b] > rpo_index_[a])
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    idom_[0] = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b : rpo_) {
+            if (b == 0)
+                continue;
+            BlockId new_idom = kNoBlock;
+            for (BlockId p : preds_[b]) {
+                if (rpo_index_[p] < 0 || idom_[p] == kNoBlock)
+                    continue; // unreachable or not yet processed
+                new_idom = new_idom == kNoBlock ? p
+                                                : intersect(p, new_idom);
+            }
+            if (new_idom != kNoBlock && idom_[b] != new_idom) {
+                idom_[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+Dominators::dominates(BlockId a, BlockId b) const
+{
+    if (!reachable(b))
+        return false;
+    BlockId cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        if (cur == 0)
+            return a == 0;
+        cur = idom_[cur];
+        if (cur == kNoBlock)
+            return false;
+    }
+}
+
+bool
+NaturalLoop::contains(BlockId b) const
+{
+    return std::find(blocks.begin(), blocks.end(), b) != blocks.end();
+}
+
+std::vector<NaturalLoop>
+findNaturalLoops(const Function &func, const Dominators &dom)
+{
+    // Collect back edges, grouped by header.
+    std::vector<NaturalLoop> loops;
+    auto find_loop = [&](BlockId header) -> NaturalLoop * {
+        for (auto &l : loops) {
+            if (l.header == header)
+                return &l;
+        }
+        return nullptr;
+    };
+
+    for (const auto &bb : func.blocks) {
+        if (!dom.reachable(bb.id))
+            continue;
+        for (BlockId s : bb.successors()) {
+            if (!dom.dominates(s, bb.id))
+                continue;
+            // Back edge bb -> s; walk predecessors from the tail.
+            NaturalLoop *loop = find_loop(s);
+            if (!loop) {
+                loops.push_back(NaturalLoop{s, {s}, 1});
+                loop = &loops.back();
+            }
+            std::vector<BlockId> work;
+            if (!loop->contains(bb.id)) {
+                loop->blocks.push_back(bb.id);
+                work.push_back(bb.id);
+            }
+            while (!work.empty()) {
+                BlockId cur = work.back();
+                work.pop_back();
+                if (cur == s)
+                    continue;
+                for (BlockId p : dom.preds()[cur]) {
+                    if (dom.reachable(p) && !loop->contains(p)) {
+                        loop->blocks.push_back(p);
+                        work.push_back(p);
+                    }
+                }
+            }
+        }
+    }
+
+    std::sort(loops.begin(), loops.end(),
+              [](const NaturalLoop &a, const NaturalLoop &b) {
+                  return a.header < b.header;
+              });
+
+    // Nesting depth: count enclosing loops per header.
+    for (auto &l : loops) {
+        l.depth = 1;
+        for (const auto &outer : loops) {
+            if (outer.header != l.header && outer.contains(l.header))
+                ++l.depth;
+        }
+    }
+    return loops;
+}
+
+} // namespace ilp

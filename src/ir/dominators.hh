@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Dominator tree and natural-loop discovery over a function's CFG,
+ * used by loop-invariant code motion and by the loop unroller's
+ * structural checks.
+ *
+ * Dominators use the Cooper–Harvey–Kennedy iterative algorithm over a
+ * reverse-postorder numbering.  Natural loops are found from back
+ * edges (tail -> head where head dominates tail); loops sharing a
+ * header are merged.
+ */
+
+#ifndef SUPERSYM_IR_DOMINATORS_HH
+#define SUPERSYM_IR_DOMINATORS_HH
+
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace ilp {
+
+class Dominators
+{
+  public:
+    /** Compute dominators for `func` (blocks unreachable from entry
+     *  are assigned the entry as their immediate dominator marker). */
+    explicit Dominators(const Function &func);
+
+    /** Immediate dominator of `b` (entry's idom is itself). */
+    BlockId idom(BlockId b) const { return idom_[b]; }
+
+    /** True if `a` dominates `b` (reflexive). */
+    bool dominates(BlockId a, BlockId b) const;
+
+    /** True if `b` is reachable from the entry block. */
+    bool reachable(BlockId b) const { return rpo_index_[b] >= 0; }
+
+    /** Reverse postorder over reachable blocks. */
+    const std::vector<BlockId> &reversePostorder() const { return rpo_; }
+
+    /** Predecessor lists (for all blocks, reachable or not). */
+    const std::vector<std::vector<BlockId>> &preds() const
+    {
+        return preds_;
+    }
+
+  private:
+    std::vector<BlockId> idom_;
+    std::vector<int> rpo_index_;
+    std::vector<BlockId> rpo_;
+    std::vector<std::vector<BlockId>> preds_;
+};
+
+/** A natural loop: header plus the set of blocks in the loop body. */
+struct NaturalLoop
+{
+    BlockId header = kNoBlock;
+    /** All blocks in the loop, including the header. */
+    std::vector<BlockId> blocks;
+    /** Loop nesting depth (1 = outermost). */
+    int depth = 1;
+
+    bool contains(BlockId b) const;
+};
+
+/**
+ * Find all natural loops of `func`.
+ * @return Loops sorted by header id; nesting depths filled in.
+ */
+std::vector<NaturalLoop> findNaturalLoops(const Function &func,
+                                          const Dominators &dom);
+
+} // namespace ilp
+
+#endif // SUPERSYM_IR_DOMINATORS_HH

@@ -1,0 +1,71 @@
+#include "ir/function.hh"
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+const Instr &
+BasicBlock::terminator() const
+{
+    SS_ASSERT(!instrs.empty() && isTerminator(instrs.back().op),
+              "block ", id, " has no terminator");
+    return instrs.back();
+}
+
+Instr &
+BasicBlock::terminator()
+{
+    SS_ASSERT(!instrs.empty() && isTerminator(instrs.back().op),
+              "block ", id, " has no terminator");
+    return instrs.back();
+}
+
+std::vector<BlockId>
+BasicBlock::successors() const
+{
+    const Instr &t = terminator();
+    switch (t.op) {
+      case Opcode::Br:
+        return {t.target0, t.target1};
+      case Opcode::Jmp:
+        return {t.target0};
+      case Opcode::Ret:
+        return {};
+      default:
+        SS_PANIC("unexpected terminator");
+    }
+}
+
+BlockId
+Function::addBlock(std::string label)
+{
+    BlockId id = static_cast<BlockId>(blocks.size());
+    BasicBlock bb;
+    bb.id = id;
+    bb.label = label.empty() ? "bb" + std::to_string(id)
+                             : std::move(label);
+    blocks.push_back(std::move(bb));
+    return id;
+}
+
+std::int64_t
+Function::addFrameSlot(std::string name, bool is_float,
+                       std::int64_t words)
+{
+    SS_ASSERT(words > 0, "frame slot needs at least one word");
+    std::int64_t offset = frameBytes;
+    frameSlots.push_back(FrameSlot{std::move(name), offset, is_float});
+    frameBytes += words * kWordBytes;
+    return offset;
+}
+
+std::size_t
+Function::instrCount() const
+{
+    std::size_t n = 0;
+    for (const auto &bb : blocks)
+        n += bb.instrs.size();
+    return n;
+}
+
+} // namespace ilp

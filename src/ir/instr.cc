@@ -1,0 +1,176 @@
+#include "ir/instr.hh"
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+void
+Instr::forEachSrc(const std::function<void(Reg)> &fn) const
+{
+    if (src1 != kNoReg)
+        fn(src1);
+    if (src2 != kNoReg)
+        fn(src2);
+    for (Reg a : args)
+        fn(a);
+}
+
+void
+Instr::rewriteSrcs(const std::function<Reg(Reg)> &fn)
+{
+    if (src1 != kNoReg)
+        src1 = fn(src1);
+    if (src2 != kNoReg)
+        src2 = fn(src2);
+    for (Reg &a : args)
+        a = fn(a);
+}
+
+std::vector<Reg>
+Instr::srcRegs() const
+{
+    std::vector<Reg> out;
+    forEachSrc([&](Reg r) { out.push_back(r); });
+    return out;
+}
+
+bool
+Instr::hasSideEffect() const
+{
+    return isStore(op) || isTerminator(op) || op == Opcode::Call;
+}
+
+bool
+Instr::operator==(const Instr &other) const
+{
+    return op == other.op && dst == other.dst && src1 == other.src1 &&
+           src2 == other.src2 && hasImm == other.hasImm &&
+           imm == other.imm && fimm == other.fimm &&
+           target0 == other.target0 && target1 == other.target1 &&
+           callee == other.callee && args == other.args;
+}
+
+Instr
+Instr::binary(Opcode op, Reg dst, Reg src1, Reg src2)
+{
+    SS_ASSERT(isBinaryAlu(op), "binary() wants a binary ALU opcode");
+    Instr i;
+    i.op = op;
+    i.dst = dst;
+    i.src1 = src1;
+    i.src2 = src2;
+    return i;
+}
+
+Instr
+Instr::binaryImm(Opcode op, Reg dst, Reg src1, std::int64_t imm)
+{
+    SS_ASSERT(isBinaryAlu(op), "binaryImm() wants a binary ALU opcode");
+    Instr i;
+    i.op = op;
+    i.dst = dst;
+    i.src1 = src1;
+    i.hasImm = true;
+    i.imm = imm;
+    return i;
+}
+
+Instr
+Instr::unary(Opcode op, Reg dst, Reg src1)
+{
+    SS_ASSERT(isUnaryAlu(op), "unary() wants a unary opcode");
+    Instr i;
+    i.op = op;
+    i.dst = dst;
+    i.src1 = src1;
+    return i;
+}
+
+Instr
+Instr::li(Reg dst, std::int64_t value)
+{
+    Instr i;
+    i.op = Opcode::LiI;
+    i.dst = dst;
+    i.hasImm = true;
+    i.imm = value;
+    return i;
+}
+
+Instr
+Instr::lif(Reg dst, double value)
+{
+    Instr i;
+    i.op = Opcode::LiF;
+    i.dst = dst;
+    i.fimm = value;
+    return i;
+}
+
+Instr
+Instr::load(Opcode op, Reg dst, Reg base, std::int64_t off)
+{
+    SS_ASSERT(isLoad(op), "load() wants LoadW or LoadF");
+    Instr i;
+    i.op = op;
+    i.dst = dst;
+    i.src1 = base;
+    i.hasImm = true;
+    i.imm = off;
+    return i;
+}
+
+Instr
+Instr::store(Opcode op, Reg base, std::int64_t off, Reg value)
+{
+    SS_ASSERT(isStore(op), "store() wants StoreW or StoreF");
+    Instr i;
+    i.op = op;
+    i.src1 = base;
+    i.src2 = value;
+    i.hasImm = true;
+    i.imm = off;
+    return i;
+}
+
+Instr
+Instr::br(Reg cond, BlockId if_true, BlockId if_false)
+{
+    Instr i;
+    i.op = Opcode::Br;
+    i.src1 = cond;
+    i.target0 = if_true;
+    i.target1 = if_false;
+    return i;
+}
+
+Instr
+Instr::jmp(BlockId target)
+{
+    Instr i;
+    i.op = Opcode::Jmp;
+    i.target0 = target;
+    return i;
+}
+
+Instr
+Instr::call(FuncId callee, std::vector<Reg> args, Reg dst)
+{
+    Instr i;
+    i.op = Opcode::Call;
+    i.callee = callee;
+    i.args = std::move(args);
+    i.dst = dst;
+    return i;
+}
+
+Instr
+Instr::ret(Reg value)
+{
+    Instr i;
+    i.op = Opcode::Ret;
+    i.src1 = value;
+    return i;
+}
+
+} // namespace ilp

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A single three-address instruction of the intermediate/target code.
+ *
+ * The same representation is used before register allocation (operands
+ * are virtual registers) and after (operands are physical registers in
+ * a RegFileLayout); the `Function::allocated` flag says which.
+ *
+ * Operand conventions by opcode family:
+ *  - binary ALU/FP:  dst <- src1 op (src2 | imm)
+ *  - unary ALU/FP:   dst <- op src1
+ *  - LiI / LiF:      dst <- imm / fimm
+ *  - LoadW/LoadF:    dst <- mem[src1 + imm]
+ *  - StoreW/StoreF:  mem[src1 + imm] <- src2
+ *  - Br:             if (src1 != 0) goto target0 else goto target1
+ *  - Jmp:            goto target0
+ *  - Call:           dst <- call callee(args...)   (dst may be kNoReg)
+ *  - Ret:            return src1                   (src1 may be kNoReg)
+ */
+
+#ifndef SUPERSYM_IR_INSTR_HH
+#define SUPERSYM_IR_INSTR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace ilp {
+
+/** Identifies a basic block within its function. */
+using BlockId = std::int32_t;
+inline constexpr BlockId kNoBlock = -1;
+
+/** Identifies a function within its module. */
+using FuncId = std::int32_t;
+inline constexpr FuncId kNoFunc = -1;
+
+struct Instr
+{
+    Opcode op = Opcode::Jmp;
+    Reg dst = kNoReg;
+    Reg src1 = kNoReg;
+    Reg src2 = kNoReg;
+    bool hasImm = false;
+    std::int64_t imm = 0;   ///< ALU immediate or memory displacement
+    double fimm = 0.0;      ///< LiF payload
+    BlockId target0 = kNoBlock;
+    BlockId target1 = kNoBlock;
+    FuncId callee = kNoFunc;
+    std::vector<Reg> args;  ///< Call arguments
+
+    /** The instruction class (delegates to opcodeClass). */
+    InstrClass cls() const { return opcodeClass(op); }
+
+    /** Register sources read by this instruction (excluding args). */
+    void forEachSrc(const std::function<void(Reg)> &fn) const;
+    /** Mutable variant: fn may rewrite each source register in place. */
+    void rewriteSrcs(const std::function<Reg(Reg)> &fn);
+
+    /** All register sources including call arguments. */
+    std::vector<Reg> srcRegs() const;
+
+    /** True if this instruction writes dst. */
+    bool writesReg() const { return dst != kNoReg; }
+
+    /**
+     * True if the instruction has an effect beyond writing dst
+     * (memory store, control transfer, call) and so must not be
+     * removed by dead-code elimination.
+     */
+    bool hasSideEffect() const;
+
+    /** Structural equality (used by tests and by local CSE keys). */
+    bool operator==(const Instr &other) const;
+
+    // --- Convenience factories -----------------------------------
+
+    static Instr binary(Opcode op, Reg dst, Reg src1, Reg src2);
+    static Instr binaryImm(Opcode op, Reg dst, Reg src1,
+                           std::int64_t imm);
+    static Instr unary(Opcode op, Reg dst, Reg src1);
+    static Instr li(Reg dst, std::int64_t value);
+    static Instr lif(Reg dst, double value);
+    static Instr load(Opcode op, Reg dst, Reg base, std::int64_t off);
+    static Instr store(Opcode op, Reg base, std::int64_t off, Reg value);
+    static Instr br(Reg cond, BlockId if_true, BlockId if_false);
+    static Instr jmp(BlockId target);
+    static Instr call(FuncId callee, std::vector<Reg> args, Reg dst);
+    static Instr ret(Reg value);
+};
+
+} // namespace ilp
+
+#endif // SUPERSYM_IR_INSTR_HH

@@ -1,0 +1,69 @@
+#include "ir/liveness.hh"
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+Liveness::Liveness(const Function &func)
+{
+    SS_ASSERT(!func.allocated,
+              "liveness runs on virtual-register code");
+    const std::size_t nb = func.blocks.size();
+    const std::size_t nr = func.numVirtRegs;
+    live_in_.assign(nb, std::vector<bool>(nr, false));
+    live_out_.assign(nb, std::vector<bool>(nr, false));
+
+    // Per-block use (upward-exposed) and def sets.
+    std::vector<std::vector<bool>> use(nb, std::vector<bool>(nr, false));
+    std::vector<std::vector<bool>> def(nb, std::vector<bool>(nr, false));
+    for (const auto &bb : func.blocks) {
+        for (const auto &in : bb.instrs) {
+            in.forEachSrc([&](Reg r) {
+                if (!def[bb.id][r])
+                    use[bb.id][r] = true;
+            });
+            if (in.dst != kNoReg)
+                def[bb.id][in.dst] = true;
+        }
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Iterate blocks in reverse layout order (approximates reverse
+        // topological order; correctness doesn't depend on it).
+        for (std::size_t bi = nb; bi-- > 0;) {
+            const auto &bb = func.blocks[bi];
+            auto &out = live_out_[bi];
+            for (BlockId s : bb.successors()) {
+                const auto &succ_in = live_in_[s];
+                for (std::size_t r = 0; r < nr; ++r) {
+                    if (succ_in[r] && !out[r]) {
+                        out[r] = true;
+                        changed = true;
+                    }
+                }
+            }
+            auto &in = live_in_[bi];
+            for (std::size_t r = 0; r < nr; ++r) {
+                bool v = use[bi][r] || (out[r] && !def[bi][r]);
+                if (v != in[r]) {
+                    in[r] = v;
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+bool
+Liveness::crossesBlocks(Reg r) const
+{
+    for (std::size_t b = 0; b < live_in_.size(); ++b) {
+        if (live_in_[b][r] || live_out_[b][r])
+            return true;
+    }
+    return false;
+}
+
+} // namespace ilp

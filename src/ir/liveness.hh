@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Per-block live-in/live-out sets over virtual registers, computed by
+ * the classic backwards iterative dataflow.  Used by temp register
+ * assignment (live-interval construction) and by dead-code
+ * elimination's cross-block safety check.
+ */
+
+#ifndef SUPERSYM_IR_LIVENESS_HH
+#define SUPERSYM_IR_LIVENESS_HH
+
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace ilp {
+
+class Liveness
+{
+  public:
+    explicit Liveness(const Function &func);
+
+    /** Registers live on entry to block `b`. */
+    const std::vector<bool> &liveIn(BlockId b) const
+    {
+        return live_in_[b];
+    }
+    /** Registers live on exit from block `b`. */
+    const std::vector<bool> &liveOut(BlockId b) const
+    {
+        return live_out_[b];
+    }
+
+    bool isLiveIn(BlockId b, Reg r) const { return live_in_[b][r]; }
+    bool isLiveOut(BlockId b, Reg r) const { return live_out_[b][r]; }
+
+    /** True if `r` is live across any block boundary. */
+    bool crossesBlocks(Reg r) const;
+
+  private:
+    std::vector<std::vector<bool>> live_in_;
+    std::vector<std::vector<bool>> live_out_;
+};
+
+} // namespace ilp
+
+#endif // SUPERSYM_IR_LIVENESS_HH

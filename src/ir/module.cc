@@ -1,0 +1,91 @@
+#include "ir/module.hh"
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+FuncId
+Module::addFunction(const std::string &name)
+{
+    SS_ASSERT(func_index_.find(name) == func_index_.end(),
+              "duplicate function ", name);
+    FuncId id = static_cast<FuncId>(funcs_.size());
+    Function f;
+    f.id = id;
+    f.name = name;
+    funcs_.push_back(std::move(f));
+    func_index_[name] = id;
+    return id;
+}
+
+Function &
+Module::function(FuncId id)
+{
+    SS_ASSERT(id >= 0 && static_cast<std::size_t>(id) < funcs_.size(),
+              "bad function id ", id);
+    return funcs_[id];
+}
+
+const Function &
+Module::function(FuncId id) const
+{
+    SS_ASSERT(id >= 0 && static_cast<std::size_t>(id) < funcs_.size(),
+              "bad function id ", id);
+    return funcs_[id];
+}
+
+FuncId
+Module::findFunction(const std::string &name) const
+{
+    auto it = func_index_.find(name);
+    return it == func_index_.end() ? kNoFunc : it->second;
+}
+
+std::int64_t
+Module::addGlobal(const std::string &name, std::int64_t words,
+                  bool is_float)
+{
+    SS_ASSERT(global_index_.find(name) == global_index_.end(),
+              "duplicate global ", name);
+    SS_ASSERT(words > 0, "global ", name, " needs at least one word");
+    GlobalVar g;
+    g.name = name;
+    g.address = next_addr_;
+    g.words = words;
+    g.isFloat = is_float;
+    next_addr_ += words * kWordBytes;
+    global_index_[name] = globals_.size();
+    globals_.push_back(std::move(g));
+    return globals_.back().address;
+}
+
+void
+Module::setGlobalInit(const std::string &name,
+                      std::vector<std::uint64_t> init)
+{
+    auto it = global_index_.find(name);
+    SS_ASSERT(it != global_index_.end(), "unknown global ", name);
+    GlobalVar &g = globals_[it->second];
+    SS_ASSERT(static_cast<std::int64_t>(init.size()) <= g.words,
+              "initializer too large for ", name);
+    g.init = std::move(init);
+}
+
+const GlobalVar *
+Module::findGlobal(const std::string &name) const
+{
+    auto it = global_index_.find(name);
+    return it == global_index_.end() ? nullptr : &globals_[it->second];
+}
+
+bool
+Module::addressInGlobals(std::int64_t addr) const
+{
+    for (const auto &g : globals_) {
+        if (addr >= g.address && addr < g.address + g.words * kWordBytes)
+            return true;
+    }
+    return false;
+}
+
+} // namespace ilp

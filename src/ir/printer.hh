@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Human-readable dumps of instructions, functions and modules, used
+ * for debugging, golden tests, and the pass_pipeline example.
+ */
+
+#ifndef SUPERSYM_IR_PRINTER_HH
+#define SUPERSYM_IR_PRINTER_HH
+
+#include <string>
+
+#include "ir/module.hh"
+
+namespace ilp {
+
+/** One-line rendering, e.g. "add v3 <- v1, v2" or "ld v4 <- 8(v0)". */
+std::string toString(const Instr &instr);
+
+/** Multi-line rendering of a block (label + indented instructions). */
+std::string toString(const BasicBlock &block);
+
+/** Full function listing. */
+std::string toString(const Function &func);
+
+/** Full module listing (globals, then functions). */
+std::string toString(const Module &module);
+
+} // namespace ilp
+
+#endif // SUPERSYM_IR_PRINTER_HH

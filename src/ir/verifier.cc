@@ -1,0 +1,163 @@
+#include "ir/verifier.hh"
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+namespace {
+
+void
+checkInstr(const Module &module, const Function &func,
+           const BasicBlock &bb, std::size_t idx, const Instr &instr,
+           std::vector<std::string> &out)
+{
+    auto where = [&] {
+        return func.name + "/bb" + std::to_string(bb.id) + "[" +
+               std::to_string(idx) + "] " + opcodeName(instr.op).data();
+    };
+    auto complain = [&](const std::string &what) {
+        out.push_back(where() + ": " + what);
+    };
+
+    std::uint32_t reg_limit = func.allocated
+        ? 0xfffffffeu // layout checked elsewhere; any value but kNoReg
+        : func.numVirtRegs;
+
+    auto check_reg = [&](Reg r, const char *role, bool required) {
+        if (r == kNoReg) {
+            if (required)
+                complain(std::string("missing ") + role);
+            return;
+        }
+        if (!func.allocated && r >= reg_limit)
+            complain(std::string("bad ") + role + " register v" +
+                     std::to_string(r));
+    };
+
+    auto check_target = [&](BlockId t, const char *role) {
+        if (t < 0 || static_cast<std::size_t>(t) >= func.blocks.size())
+            complain(std::string("bad ") + role + " target bb" +
+                     std::to_string(t));
+    };
+
+    bool is_last = idx + 1 == bb.instrs.size();
+    if (isTerminator(instr.op) && !is_last)
+        complain("terminator in the middle of a block");
+
+    switch (instr.op) {
+      case Opcode::LiI:
+        check_reg(instr.dst, "dst", true);
+        if (!instr.hasImm)
+            complain("LiI without immediate");
+        break;
+      case Opcode::LiF:
+        check_reg(instr.dst, "dst", true);
+        break;
+      case Opcode::LoadW:
+      case Opcode::LoadF:
+        check_reg(instr.dst, "dst", true);
+        check_reg(instr.src1, "base", true);
+        break;
+      case Opcode::StoreW:
+      case Opcode::StoreF:
+        check_reg(instr.src1, "base", true);
+        check_reg(instr.src2, "value", true);
+        break;
+      case Opcode::Br:
+        check_reg(instr.src1, "condition", true);
+        check_target(instr.target0, "taken");
+        check_target(instr.target1, "not-taken");
+        break;
+      case Opcode::Jmp:
+        check_target(instr.target0, "jump");
+        break;
+      case Opcode::Call: {
+        if (instr.callee < 0 ||
+            static_cast<std::size_t>(instr.callee) >=
+                module.functions().size()) {
+            complain("bad callee f" + std::to_string(instr.callee));
+            break;
+        }
+        const Function &callee = module.function(instr.callee);
+        if (instr.args.size() != callee.paramRegs.size())
+            complain("call arity " + std::to_string(instr.args.size()) +
+                     " != " + std::to_string(callee.paramRegs.size()));
+        for (Reg a : instr.args)
+            check_reg(a, "argument", true);
+        if (instr.dst != kNoReg && !callee.returnsValue)
+            complain("capturing result of void function " + callee.name);
+        check_reg(instr.dst, "dst", false);
+        break;
+      }
+      case Opcode::Ret:
+        if (func.returnsValue && instr.src1 == kNoReg)
+            complain("value-returning function returns nothing");
+        check_reg(instr.src1, "return value", false);
+        break;
+      default:
+        if (isBinaryAlu(instr.op)) {
+            check_reg(instr.dst, "dst", true);
+            check_reg(instr.src1, "src1", true);
+            if (!instr.hasImm)
+                check_reg(instr.src2, "src2", true);
+        } else if (isUnaryAlu(instr.op)) {
+            check_reg(instr.dst, "dst", true);
+            check_reg(instr.src1, "src1", true);
+        } else {
+            complain("unhandled opcode");
+        }
+        break;
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+verify(const Module &module, const Function &func)
+{
+    std::vector<std::string> out;
+    if (func.blocks.empty()) {
+        out.push_back(func.name + ": function has no blocks");
+        return out;
+    }
+    for (const auto &bb : func.blocks) {
+        if (bb.instrs.empty() || !isTerminator(bb.instrs.back().op)) {
+            out.push_back(func.name + "/bb" + std::to_string(bb.id) +
+                          ": missing terminator");
+        }
+        for (std::size_t i = 0; i < bb.instrs.size(); ++i)
+            checkInstr(module, func, bb, i, bb.instrs[i], out);
+    }
+    if (!func.allocated) {
+        for (Reg p : func.paramRegs) {
+            if (p >= func.numVirtRegs)
+                out.push_back(func.name + ": bad param register v" +
+                              std::to_string(p));
+        }
+        if (func.fpReg != kNoReg && func.fpReg >= func.numVirtRegs)
+            out.push_back(func.name + ": bad fp register");
+    }
+    return out;
+}
+
+std::vector<std::string>
+verify(const Module &module)
+{
+    std::vector<std::string> out;
+    for (const auto &f : module.functions()) {
+        auto fo = verify(module, f);
+        out.insert(out.end(), fo.begin(), fo.end());
+    }
+    return out;
+}
+
+void
+verifyOrDie(const Module &module)
+{
+    auto problems = verify(module);
+    if (!problems.empty())
+        SS_PANIC("IR verification failed: ", problems.front(),
+                 " (and ", problems.size() - 1, " more)");
+}
+
+} // namespace ilp

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Structural well-formedness checks for IR, run by tests after every
+ * pass.  Catches malformed terminators, dangling block targets, bad
+ * register indices, and call-graph inconsistencies.
+ */
+
+#ifndef SUPERSYM_IR_VERIFIER_HH
+#define SUPERSYM_IR_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace ilp {
+
+/**
+ * Collects problems; empty result means the IR is well formed.
+ * @param module The module to verify.
+ * @return Human-readable diagnostics, one per problem.
+ */
+std::vector<std::string> verify(const Module &module);
+
+/** Verify one function against its owning module. */
+std::vector<std::string> verify(const Module &module,
+                                const Function &func);
+
+/** Panics with the first diagnostic if verification fails. */
+void verifyOrDie(const Module &module);
+
+} // namespace ilp
+
+#endif // SUPERSYM_IR_VERIFIER_HH

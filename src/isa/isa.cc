@@ -1,0 +1,207 @@
+#include "isa/isa.hh"
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+namespace {
+
+struct OpInfo
+{
+    std::string_view name;
+    InstrClass cls;
+};
+
+constexpr std::array<OpInfo, kNumOpcodes> op_info = [] {
+    std::array<OpInfo, kNumOpcodes> t{};
+    auto set = [&t](Opcode op, std::string_view name, InstrClass cls) {
+        t[static_cast<std::size_t>(op)] = OpInfo{name, cls};
+    };
+    set(Opcode::AddI, "add", InstrClass::IntAdd);
+    set(Opcode::SubI, "sub", InstrClass::IntAdd);
+    set(Opcode::MulI, "mul", InstrClass::IntMul);
+    set(Opcode::DivI, "div", InstrClass::IntDiv);
+    set(Opcode::RemI, "rem", InstrClass::IntDiv);
+    set(Opcode::CmpEqI, "cmpeq", InstrClass::IntAdd);
+    set(Opcode::CmpNeI, "cmpne", InstrClass::IntAdd);
+    set(Opcode::CmpLtI, "cmplt", InstrClass::IntAdd);
+    set(Opcode::CmpLeI, "cmple", InstrClass::IntAdd);
+    set(Opcode::CmpGtI, "cmpgt", InstrClass::IntAdd);
+    set(Opcode::CmpGeI, "cmpge", InstrClass::IntAdd);
+    set(Opcode::AndI, "and", InstrClass::Logical);
+    set(Opcode::OrI, "or", InstrClass::Logical);
+    set(Opcode::XorI, "xor", InstrClass::Logical);
+    set(Opcode::NotI, "not", InstrClass::Logical);
+    set(Opcode::ShlI, "shl", InstrClass::Shift);
+    set(Opcode::ShrAI, "shra", InstrClass::Shift);
+    set(Opcode::ShrLI, "shrl", InstrClass::Shift);
+    set(Opcode::MovI, "mov", InstrClass::Move);
+    set(Opcode::LiI, "li", InstrClass::Move);
+    set(Opcode::MovF, "fmov", InstrClass::Move);
+    set(Opcode::LiF, "fli", InstrClass::Move);
+    set(Opcode::LoadW, "ld", InstrClass::Load);
+    set(Opcode::StoreW, "st", InstrClass::Store);
+    set(Opcode::LoadF, "fld", InstrClass::Load);
+    set(Opcode::StoreF, "fst", InstrClass::Store);
+    set(Opcode::AddF, "fadd", InstrClass::FPAdd);
+    set(Opcode::SubF, "fsub", InstrClass::FPAdd);
+    set(Opcode::NegF, "fneg", InstrClass::FPAdd);
+    set(Opcode::CmpEqF, "fcmpeq", InstrClass::FPAdd);
+    set(Opcode::CmpNeF, "fcmpne", InstrClass::FPAdd);
+    set(Opcode::CmpLtF, "fcmplt", InstrClass::FPAdd);
+    set(Opcode::CmpLeF, "fcmple", InstrClass::FPAdd);
+    set(Opcode::CmpGtF, "fcmpgt", InstrClass::FPAdd);
+    set(Opcode::CmpGeF, "fcmpge", InstrClass::FPAdd);
+    set(Opcode::MulF, "fmul", InstrClass::FPMul);
+    set(Opcode::DivF, "fdiv", InstrClass::FPDiv);
+    set(Opcode::AbsF, "fabs", InstrClass::FPAdd);
+    set(Opcode::CvtIF, "cvtif", InstrClass::FPCvt);
+    set(Opcode::CvtFI, "cvtfi", InstrClass::FPCvt);
+    set(Opcode::Br, "br", InstrClass::Branch);
+    set(Opcode::Jmp, "jmp", InstrClass::Jump);
+    set(Opcode::Call, "call", InstrClass::Branch);
+    set(Opcode::Ret, "ret", InstrClass::Branch);
+    return t;
+}();
+
+constexpr std::array<std::string_view, kNumInstrClasses> class_names = {
+    "add/sub", "mul", "div", "logical", "shift", "move", "load",
+    "store", "branch", "jump", "fpadd", "fpmul", "fpdiv", "fpcvt",
+};
+
+} // namespace
+
+std::string_view
+instrClassName(InstrClass cls)
+{
+    SS_ASSERT(cls < InstrClass::NumClasses, "bad instruction class");
+    return class_names[static_cast<std::size_t>(cls)];
+}
+
+InstrClass
+opcodeClass(Opcode op)
+{
+    SS_ASSERT(op < Opcode::NumOpcodes, "bad opcode");
+    return op_info[static_cast<std::size_t>(op)].cls;
+}
+
+std::string_view
+opcodeName(Opcode op)
+{
+    SS_ASSERT(op < Opcode::NumOpcodes, "bad opcode");
+    return op_info[static_cast<std::size_t>(op)].name;
+}
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LoadW || op == Opcode::LoadF;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::StoreW || op == Opcode::StoreF;
+}
+
+bool
+isTerminator(Opcode op)
+{
+    return op == Opcode::Br || op == Opcode::Jmp || op == Opcode::Ret;
+}
+
+bool
+producesFloat(Opcode op)
+{
+    switch (op) {
+      case Opcode::MovF:
+      case Opcode::LiF:
+      case Opcode::LoadF:
+      case Opcode::AddF:
+      case Opcode::SubF:
+      case Opcode::NegF:
+      case Opcode::AbsF:
+      case Opcode::MulF:
+      case Opcode::DivF:
+      case Opcode::CvtIF:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isBinaryAlu(Opcode op)
+{
+    switch (op) {
+      case Opcode::AddI: case Opcode::SubI: case Opcode::MulI:
+      case Opcode::DivI: case Opcode::RemI:
+      case Opcode::CmpEqI: case Opcode::CmpNeI: case Opcode::CmpLtI:
+      case Opcode::CmpLeI: case Opcode::CmpGtI: case Opcode::CmpGeI:
+      case Opcode::AndI: case Opcode::OrI: case Opcode::XorI:
+      case Opcode::ShlI: case Opcode::ShrAI: case Opcode::ShrLI:
+      case Opcode::AddF: case Opcode::SubF: case Opcode::MulF:
+      case Opcode::DivF:
+      case Opcode::CmpEqF: case Opcode::CmpNeF: case Opcode::CmpLtF:
+      case Opcode::CmpLeF: case Opcode::CmpGtF: case Opcode::CmpGeF:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isUnaryAlu(Opcode op)
+{
+    switch (op) {
+      case Opcode::NotI: case Opcode::NegF: case Opcode::AbsF:
+      case Opcode::CvtIF: case Opcode::CvtFI:
+      case Opcode::MovI: case Opcode::MovF:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCompare(Opcode op)
+{
+    switch (op) {
+      case Opcode::CmpEqI: case Opcode::CmpNeI: case Opcode::CmpLtI:
+      case Opcode::CmpLeI: case Opcode::CmpGtI: case Opcode::CmpGeI:
+      case Opcode::CmpEqF: case Opcode::CmpNeF: case Opcode::CmpLtF:
+      case Opcode::CmpLeF: case Opcode::CmpGtF: case Opcode::CmpGeF:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCommutative(Opcode op)
+{
+    switch (op) {
+      case Opcode::AddI: case Opcode::MulI:
+      case Opcode::AndI: case Opcode::OrI: case Opcode::XorI:
+      case Opcode::AddF: case Opcode::MulF:
+      case Opcode::CmpEqI: case Opcode::CmpNeI:
+      case Opcode::CmpEqF: case Opcode::CmpNeF:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isReassociable(Opcode op)
+{
+    switch (op) {
+      case Opcode::AddI: case Opcode::MulI:
+      case Opcode::AddF: case Opcode::MulF:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace ilp

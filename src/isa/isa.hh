@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The target instruction set: a MultiTitan-like load/store RISC.
+ *
+ * Following Section 3 of Jouppi & Wall (1989), "we group the MultiTitan
+ * operations into fourteen classes, selected so that operations in a
+ * given class are likely to have identical pipeline behavior in any
+ * machine."  Every opcode below maps to exactly one InstrClass; machine
+ * descriptions (src/core/machine) assign operation latencies and
+ * functional units per class, never per opcode.
+ *
+ * The machine is word-addressed in spirit: every scalar (integer or
+ * IEEE double) occupies one 8-byte word, and addresses are byte
+ * addresses that are always word-aligned.
+ */
+
+#ifndef SUPERSYM_ISA_ISA_HH
+#define SUPERSYM_ISA_ISA_HH
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace ilp {
+
+/** Bytes per machine word (both int and double are one word). */
+inline constexpr std::int64_t kWordBytes = 8;
+
+/**
+ * The fourteen instruction classes of the study.  Kept in a fixed
+ * order so machine descriptions can be dense arrays indexed by class.
+ */
+enum class InstrClass : std::uint8_t
+{
+    IntAdd,     ///< integer add/subtract/compare (the "add/sub" class)
+    IntMul,     ///< integer multiply
+    IntDiv,     ///< integer divide/remainder (not a "simple" operation)
+    Logical,    ///< and/or/xor/not
+    Shift,      ///< shifts
+    Move,       ///< register moves and immediate materialization
+    Load,       ///< single-word load (integer or FP)
+    Store,      ///< single-word store (integer or FP)
+    Branch,     ///< conditional branches, calls, returns
+    Jump,       ///< unconditional jumps
+    FPAdd,      ///< FP add/subtract/compare/negate
+    FPMul,      ///< FP multiply
+    FPDiv,      ///< FP divide (not a "simple" operation)
+    FPCvt,      ///< int<->FP conversions
+    NumClasses
+};
+
+/** Number of instruction classes as a constant for array sizing. */
+inline constexpr std::size_t kNumInstrClasses =
+    static_cast<std::size_t>(InstrClass::NumClasses);
+
+/** Short mnemonic for an instruction class ("add", "load", ...). */
+std::string_view instrClassName(InstrClass cls);
+
+/**
+ * Opcodes of the intermediate/target code.  Three-address register
+ * form; the second source of ALU opcodes may instead be an immediate.
+ */
+enum class Opcode : std::uint8_t
+{
+    // Integer arithmetic (class IntAdd unless noted).
+    AddI, SubI,
+    MulI,                       // class IntMul
+    DivI, RemI,                 // class IntDiv
+    // Integer compares produce 0/1 (class IntAdd).
+    CmpEqI, CmpNeI, CmpLtI, CmpLeI, CmpGtI, CmpGeI,
+    // Logical (class Logical).
+    AndI, OrI, XorI, NotI,
+    // Shifts (class Shift).
+    ShlI, ShrAI, ShrLI,
+    // Moves / immediates (class Move).
+    MovI, LiI,
+    MovF, LiF,
+    // Memory (classes Load / Store).  Load: dst <- [src1 + imm].
+    // Store: [src1 + imm] <- src2.
+    LoadW, StoreW,
+    LoadF, StoreF,
+    // FP arithmetic.
+    AddF, SubF, NegF,           // class FPAdd
+    CmpEqF, CmpNeF, CmpLtF, CmpLeF, CmpGtF, CmpGeF, // class FPAdd
+    MulF,                       // class FPMul
+    DivF,                       // class FPDiv
+    AbsF,                       // class FPAdd
+    // Conversions (class FPCvt).
+    CvtIF,                      // int -> double
+    CvtFI,                      // double -> int (truncating)
+    // Control (classes Branch / Jump).
+    Br,                         // branch if src1 != 0
+    Jmp,
+    Call,
+    Ret,
+    NumOpcodes
+};
+
+/** Number of opcodes as a constant for array sizing. */
+inline constexpr std::size_t kNumOpcodes =
+    static_cast<std::size_t>(Opcode::NumOpcodes);
+
+/** The instruction class an opcode belongs to. */
+InstrClass opcodeClass(Opcode op);
+
+/** Assembly-style mnemonic ("add", "ld", "br", ...). */
+std::string_view opcodeName(Opcode op);
+
+/** True for LoadW/LoadF. */
+bool isLoad(Opcode op);
+/** True for StoreW/StoreF. */
+bool isStore(Opcode op);
+/** True for any memory-referencing opcode. */
+inline bool isMem(Opcode op) { return isLoad(op) || isStore(op); }
+/** True for Br/Jmp/Ret (block terminators). Call is not a terminator. */
+bool isTerminator(Opcode op);
+/** True if the opcode's result (and FP sources) are double-typed. */
+bool producesFloat(Opcode op);
+/** True for two-register-source ALU/FP computational opcodes. */
+bool isBinaryAlu(Opcode op);
+/** True for single-register-source computational opcodes. */
+bool isUnaryAlu(Opcode op);
+/** True for the six integer or six FP compare opcodes. */
+bool isCompare(Opcode op);
+
+/**
+ * Commutativity (a op b == b op a) — used by local CSE and
+ * reassociation.
+ */
+bool isCommutative(Opcode op);
+
+/**
+ * Associativity under the study's "careful unrolling" rules: the paper
+ * reassociates "long strings of additions or multiplications" (§4.4),
+ * deliberately using operator associativity knowledge even for FP.
+ */
+bool isReassociable(Opcode op);
+
+/**
+ * Register identifiers.  Virtual registers are dense indices assigned
+ * by the IR builder; physical registers are assigned by register
+ * allocation.  kNoReg marks an absent operand.
+ */
+using Reg = std::uint32_t;
+inline constexpr Reg kNoReg = 0xffffffffu;
+
+/**
+ * Physical register file layout after allocation (Section 3: "Our
+ * compiler divides the register set into two disjoint parts", temps
+ * for short-term expressions vs. home locations for variables).
+ *
+ * Physical indices: [0, numTemp) are expression temporaries,
+ * [numTemp, numTemp + numHome) are variable home registers, and
+ * the last two are the frame pointer and the global pointer.
+ */
+struct RegFileLayout
+{
+    std::uint32_t numTemp = 16;  ///< expression temporaries
+    std::uint32_t numHome = 26;  ///< variable home registers
+
+    std::uint32_t total() const { return numTemp + numHome + 2; }
+    Reg tempReg(std::uint32_t i) const { return i; }
+    Reg homeReg(std::uint32_t i) const { return numTemp + i; }
+    /** Frame pointer: base of the current activation record. */
+    Reg fp() const { return numTemp + numHome; }
+    /** Global pointer: base of the global data segment (always 0). */
+    Reg gp() const { return numTemp + numHome + 1; }
+    bool isTemp(Reg r) const { return r < numTemp; }
+    bool isHome(Reg r) const
+    {
+        return r >= numTemp && r < numTemp + numHome;
+    }
+};
+
+} // namespace ilp
+
+#endif // SUPERSYM_ISA_ISA_HH

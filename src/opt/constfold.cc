@@ -1,0 +1,243 @@
+#include <optional>
+#include <unordered_map>
+
+#include "opt/passes.hh"
+#include "support/logging.hh"
+
+namespace ilp {
+
+const char *
+optLevelName(OptLevel level)
+{
+    switch (level) {
+      case OptLevel::None: return "none";
+      case OptLevel::Sched: return "+sched";
+      case OptLevel::Local: return "+local";
+      case OptLevel::Global: return "+global";
+      case OptLevel::RegAlloc: return "+regalloc";
+    }
+    return "?";
+}
+
+namespace {
+
+struct Const
+{
+    bool isFloat = false;
+    std::int64_t i = 0;
+    double f = 0.0;
+};
+
+/** Fold a pure integer binary op over constants. */
+std::optional<std::int64_t>
+foldIntBinary(Opcode op, std::int64_t a, std::int64_t b)
+{
+    switch (op) {
+      case Opcode::AddI: return a + b;
+      case Opcode::SubI: return a - b;
+      case Opcode::MulI: return a * b;
+      case Opcode::DivI:
+        if (b == 0)
+            return std::nullopt;
+        return a / b;
+      case Opcode::RemI:
+        if (b == 0)
+            return std::nullopt;
+        return a % b;
+      case Opcode::CmpEqI: return a == b ? 1 : 0;
+      case Opcode::CmpNeI: return a != b ? 1 : 0;
+      case Opcode::CmpLtI: return a < b ? 1 : 0;
+      case Opcode::CmpLeI: return a <= b ? 1 : 0;
+      case Opcode::CmpGtI: return a > b ? 1 : 0;
+      case Opcode::CmpGeI: return a >= b ? 1 : 0;
+      case Opcode::AndI: return a & b;
+      case Opcode::OrI: return a | b;
+      case Opcode::XorI: return a ^ b;
+      case Opcode::ShlI: return a << (b & 63);
+      case Opcode::ShrAI: return a >> (b & 63);
+      case Opcode::ShrLI:
+        return static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a) >> (b & 63));
+      default:
+        return std::nullopt;
+    }
+}
+
+std::optional<double>
+foldFloatBinary(Opcode op, double a, double b)
+{
+    switch (op) {
+      case Opcode::AddF: return a + b;
+      case Opcode::SubF: return a - b;
+      case Opcode::MulF: return a * b;
+      case Opcode::DivF: return a / b;
+      default:
+        return std::nullopt;
+    }
+}
+
+std::optional<std::int64_t>
+foldFloatCompare(Opcode op, double a, double b)
+{
+    switch (op) {
+      case Opcode::CmpEqF: return a == b ? 1 : 0;
+      case Opcode::CmpNeF: return a != b ? 1 : 0;
+      case Opcode::CmpLtF: return a < b ? 1 : 0;
+      case Opcode::CmpLeF: return a <= b ? 1 : 0;
+      case Opcode::CmpGtF: return a > b ? 1 : 0;
+      case Opcode::CmpGeF: return a >= b ? 1 : 0;
+      default:
+        return std::nullopt;
+    }
+}
+
+} // namespace
+
+int
+foldConstants(Function &func)
+{
+    SS_ASSERT(!func.allocated, "foldConstants needs virtual registers");
+    int changed = 0;
+
+    for (auto &bb : func.blocks) {
+        std::unordered_map<Reg, Const> consts;
+        auto known = [&](Reg r) -> const Const * {
+            auto it = consts.find(r);
+            return it == consts.end() ? nullptr : &it->second;
+        };
+
+        for (auto &in : bb.instrs) {
+            bool rewrote = false;
+
+            // Fold register constants into immediate operands for
+            // commutative integer ops and subtraction.
+            if (isBinaryAlu(in.op) && !in.hasImm &&
+                !producesFloat(in.op) && in.src2 != kNoReg) {
+                const Const *c2 = known(in.src2);
+                const Const *c1 = known(in.src1);
+                if (c2 && !c2->isFloat) {
+                    in.hasImm = true;
+                    in.imm = c2->i;
+                    in.src2 = kNoReg;
+                    rewrote = true;
+                } else if (c1 && !c1->isFloat && isCommutative(in.op)) {
+                    in.src1 = in.src2;
+                    in.src2 = kNoReg;
+                    in.hasImm = true;
+                    in.imm = c1->i;
+                    rewrote = true;
+                }
+            }
+
+            // Full constant folding.
+            if (isBinaryAlu(in.op)) {
+                const Const *c1 = known(in.src1);
+                if (c1 && in.hasImm && !c1->isFloat) {
+                    auto v = foldIntBinary(in.op, c1->i, in.imm);
+                    if (v) {
+                        in = Instr::li(in.dst, *v);
+                        rewrote = true;
+                    }
+                } else if (c1 && !in.hasImm && in.src2 != kNoReg) {
+                    const Const *c2 = known(in.src2);
+                    if (c2 && c1->isFloat && c2->isFloat) {
+                        if (auto v = foldFloatBinary(in.op, c1->f,
+                                                     c2->f)) {
+                            in = Instr::lif(in.dst, *v);
+                            rewrote = true;
+                        } else if (auto b = foldFloatCompare(
+                                       in.op, c1->f, c2->f)) {
+                            in = Instr::li(in.dst, *b);
+                            rewrote = true;
+                        }
+                    }
+                }
+            }
+
+            // Unary folds.
+            if (in.op == Opcode::NegF || in.op == Opcode::AbsF ||
+                in.op == Opcode::CvtIF || in.op == Opcode::CvtFI ||
+                in.op == Opcode::NotI) {
+                const Const *c = known(in.src1);
+                if (c) {
+                    switch (in.op) {
+                      case Opcode::NegF:
+                        in = Instr::lif(in.dst, -c->f);
+                        rewrote = true;
+                        break;
+                      case Opcode::AbsF:
+                        in = Instr::lif(in.dst,
+                                        c->f < 0 ? -c->f : c->f);
+                        rewrote = true;
+                        break;
+                      case Opcode::CvtIF:
+                        if (!c->isFloat) {
+                            in = Instr::lif(
+                                in.dst, static_cast<double>(c->i));
+                            rewrote = true;
+                        }
+                        break;
+                      case Opcode::CvtFI:
+                        if (c->isFloat) {
+                            in = Instr::li(
+                                in.dst,
+                                static_cast<std::int64_t>(c->f));
+                            rewrote = true;
+                        }
+                        break;
+                      case Opcode::NotI:
+                        if (!c->isFloat) {
+                            in = Instr::li(in.dst, ~c->i);
+                            rewrote = true;
+                        }
+                        break;
+                      default:
+                        break;
+                    }
+                }
+            }
+
+            // Algebraic identities on immediate forms.
+            if (in.hasImm && in.dst != kNoReg) {
+                if ((in.op == Opcode::AddI || in.op == Opcode::SubI ||
+                     in.op == Opcode::ShlI || in.op == Opcode::ShrAI ||
+                     in.op == Opcode::ShrLI || in.op == Opcode::OrI ||
+                     in.op == Opcode::XorI) &&
+                    in.imm == 0 && !isMem(in.op)) {
+                    in = Instr::unary(Opcode::MovI, in.dst, in.src1);
+                    rewrote = true;
+                } else if (in.op == Opcode::MulI && in.imm == 1) {
+                    in = Instr::unary(Opcode::MovI, in.dst, in.src1);
+                    rewrote = true;
+                } else if (in.op == Opcode::MulI && in.imm == 0) {
+                    in = Instr::li(in.dst, 0);
+                    rewrote = true;
+                }
+            }
+
+            // Update the constant environment.
+            if (in.dst != kNoReg) {
+                if (in.op == Opcode::LiI) {
+                    consts[in.dst] = Const{false, in.imm, 0.0};
+                } else if (in.op == Opcode::LiF) {
+                    consts[in.dst] = Const{true, 0, in.fimm};
+                } else if (in.op == Opcode::MovI ||
+                           in.op == Opcode::MovF) {
+                    const Const *c = known(in.src1);
+                    if (c)
+                        consts[in.dst] = *c;
+                    else
+                        consts.erase(in.dst);
+                } else {
+                    consts.erase(in.dst);
+                }
+            }
+
+            if (rewrote)
+                ++changed;
+        }
+    }
+    return changed;
+}
+
+} // namespace ilp

@@ -1,0 +1,64 @@
+#include <algorithm>
+
+#include "ir/liveness.hh"
+#include "opt/passes.hh"
+#include "support/logging.hh"
+
+namespace ilp {
+
+int
+eliminateDeadCode(Function &func)
+{
+    SS_ASSERT(!func.allocated,
+              "eliminateDeadCode needs virtual registers");
+    int removed_total = 0;
+
+    while (true) {
+        Liveness live(func);
+        int removed = 0;
+
+        for (auto &bb : func.blocks) {
+            // Walk backwards with a running live set.
+            std::vector<bool> live_now = live.liveOut(bb.id);
+            std::vector<Instr> kept;
+            kept.reserve(bb.instrs.size());
+
+            for (std::size_t i = bb.instrs.size(); i-- > 0;) {
+                Instr &in = bb.instrs[i];
+                bool needed = in.hasSideEffect();
+                if (!needed && in.dst != kNoReg &&
+                    in.dst < live_now.size() && live_now[in.dst])
+                    needed = true;
+                if (!needed && in.dst == kNoReg)
+                    needed = true; // defensive: keep odd instructions
+
+                if (!needed) {
+                    ++removed;
+                    continue;
+                }
+                if (in.dst != kNoReg && in.dst < live_now.size())
+                    live_now[in.dst] = false;
+                in.forEachSrc([&](Reg r) {
+                    if (r < live_now.size())
+                        live_now[r] = true;
+                });
+                kept.push_back(in);
+            }
+            if (removed) {
+                std::reverse(kept.begin(), kept.end());
+                bb.instrs = std::move(kept);
+            } else {
+                // No removals in this block; restore nothing.
+                std::reverse(kept.begin(), kept.end());
+                bb.instrs = std::move(kept);
+            }
+        }
+
+        removed_total += removed;
+        if (!removed)
+            break;
+    }
+    return removed_total;
+}
+
+} // namespace ilp

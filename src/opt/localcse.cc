@@ -1,0 +1,252 @@
+#include <bit>
+#include <vector>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+#include "opt/passes.hh"
+#include "support/logging.hh"
+
+namespace ilp {
+
+namespace {
+
+/**
+ * Block-local value numbering.  Every register maps to a value number;
+ * expressions (op, operand VNs, imm) are memoized.  A VN may be
+ * "available" in some register; when a later instruction recomputes an
+ * available VN it becomes a register move (which copy propagation then
+ * makes dead).  Loads are value-numbered against a memory epoch that
+ * stores and calls bump.
+ */
+class BlockVN
+{
+  public:
+    explicit BlockVN(BasicBlock &bb) : bb_(bb) {}
+
+    int
+    run()
+    {
+        int changed = 0;
+        for (auto &in : bb_.instrs) {
+            changed += propagateCopies(in);
+            changed += numberAndRewrite(in);
+        }
+        return changed;
+    }
+
+  private:
+    using Key = std::tuple<Opcode, int, int, bool, std::int64_t,
+                           std::uint64_t>;
+
+    int
+    freshVN()
+    {
+        return next_vn_++;
+    }
+
+    int
+    vnOf(Reg r)
+    {
+        auto it = reg_vn_.find(r);
+        if (it != reg_vn_.end())
+            return it->second;
+        int vn = freshVN();
+        reg_vn_[r] = vn;
+        // The block-entry register is the canonical holder of its own
+        // value, so copies of it propagate back to it (not the other
+        // way around).
+        vn_holder_.emplace(vn, r);
+        return vn;
+    }
+
+    /** Register currently holding `vn`, or kNoReg. */
+    Reg
+    holder(int vn) const
+    {
+        auto it = vn_holder_.find(vn);
+        return it == vn_holder_.end() ? kNoReg : it->second;
+    }
+
+    void
+    defineReg(Reg r, int vn)
+    {
+        // The old value this register held is no longer available in
+        // it.
+        auto old = reg_vn_.find(r);
+        if (old != reg_vn_.end()) {
+            auto h = vn_holder_.find(old->second);
+            if (h != vn_holder_.end() && h->second == r)
+                vn_holder_.erase(h);
+        }
+        reg_vn_[r] = vn;
+        if (holder(vn) == kNoReg)
+            vn_holder_[vn] = r;
+    }
+
+    /** Rewrite sources to the canonical holder of their VN. */
+    int
+    propagateCopies(Instr &in)
+    {
+        int changed = 0;
+        in.rewriteSrcs([&](Reg r) {
+            int vn = vnOf(r);
+            Reg h = holder(vn);
+            if (h != kNoReg && h != r) {
+                ++changed;
+                return h;
+            }
+            return r;
+        });
+        return changed;
+    }
+
+    int
+    numberAndRewrite(Instr &in)
+    {
+        // Effects first: stores and calls invalidate memory values.
+        if (isStore(in.op) || in.op == Opcode::Call) {
+            ++mem_epoch_;
+            if (in.op == Opcode::Call && in.dst != kNoReg)
+                defineReg(in.dst, freshVN());
+            return 0;
+        }
+        if (in.dst == kNoReg)
+            return 0;
+
+        // Moves: alias the VN.
+        if (in.op == Opcode::MovI || in.op == Opcode::MovF) {
+            defineReg(in.dst, vnOf(in.src1));
+            return 0;
+        }
+
+        // Expression key.  LiF uses the double's bit pattern.
+        bool memoizable =
+            isBinaryAlu(in.op) || isUnaryAlu(in.op) ||
+            in.op == Opcode::LiI || in.op == Opcode::LiF ||
+            isLoad(in.op);
+        if (!memoizable) {
+            defineReg(in.dst, freshVN());
+            return 0;
+        }
+
+        int v1 = in.src1 != kNoReg ? vnOf(in.src1) : -1;
+        int v2 = in.src2 != kNoReg ? vnOf(in.src2) : -1;
+        // Canonicalize commutative register-register forms.
+        if (!in.hasImm && isCommutative(in.op) && v2 >= 0 && v1 > v2)
+            std::swap(v1, v2);
+        std::uint64_t extra = 0;
+        if (in.op == Opcode::LiF) {
+            extra = std::bit_cast<std::uint64_t>(in.fimm);
+        } else if (isLoad(in.op)) {
+            extra = mem_epoch_;
+        }
+        Key key{in.op, v1, v2, in.hasImm, in.hasImm ? in.imm : 0,
+                extra};
+        if (isLoad(in.op)) {
+            // include displacement in the key's imm slot already
+            key = Key{in.op, v1, v2, true, in.imm, extra};
+        }
+
+        auto it = exprs_.find(key);
+        if (it != exprs_.end()) {
+            Reg h = holder(it->second);
+            if (h != kNoReg && h != in.dst) {
+                // Redundant: rewrite to a move from the holder.
+                Opcode mv = producesFloat(in.op) ? Opcode::MovF
+                                                 : Opcode::MovI;
+                in = Instr::unary(mv, in.dst, h);
+                defineReg(in.dst, it->second);
+                return 1;
+            }
+            defineReg(in.dst, it->second);
+            return 0;
+        }
+        int vn = freshVN();
+        exprs_[key] = vn;
+        defineReg(in.dst, vn);
+        return 0;
+    }
+
+    BasicBlock &bb_;
+    int next_vn_ = 0;
+    std::unordered_map<Reg, int> reg_vn_;
+    std::unordered_map<int, Reg> vn_holder_;
+    std::map<Key, int> exprs_;
+    std::uint64_t mem_epoch_ = 0;
+};
+
+} // namespace
+
+int
+globalCopyPropagation(Function &func)
+{
+    SS_ASSERT(!func.allocated,
+              "globalCopyPropagation needs virtual registers");
+    // Definition counts over the whole function.
+    std::vector<int> defs(func.numVirtRegs, 0);
+    for (const auto &bb : func.blocks) {
+        for (const auto &in : bb.instrs) {
+            if (in.dst != kNoReg)
+                ++defs[in.dst];
+        }
+    }
+
+    // mov a <- b with a and b both defined exactly once: every read
+    // of a sees that single def, whose value is b's single def, so
+    // a's uses can read b directly (b's definition necessarily
+    // executed first).  Parameters and the frame pointer count as
+    // extra definitions.
+    for (Reg p : func.paramRegs)
+        ++defs[p];
+    if (func.fpReg != kNoReg)
+        ++defs[func.fpReg];
+
+    std::unordered_map<Reg, Reg> fwd;
+    for (const auto &bb : func.blocks) {
+        for (const auto &in : bb.instrs) {
+            if ((in.op == Opcode::MovI || in.op == Opcode::MovF) &&
+                in.dst != kNoReg && in.src1 != kNoReg &&
+                in.dst != in.src1 && defs[in.dst] == 1 &&
+                defs[in.src1] == 1)
+                fwd[in.dst] = in.src1;
+        }
+    }
+    if (fwd.empty())
+        return 0;
+
+    auto resolve = [&](Reg r) {
+        int guard = 0;
+        while (fwd.count(r) && ++guard < 1000)
+            r = fwd[r];
+        return r;
+    };
+
+    int changed = 0;
+    for (auto &bb : func.blocks) {
+        for (auto &in : bb.instrs) {
+            in.rewriteSrcs([&](Reg r) {
+                Reg to = resolve(r);
+                if (to != r)
+                    ++changed;
+                return to;
+            });
+        }
+    }
+    return changed; // the dead movs fall to DCE
+}
+
+int
+localValueNumbering(Function &func)
+{
+    SS_ASSERT(!func.allocated,
+              "localValueNumbering needs virtual registers");
+    int changed = 0;
+    for (auto &bb : func.blocks) {
+        BlockVN vn(bb);
+        changed += vn.run();
+    }
+    return changed;
+}
+
+} // namespace ilp

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The classical optimizer of Section 4.4, one pass per function.
+ *
+ * Figure 4-8's x-axis adds these cumulatively: pipeline scheduling,
+ * intra-block ("local") optimizations, global optimizations, global
+ * register allocation.  All passes work on virtual-register code
+ * except scheduling, which runs after register assignment so the
+ * artificial dependencies introduced by temp reuse constrain it, as
+ * in the paper ("using the same temporary register for two different
+ * values in the same basic block introduces an artificial dependency
+ * that can interfere with pipeline scheduling", §3).
+ */
+
+#ifndef SUPERSYM_OPT_PASSES_HH
+#define SUPERSYM_OPT_PASSES_HH
+
+#include "core/machine/machine.hh"
+#include "ir/alias.hh"
+#include "ir/module.hh"
+
+namespace ilp {
+
+/**
+ * Cumulative optimization levels, matching Figure 4-8's x-axis.
+ */
+enum class OptLevel : int
+{
+    None = 0,       ///< raw code generation only
+    Sched = 1,      ///< + pipeline scheduling
+    Local = 2,      ///< + intra-block optimizations
+    Global = 3,     ///< + global optimizations
+    RegAlloc = 4,   ///< + global register allocation
+};
+
+/** Human-readable level name for tables. */
+const char *optLevelName(OptLevel level);
+
+// ------------------------------------------------------ local passes
+
+/**
+ * Block-local constant folding and algebraic simplification:
+ * materializes constant results, folds constant operands into
+ * immediate forms, and simplifies x+0, x*1, x*0.
+ * @return number of instructions changed.
+ */
+int foldConstants(Function &func);
+
+/**
+ * Block-local common-subexpression elimination with copy propagation
+ * (value numbering).  Loads participate but are killed by stores and
+ * calls (the conservative rule the paper's compiler applies; its
+ * visible consequence is the Livermore "anomaly" of §4.4 where
+ * removing redundant address calculations reduces parallelism).
+ * @return number of instructions rewritten or eliminated.
+ */
+int localValueNumbering(Function &func);
+
+/**
+ * Whole-function copy propagation: forwards `mov a <- b` when both a
+ * and b have a single definition, so register copies created by load
+ * hoisting and home promotion dissolve across block boundaries.
+ * @return number of operand rewrites (dead moves fall to DCE).
+ */
+int globalCopyPropagation(Function &func);
+
+/**
+ * Global dead-code elimination over liveness: removes instructions
+ * whose results are never used and which have no side effects.
+ * @return number of instructions removed.
+ */
+int eliminateDeadCode(Function &func);
+
+// ----------------------------------------------------- global passes
+
+/**
+ * Loop-invariant code motion: hoists pure register computations whose
+ * operands are loop-invariant into a freshly created preheader, and
+ * loads of invariant addresses whose object (frame slot or global)
+ * provably differs from every object the loop stores to (so scalar
+ * reads hoist out of array loops).  Divides are not hoisted
+ * (speculation could fault); loops containing calls or stores to
+ * unidentifiable objects hoist no loads.
+ * @return number of instructions hoisted.
+ */
+int hoistLoopInvariants(const Module &module, Function &func);
+
+/**
+ * Reassociate chains of integer/FP adds and multiplies within a block
+ * into balanced trees (shortens the critical path, §4.4's "we
+ * reassociate long strings of additions or multiplications").
+ * Deliberately applies FP associativity, as the paper did.
+ * @return number of chains rebalanced.
+ */
+int reassociate(Function &func);
+
+/**
+ * Induction-variable strength reduction for rotated single-block
+ * loops: array-address chains (offset, scale, base) derived from a
+ * register induction variable are replaced by loop-carried address
+ * registers advanced once per iteration, as production compilers of
+ * the era (including the paper's Mahler system) arrange.  Runs after
+ * home promotion so induction variables live in registers.
+ * @return number of address computations reduced.
+ */
+int strengthReduceLoops(Function &func);
+
+// ------------------------------------------------ register allocation
+
+/**
+ * Global register allocation (§3, [16]): promotes the most frequently
+ * referenced frame-resident scalars (locals and parameters) to "home"
+ * registers, eliminating their loads and stores.  Global scalars stay
+ * memory-resident (single-module conservative policy; see DESIGN.md).
+ * Reference counts are weighted by loop depth.
+ * @return number of variables promoted.
+ */
+int allocateHomeRegisters(Function &func, const RegFileLayout &layout);
+
+/**
+ * Assign every virtual register to one of the machine's temp
+ * registers (plus promoted homes and fp, already fixed by
+ * allocateHomeRegisters), by linear scan over live intervals,
+ * spilling to fresh frame slots when the temps run out.  Afterwards
+ * `func.allocated` is true and all operands are physical.
+ */
+void assignRegisters(Function &func, const RegFileLayout &layout);
+
+// ----------------------------------------------------------- schedule
+
+/**
+ * Pipeline instruction scheduling (§3): list-schedules every basic
+ * block for the given machine, honoring register RAW/WAR/WAW, memory
+ * dependencies at the given alias level, and functional-unit issue
+ * constraints, minimizing expected stalls.  Requires allocated code.
+ */
+void scheduleFunction(const Module &module, Function &func,
+                      const MachineConfig &machine,
+                      AliasLevel alias = AliasLevel::Conservative);
+
+} // namespace ilp
+
+#endif // SUPERSYM_OPT_PASSES_HH

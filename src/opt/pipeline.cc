@@ -1,0 +1,66 @@
+#include "opt/pipeline.hh"
+
+#include "ir/verifier.hh"
+#include "support/logging.hh"
+
+namespace ilp {
+
+namespace {
+
+void
+localCleanup(Function &func)
+{
+    for (int round = 0; round < 8; ++round) {
+        int changed = 0;
+        changed += foldConstants(func);
+        changed += localValueNumbering(func);
+        changed += globalCopyPropagation(func);
+        changed += eliminateDeadCode(func);
+        if (!changed)
+            break;
+    }
+}
+
+} // namespace
+
+void
+optimizeModule(Module &module, const MachineConfig &machine,
+               const OptimizeOptions &options)
+{
+    machine.validate();
+    for (auto &func : module.functions()) {
+        SS_ASSERT(!func.allocated, "optimizeModule: module already "
+                                   "allocated");
+
+        if (options.level >= OptLevel::Local)
+            localCleanup(func);
+
+        if (options.level >= OptLevel::Global) {
+            if (hoistLoopInvariants(module, func) > 0)
+                localCleanup(func);
+        }
+
+        if (options.reassociate) {
+            reassociate(func);
+            eliminateDeadCode(func);
+        }
+
+        if (options.level >= OptLevel::RegAlloc) {
+            allocateHomeRegisters(func, options.layout);
+            localCleanup(func);
+            // Induction-variable strength reduction needs the
+            // register-resident loop variables home promotion just
+            // created.
+            if (strengthReduceLoops(func) > 0)
+                localCleanup(func);
+        }
+
+        assignRegisters(func, options.layout);
+
+        if (options.level >= OptLevel::Sched)
+            scheduleFunction(module, func, machine, options.alias);
+    }
+    verifyOrDie(module);
+}
+
+} // namespace ilp

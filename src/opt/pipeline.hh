@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The whole optimizer as one call: applies the cumulative Figure 4-8
+ * levels, assigns registers, and schedules for a target machine.
+ */
+
+#ifndef SUPERSYM_OPT_PIPELINE_HH
+#define SUPERSYM_OPT_PIPELINE_HH
+
+#include "opt/passes.hh"
+
+namespace ilp {
+
+struct OptimizeOptions
+{
+    OptLevel level = OptLevel::RegAlloc;
+    /** Temp/home register split (§3; Figure 4-8 uses 16/26). */
+    RegFileLayout layout;
+    /** Memory disambiguation given to the scheduler. */
+    AliasLevel alias = AliasLevel::Conservative;
+    /**
+     * Careful-unrolling reassociation (§4.4).  Changes FP results by
+     * design, so it is not part of any Figure 4-8 level.
+     */
+    bool reassociate = false;
+};
+
+/**
+ * Optimize, allocate, and (at OptLevel >= Sched) schedule every
+ * function of `module` for `machine`.  After this the module is
+ * physical-register code, ready for tracing/timing.
+ */
+void optimizeModule(Module &module, const MachineConfig &machine,
+                    const OptimizeOptions &options);
+
+} // namespace ilp
+
+#endif // SUPERSYM_OPT_PIPELINE_HH

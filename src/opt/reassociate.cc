@@ -1,0 +1,178 @@
+#include <algorithm>
+#include <unordered_map>
+
+#include "ir/liveness.hh"
+#include "opt/passes.hh"
+#include "support/logging.hh"
+
+namespace ilp {
+
+namespace {
+
+/**
+ * One rebalancing attempt in a block; returns true if a chain was
+ * rewritten (caller restarts, since indices shift).
+ */
+bool
+rebalanceOne(Function &func, BasicBlock &bb, const Liveness &live)
+{
+    const std::size_t n = bb.instrs.size();
+
+    // Per-register bookkeeping within this block.
+    std::unordered_map<Reg, int> def_count;
+    std::unordered_map<Reg, std::size_t> def_index;
+    std::unordered_map<Reg, int> use_count;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Instr &in = bb.instrs[i];
+        in.forEachSrc([&](Reg r) { ++use_count[r]; });
+        if (in.dst != kNoReg) {
+            ++def_count[in.dst];
+            def_index[in.dst] = i;
+        }
+    }
+
+    auto expandable = [&](Reg r, Opcode op,
+                          std::size_t consumer) -> int {
+        // Is r the single-use, single-def result of another `op`
+        // reg-reg instruction in this block, defined before its
+        // consumer and not observed outside?
+        auto dc = def_count.find(r);
+        if (dc == def_count.end() || dc->second != 1)
+            return -1;
+        if (use_count[r] != 1)
+            return -1;
+        if (live.isLiveOut(bb.id, r))
+            return -1;
+        std::size_t j = def_index[r];
+        if (j >= consumer)
+            return -1; // the use sees the block-entry value
+        const Instr &d = bb.instrs[j];
+        if (d.op != op || d.hasImm || d.src2 == kNoReg)
+            return -1;
+        return static_cast<int>(j);
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const Instr &root = bb.instrs[i];
+        if (!isReassociable(root.op) || root.hasImm ||
+            root.src2 == kNoReg || root.dst == kNoReg)
+            continue;
+
+        // Gather the maximal chain under this root.
+        std::vector<Reg> leaves;
+        std::vector<std::size_t> internal;
+        bool viable = true;
+        std::size_t cur_depth = 0; // ops on the deepest root-to-leaf path
+        struct WorkItem
+        {
+            Reg reg;
+            std::size_t consumer;
+            std::size_t depth;
+        };
+        std::vector<WorkItem> work{{root.src1, i, 1},
+                                   {root.src2, i, 1}};
+        while (!work.empty()) {
+            auto [r, consumer, depth] = work.back();
+            work.pop_back();
+            int j = expandable(r, root.op, consumer);
+            if (j >= 0) {
+                internal.push_back(static_cast<std::size_t>(j));
+                work.push_back({bb.instrs[j].src1,
+                                static_cast<std::size_t>(j),
+                                depth + 1});
+                work.push_back({bb.instrs[j].src2,
+                                static_cast<std::size_t>(j),
+                                depth + 1});
+            } else {
+                // Leaf: its value must still be intact at the root's
+                // position, i.e. no redefinition in (consumer, i].
+                auto dc = def_count.find(r);
+                if (dc != def_count.end()) {
+                    std::size_t j2 = def_index[r];
+                    if (dc->second > 1 ||
+                        (j2 >= consumer && j2 <= i))
+                        viable = false;
+                }
+                leaves.push_back(r);
+                cur_depth = std::max(cur_depth, depth);
+            }
+        }
+        if (!viable || leaves.size() < 3)
+            continue; // nothing to rebalance
+
+        // Already balanced?  A balanced tree over `leaves` operands
+        // has depth ceil(log2(leaves)).
+        std::size_t chain_ops = leaves.size() - 1;
+        std::size_t balanced_depth = 0;
+        while ((std::size_t{1} << balanced_depth) < leaves.size())
+            ++balanced_depth;
+        if (cur_depth <= balanced_depth)
+            continue; // can't improve
+
+        // Rebuild: pair leaves into a balanced tree placed at the
+        // root's position; delete the internal instructions.
+        std::vector<Instr> tree;
+        std::vector<Reg> level = leaves;
+        while (level.size() > 1) {
+            std::vector<Reg> next;
+            for (std::size_t k = 0; k + 1 < level.size(); k += 2) {
+                bool last_pair =
+                    level.size() == 2; // final combine -> root dst
+                Reg dst =
+                    last_pair ? root.dst : func.newVirtReg();
+                tree.push_back(Instr::binary(root.op, dst, level[k],
+                                             level[k + 1]));
+                next.push_back(dst);
+            }
+            if (level.size() % 2)
+                next.push_back(level.back());
+            level = std::move(next);
+        }
+        SS_ASSERT(tree.size() == chain_ops, "tree size mismatch");
+
+        // Splice: remove internal defs and the root, insert the tree
+        // at the root's position.
+        std::vector<char> dead(n, 0);
+        for (std::size_t j : internal)
+            dead[j] = 1;
+        std::vector<Instr> out;
+        out.reserve(n + tree.size());
+        for (std::size_t k = 0; k < n; ++k) {
+            if (k == i) {
+                for (auto &t : tree)
+                    out.push_back(t);
+                continue;
+            }
+            if (!dead[k])
+                out.push_back(bb.instrs[k]);
+        }
+        bb.instrs = std::move(out);
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+reassociate(Function &func)
+{
+    SS_ASSERT(!func.allocated, "reassociate needs virtual registers");
+    int changed = 0;
+    // Liveness is recomputed per round; rebalancing only touches
+    // block-local single-use temps so block boundaries stay stable.
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        Liveness live(func);
+        for (auto &bb : func.blocks) {
+            if (rebalanceOne(func, bb, live)) {
+                ++changed;
+                progress = true;
+            }
+        }
+    }
+    return changed;
+}
+
+} // namespace ilp

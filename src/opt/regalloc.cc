@@ -1,0 +1,161 @@
+#include <algorithm>
+#include <map>
+
+#include "ir/dominators.hh"
+#include "opt/passes.hh"
+#include "support/logging.hh"
+
+namespace ilp {
+
+namespace {
+
+/** Loop-depth of every block (0 outside loops). */
+std::vector<int>
+blockLoopDepths(Function &func)
+{
+    std::vector<int> depth(func.blocks.size(), 0);
+    Dominators dom(func);
+    auto loops = findNaturalLoops(func, dom);
+    for (const auto &l : loops) {
+        for (BlockId b : l.blocks)
+            depth[b] = std::max(depth[b], l.depth);
+    }
+    return depth;
+}
+
+struct SlotUse
+{
+    std::int64_t offset = 0;
+    bool isFloat = false;
+    double weight = 0.0;
+};
+
+} // namespace
+
+int
+allocateHomeRegisters(Function &func, const RegFileLayout &layout)
+{
+    SS_ASSERT(!func.allocated,
+              "allocateHomeRegisters needs virtual registers");
+
+    auto depths = blockLoopDepths(func);
+
+    // Collect reference weights per frame-scalar slot.  Only accesses
+    // of the form fp+constant qualify; the MT language cannot take a
+    // scalar's address, so these are all the accesses there are.
+    std::map<std::int64_t, SlotUse> slots;
+    for (const auto &bb : func.blocks) {
+        double w = 1.0;
+        for (int d = 0; d < std::min(depths[bb.id], 4); ++d)
+            w *= 10.0;
+        for (const auto &in : bb.instrs) {
+            if (!isMem(in.op) || in.src1 != func.fpReg)
+                continue;
+            auto &slot = slots[in.imm];
+            slot.offset = in.imm;
+            slot.isFloat = (in.op == Opcode::LoadF ||
+                            in.op == Opcode::StoreF);
+            slot.weight += w;
+        }
+    }
+
+    // Rank by weight and promote the top numHome slots.
+    std::vector<SlotUse> ranked;
+    ranked.reserve(slots.size());
+    for (const auto &[off, use] : slots)
+        ranked.push_back(use);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const SlotUse &a, const SlotUse &b) {
+                  return a.weight > b.weight;
+              });
+    if (ranked.size() > layout.numHome)
+        ranked.resize(layout.numHome);
+
+    std::map<std::int64_t, Reg> home_of;
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+        Reg hv = func.newVirtReg();
+        func.pinnedRegs[hv] =
+            layout.homeReg(static_cast<std::uint32_t>(i));
+        home_of[ranked[i].offset] = hv;
+    }
+
+    // Rewrite loads/stores of promoted slots into register moves.
+    for (auto &bb : func.blocks) {
+        for (auto &in : bb.instrs) {
+            if (!isMem(in.op) || in.src1 != func.fpReg)
+                continue;
+            auto it = home_of.find(in.imm);
+            if (it == home_of.end())
+                continue;
+            Reg hv = it->second;
+            if (isLoad(in.op)) {
+                Opcode mv = in.op == Opcode::LoadF ? Opcode::MovF
+                                                   : Opcode::MovI;
+                in = Instr::unary(mv, in.dst, hv);
+            } else {
+                Opcode mv = in.op == Opcode::StoreF ? Opcode::MovF
+                                                    : Opcode::MovI;
+                in = Instr::unary(mv, hv, in.src2);
+            }
+        }
+    }
+
+    // Coalesce `mov hv <- v` with v's defining instruction when v has
+    // no other use and hv is not read in between: the producer then
+    // writes the home register directly, as the paper's allocator
+    // arranges.
+    std::vector<int> use_count(func.numVirtRegs, 0);
+    for (const auto &bb : func.blocks) {
+        for (const auto &in : bb.instrs)
+            in.forEachSrc([&](Reg r) { ++use_count[r]; });
+    }
+    for (auto &bb : func.blocks) {
+        for (std::size_t i = 0; i < bb.instrs.size(); ++i) {
+            Instr &mv = bb.instrs[i];
+            if ((mv.op != Opcode::MovI && mv.op != Opcode::MovF) ||
+                !func.pinnedRegs.count(mv.dst))
+                continue;
+            Reg v = mv.src1;
+            if (v == kNoReg || use_count[v] != 1 ||
+                func.pinnedRegs.count(v))
+                continue;
+            // Find v's definition earlier in this block.
+            std::size_t def = i;
+            for (std::size_t j = i; j-- > 0;) {
+                if (bb.instrs[j].dst == v) {
+                    def = j;
+                    break;
+                }
+            }
+            if (def == i)
+                continue; // defined in another block; leave the move
+            if (bb.instrs[def].op == Opcode::Call)
+                continue; // calls write caller temps; keep it simple
+            // hv must not be read or written between def and the move.
+            bool blocked = false;
+            Reg hv = mv.dst;
+            for (std::size_t j = def + 1; j < i && !blocked; ++j) {
+                const Instr &mid = bb.instrs[j];
+                if (mid.dst == hv)
+                    blocked = true;
+                mid.forEachSrc([&](Reg r) {
+                    if (r == hv)
+                        blocked = true;
+                });
+            }
+            if (blocked)
+                continue;
+            bb.instrs[def].dst = hv;
+            // Degrade the move to a self-move and let DCE drop it.
+            mv = Instr::unary(mv.op, hv, hv);
+            // A self-move is not dead to DCE (hv is live); erase now.
+            bb.instrs.erase(bb.instrs.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+            --i;
+        }
+    }
+
+    return static_cast<int>(ranked.size());
+}
+
+} // namespace ilp

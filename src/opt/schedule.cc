@@ -1,0 +1,251 @@
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+
+#include "ir/alias.hh"
+#include "opt/passes.hh"
+#include "support/logging.hh"
+
+namespace ilp {
+
+namespace {
+
+/**
+ * Dependence-graph list scheduling of one basic block for one machine
+ * (§3: "The compile-time pipeline instruction scheduler knows this and
+ * schedules the instructions in a basic block so that the resulting
+ * stall time will be minimized").
+ *
+ * Edges:
+ *  - register RAW, WAR, WAW (the code is post-allocation, so temp
+ *    reuse produces exactly the artificial dependencies the paper
+ *    attributes to a finite temp file);
+ *  - memory RAW/WAW/WAR between stores and loads that may alias at
+ *    the chosen level;
+ *  - calls are two-sided barriers for memory operations and other
+ *    calls;
+ *  - the terminator stays last.
+ *
+ * Priority: longest latency-weighted path to the end of the block;
+ * ties break towards original program order.
+ */
+class BlockScheduler
+{
+  public:
+    BlockScheduler(const Module &module, const Function &func,
+                   BasicBlock &bb, const MachineConfig &machine,
+                   AliasLevel alias)
+        : bb_(bb), machine_(machine),
+          aa_(module, func, bb), alias_(alias)
+    {
+    }
+
+    void
+    run()
+    {
+        const std::size_t n = bb_.instrs.size();
+        if (n < 3)
+            return; // nothing to reorder around the terminator
+
+        buildEdges();
+        computePriorities();
+        listSchedule();
+    }
+
+  private:
+    void
+    addEdge(std::size_t from, std::size_t to)
+    {
+        SS_ASSERT(from < to, "dependence edges must go forward");
+        succs_[from].push_back(to);
+        ++npreds_[to];
+    }
+
+    void
+    buildEdges()
+    {
+        const std::size_t n = bb_.instrs.size();
+        succs_.assign(n, {});
+        npreds_.assign(n, 0);
+
+        // Last writer and readers-since per register.
+        std::unordered_map<Reg, std::size_t> last_def;
+        std::unordered_map<Reg, std::vector<std::size_t>> readers;
+
+        std::vector<std::size_t> mem_ops;
+        std::size_t last_call = SIZE_MAX;
+
+        for (std::size_t i = 0; i < n; ++i) {
+            const Instr &in = bb_.instrs[i];
+
+            // Register RAW and WAR/WAW.
+            in.forEachSrc([&](Reg r) {
+                auto d = last_def.find(r);
+                if (d != last_def.end())
+                    addEdge(d->second, i);
+                readers[r].push_back(i);
+            });
+            if (in.dst != kNoReg) {
+                auto d = last_def.find(in.dst);
+                if (d != last_def.end())
+                    addEdge(d->second, i); // WAW
+                for (std::size_t rd : readers[in.dst]) {
+                    if (rd != i)
+                        addEdge(rd, i); // WAR
+                }
+                readers[in.dst].clear();
+                last_def[in.dst] = i;
+            }
+
+            // Memory and call ordering.
+            bool mem = isMem(in.op);
+            bool call = in.op == Opcode::Call;
+            if (mem || call) {
+                if (last_call != SIZE_MAX)
+                    addEdge(last_call, i);
+            }
+            if (call) {
+                for (std::size_t m : mem_ops)
+                    addEdge(m, i);
+                mem_ops.clear();
+                last_call = i;
+            } else if (mem) {
+                bool i_store = isStore(in.op);
+                for (std::size_t m : mem_ops) {
+                    bool m_store = isStore(bb_.instrs[m].op);
+                    if (!i_store && !m_store)
+                        continue; // load-load never conflicts
+                    if (aa_.mayAlias(m, i, alias_))
+                        addEdge(m, i);
+                }
+                mem_ops.push_back(i);
+            }
+
+            // Terminator last: every earlier instruction precedes it.
+            if (i + 1 == n) {
+                SS_ASSERT(isTerminator(in.op),
+                          "block must end in a terminator");
+                for (std::size_t j = 0; j + 1 < n; ++j) {
+                    // Avoid duplicate edges cheaply: only add if j has
+                    // no direct edge to i yet.
+                    if (std::find(succs_[j].begin(), succs_[j].end(),
+                                  i) == succs_[j].end())
+                        addEdge(j, i);
+                }
+            }
+        }
+    }
+
+    int
+    latencyOf(std::size_t i) const
+    {
+        return machine_.latencyBase(bb_.instrs[i].cls());
+    }
+
+    void
+    computePriorities()
+    {
+        const std::size_t n = bb_.instrs.size();
+        prio_.assign(n, 0);
+        for (std::size_t i = n; i-- > 0;) {
+            int best = 0;
+            for (std::size_t s : succs_[i])
+                best = std::max(best, prio_[s]);
+            prio_[i] = best + latencyOf(i);
+        }
+    }
+
+    void
+    listSchedule()
+    {
+        const std::size_t n = bb_.instrs.size();
+        std::vector<std::size_t> order;
+        order.reserve(n);
+
+        std::vector<int> preds_left = npreds_;
+        std::vector<std::uint64_t> ready_at(n, 0);
+        std::vector<char> scheduled(n, 0);
+
+        // Ready list: instructions whose predecessors are scheduled.
+        std::vector<std::size_t> ready;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (preds_left[i] == 0)
+                ready.push_back(i);
+        }
+
+        std::uint64_t cycle = 0;
+        int slots_used = 0;
+        while (order.size() < n) {
+            // Candidates ready by data at the current cycle.
+            std::size_t pick = SIZE_MAX;
+            for (std::size_t c : ready) {
+                if (ready_at[c] > cycle)
+                    continue;
+                if (pick == SIZE_MAX || prio_[c] > prio_[pick] ||
+                    (prio_[c] == prio_[pick] && c < pick))
+                    pick = c;
+            }
+            if (pick == SIZE_MAX) {
+                // Nothing ready: stall to the earliest ready time.
+                std::uint64_t next =
+                    std::numeric_limits<std::uint64_t>::max();
+                for (std::size_t c : ready)
+                    next = std::min(next, ready_at[c]);
+                SS_ASSERT(next !=
+                              std::numeric_limits<std::uint64_t>::max(),
+                          "scheduler deadlock");
+                cycle = next;
+                slots_used = 0;
+                continue;
+            }
+
+            order.push_back(pick);
+            scheduled[pick] = 1;
+            ready.erase(std::find(ready.begin(), ready.end(), pick));
+            for (std::size_t s : succs_[pick]) {
+                ready_at[s] = std::max(
+                    ready_at[s],
+                    cycle + static_cast<std::uint64_t>(
+                                latencyOf(pick)));
+                if (--preds_left[s] == 0)
+                    ready.push_back(s);
+            }
+            if (++slots_used >= machine_.issueWidth) {
+                ++cycle;
+                slots_used = 0;
+            }
+        }
+
+        std::vector<Instr> out;
+        out.reserve(n);
+        for (std::size_t i : order)
+            out.push_back(bb_.instrs[i]);
+        bb_.instrs = std::move(out);
+    }
+
+    BasicBlock &bb_;
+    const MachineConfig &machine_;
+    BlockAliasAnalysis aa_;
+    AliasLevel alias_;
+
+    std::vector<std::vector<std::size_t>> succs_;
+    std::vector<int> npreds_;
+    std::vector<int> prio_;
+};
+
+} // namespace
+
+void
+scheduleFunction(const Module &module, Function &func,
+                 const MachineConfig &machine, AliasLevel alias)
+{
+    SS_ASSERT(func.allocated,
+              "scheduleFunction runs after register assignment");
+    for (auto &bb : func.blocks) {
+        BlockScheduler sched(module, func, bb, machine, alias);
+        sched.run();
+    }
+}
+
+} // namespace ilp

@@ -1,0 +1,326 @@
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "opt/passes.hh"
+#include "support/logging.hh"
+
+namespace ilp {
+
+namespace {
+
+/**
+ * Strength reduction of induction-derived address computations in
+ * rotated (single-block, bottom-tested) loops.
+ *
+ * The codegen shape for an array reference a[h + d] inside a loop
+ * with induction register h (h := h + c once per iteration) is
+ *
+ *     x = h + d          (d an immediate or a loop-invariant register)
+ *     t = x << k
+ *     addr = t + #base
+ *
+ * which puts a 3-deep dependence chain in front of every load/store.
+ * This pass gives each distinct (family, base) pair a register p that
+ * carries the address across iterations:
+ *
+ *     preheader:  p = ((h + d) << k) + base
+ *     loop:       addr = p (+/- c<<k depending on position)
+ *                 ...
+ *                 h = h + c
+ *                 p = p + (c << k)
+ *
+ * After dead-code elimination the old chain disappears and the
+ * loads/stores start the iteration with their addresses ready — the
+ * induction-variable optimization production compilers of the era
+ * (including the paper's Mahler system) performed.
+ */
+class LoopStrengthReduce
+{
+  public:
+    explicit LoopStrengthReduce(Function &func) : func_(func) {}
+
+    int
+    run()
+    {
+        int changed = 0;
+        // Block list grows as preheaders are added; the new blocks
+        // are not self-loops, so a snapshot of the count is fine.
+        std::size_t nblocks = func_.blocks.size();
+        for (std::size_t b = 0; b < nblocks; ++b)
+            changed += reduceBlock(static_cast<BlockId>(b));
+        return changed;
+    }
+
+  private:
+    struct Family
+    {
+        Reg h = kNoReg;          ///< basic induction register
+        Reg dReg = kNoReg;       ///< invariant register offset
+        std::int64_t dImm = 0;   ///< immediate offset
+        std::int64_t shift = 0;  ///< scale (left-shift amount)
+        /** Sum of IV increments before the point h was read. */
+        std::int64_t sumAtRead = 0;
+        std::int64_t total = 0;  ///< IV increment per iteration
+        std::size_t lastUpdIdx = 0;
+    };
+
+    bool
+    isSelfLoop(const BasicBlock &bb) const
+    {
+        if (bb.instrs.empty())
+            return false;
+        const Instr &t = bb.instrs.back();
+        return t.op == Opcode::Br &&
+               (t.target0 == bb.id || t.target1 == bb.id);
+    }
+
+    int
+    reduceBlock(BlockId bid)
+    {
+        BasicBlock &bb = func_.blocks[bid];
+        if (!isSelfLoop(bb))
+            return 0;
+
+        const std::size_t n = bb.instrs.size();
+
+        // Definition counts inside the loop body.
+        std::vector<int> defs(func_.numVirtRegs, 0);
+        for (const auto &in : bb.instrs) {
+            if (in.dst != kNoReg)
+                ++defs[in.dst];
+        }
+
+        // Basic induction registers: every definition of h in the
+        // block is `h = h + #c` (an unrolled body updates its
+        // induction variable several times per iteration).
+        struct Iv
+        {
+            /** (index, step) of each update, ascending. */
+            std::vector<std::pair<std::size_t, std::int64_t>> updates;
+            std::int64_t total = 0;
+            std::size_t lastIdx = 0;
+
+            /** Sum of the steps of updates strictly before `pos`. */
+            std::int64_t
+            sumBefore(std::size_t pos) const
+            {
+                std::int64_t acc = 0;
+                for (const auto &[idx, step] : updates) {
+                    if (idx < pos)
+                        acc += step;
+                }
+                return acc;
+            }
+        };
+        std::map<Reg, Iv> ivs;
+        {
+            std::map<Reg, int> iv_updates;
+            for (const auto &in : bb.instrs) {
+                if (in.op == Opcode::AddI && in.hasImm &&
+                    in.dst == in.src1 && in.dst != kNoReg)
+                    ++iv_updates[in.dst];
+            }
+            for (const auto &[h, count] : iv_updates) {
+                if (count != defs[h])
+                    continue; // some def is not an increment
+                Iv iv;
+                for (std::size_t i = 0; i < n; ++i) {
+                    const Instr &in = bb.instrs[i];
+                    if (in.dst == h) {
+                        iv.updates.push_back({i, in.imm});
+                        iv.total += in.imm;
+                        iv.lastIdx = i;
+                    }
+                }
+                ivs.emplace(h, std::move(iv));
+            }
+        }
+        if (ivs.empty())
+            return 0;
+        auto find_iv = [&](Reg r) -> const Iv * {
+            auto it = ivs.find(r);
+            return it == ivs.end() ? nullptr : &it->second;
+        };
+
+        // Rewrites to apply: (addr-instr index, family, base imm).
+        struct Rewrite
+        {
+            std::size_t addrIdx;
+            Family fam;
+            std::int64_t base;
+        };
+        std::vector<Rewrite> rewrites;
+
+        for (std::size_t si = 0; si < n; ++si) {
+            const Instr &shl = bb.instrs[si];
+            if (shl.op != Opcode::ShlI || !shl.hasImm ||
+                shl.dst == kNoReg || defs[shl.dst] != 1)
+                continue;
+
+            Family fam;
+            fam.shift = shl.imm;
+            const Iv *iv = find_iv(shl.src1);
+            std::size_t read_idx = si;
+            if (iv) {
+                fam.h = shl.src1;
+            } else if (true) {
+                // One level of offset: x = h + d before the shift.
+                bool found = false;
+                for (std::size_t xi = 0; xi < si && !found; ++xi) {
+                    const Instr &x = bb.instrs[xi];
+                    if (x.dst != shl.src1 || x.op != Opcode::AddI ||
+                        defs[x.dst] != 1)
+                        continue;
+                    if (x.hasImm) {
+                        if ((iv = find_iv(x.src1))) {
+                            fam.h = x.src1;
+                            fam.dImm = x.imm;
+                            read_idx = xi;
+                            found = true;
+                        }
+                    } else if (x.src2 != kNoReg) {
+                        Reg a = x.src1, c = x.src2;
+                        if (find_iv(a) && defs[c] == 0) {
+                            iv = find_iv(a);
+                            fam.h = a;
+                            fam.dReg = c;
+                            read_idx = xi;
+                            found = true;
+                        } else if (find_iv(c) && defs[a] == 0) {
+                            iv = find_iv(c);
+                            fam.h = c;
+                            fam.dReg = a;
+                            read_idx = xi;
+                            found = true;
+                        }
+                    }
+                    if (found)
+                        break;
+                }
+                if (!found)
+                    continue;
+            }
+            fam.sumAtRead = iv->sumBefore(read_idx);
+            fam.total = iv->total;
+            fam.lastUpdIdx = iv->lastIdx;
+
+            // Address adds fed by this shift: addr = t + #base.
+            for (std::size_t ai = si + 1; ai < n; ++ai) {
+                const Instr &a = bb.instrs[ai];
+                if (a.op == Opcode::AddI && a.hasImm &&
+                    a.src1 == shl.dst && a.dst != kNoReg &&
+                    defs[a.dst] == 1)
+                    rewrites.push_back({ai, fam, a.imm});
+            }
+        }
+        if (rewrites.empty())
+            return 0;
+
+        // Preheader: retarget out-of-loop predecessors of the loop.
+        BlockId pre =
+            func_.addBlock("sr.preheader.bb" + std::to_string(bid));
+        for (auto &blk : func_.blocks) {
+            if (blk.id == bid || blk.id == pre || blk.instrs.empty())
+                continue;
+            Instr &t = blk.instrs.back();
+            if (!isTerminator(t.op))
+                continue;
+            if (t.target0 == bid)
+                t.target0 = pre;
+            if (t.op == Opcode::Br && t.target1 == bid)
+                t.target1 = pre;
+        }
+        auto &pre_instrs = func_.blocks[pre].instrs;
+
+        // Apply the rewrites.  Rewrites sharing (h, dReg, shift) use
+        // one address register p = (h [+ dReg]) << shift, computed in
+        // the preheader and advanced once per iteration; each member
+        // differs from p only by a compile-time constant.
+        BasicBlock &body = func_.blocks[bid]; // re-fetch (vector grew)
+        struct Group
+        {
+            Reg p;
+            std::size_t lastUpdIdx;
+            std::int64_t inc;
+        };
+        std::map<std::tuple<Reg, Reg, std::int64_t>, Group> groups;
+        struct Incr
+        {
+            std::size_t afterIdx;
+            Instr instr;
+        };
+        std::vector<Incr> incrs;
+        for (const auto &rw : rewrites) {
+            const Family &f = rw.fam;
+            auto key = std::make_tuple(f.h, f.dReg, f.shift);
+            auto it = groups.find(key);
+            if (it == groups.end()) {
+                Reg cur = f.h;
+                if (f.dReg != kNoReg) {
+                    Reg t = func_.newVirtReg();
+                    pre_instrs.push_back(
+                        Instr::binary(Opcode::AddI, t, f.h, f.dReg));
+                    cur = t;
+                }
+                Reg p = func_.newVirtReg();
+                pre_instrs.push_back(
+                    Instr::binaryImm(Opcode::ShlI, p, cur, f.shift));
+                Group g;
+                g.p = p;
+                g.lastUpdIdx = f.lastUpdIdx;
+                g.inc = f.total << f.shift;
+                it = groups.emplace(key, g).first;
+                // Loop: p advances once, after the IV's final update.
+                incrs.push_back(
+                    {f.lastUpdIdx,
+                     Instr::binaryImm(Opcode::AddI, p, p, g.inc)});
+            }
+            const Group &g = it->second;
+
+            // address = p + ((sumAtRead + dImm) << shift) + base,
+            // minus one stride if the use sits after p's increment.
+            Instr &addr = body.instrs[rw.addrIdx];
+            std::int64_t adjust =
+                ((f.sumAtRead + f.dImm) << f.shift) + rw.base;
+            if (rw.addrIdx > g.lastUpdIdx)
+                adjust -= g.inc;
+            if (adjust != 0)
+                addr = Instr::binaryImm(Opcode::AddI, addr.dst, g.p,
+                                        adjust);
+            else
+                addr = Instr::unary(Opcode::MovI, addr.dst, g.p);
+        }
+        pre_instrs.push_back(Instr::jmp(bid));
+
+        // Insert the p-increments after the IV updates (descending
+        // index order keeps earlier indices valid).
+        std::sort(incrs.begin(), incrs.end(),
+                  [](const Incr &a, const Incr &b) {
+                      return a.afterIdx > b.afterIdx;
+                  });
+        for (const auto &inc : incrs) {
+            body.instrs.insert(body.instrs.begin() +
+                                   static_cast<std::ptrdiff_t>(
+                                       inc.afterIdx + 1),
+                               inc.instr);
+        }
+        return static_cast<int>(rewrites.size());
+    }
+
+    Function &func_;
+};
+
+} // namespace
+
+int
+strengthReduceLoops(Function &func)
+{
+    SS_ASSERT(!func.allocated,
+              "strengthReduceLoops needs virtual registers");
+    LoopStrengthReduce sr(func);
+    return sr.run();
+}
+
+} // namespace ilp

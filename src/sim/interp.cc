@@ -1,0 +1,360 @@
+#include "sim/interp.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+namespace {
+
+constexpr int kMaxCallDepth = 4096;
+
+std::int64_t
+asInt(std::uint64_t bits)
+{
+    return static_cast<std::int64_t>(bits);
+}
+
+std::uint64_t
+fromInt(std::int64_t v)
+{
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+asF(std::uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+std::uint64_t
+fromF(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
+Interpreter::Interpreter(const Module &module, InterpOptions options)
+    : module_(module), opts_(options), mem_(module, options.stackBytes)
+{
+    stack_top_ = mem_.stackBase();
+}
+
+void
+Interpreter::outOfFuel() const
+{
+    SS_FATAL("interpreter fuel exhausted after ", executed_,
+             " instructions — runaway workload?");
+}
+
+RunResult
+Interpreter::run(const std::string &entry, TraceSink *sink)
+{
+    FuncId id = module_.findFunction(entry);
+    if (id == kNoFunc)
+        SS_FATAL("no entry function '", entry, "'");
+    const Function &func = module_.function(id);
+    if (!func.paramRegs.empty())
+        SS_FATAL("entry function '", entry, "' must take no arguments");
+
+    sink_ = sink;
+    executed_ = 0;
+    stack_top_ = mem_.stackBase();
+    call_depth_ = 0;
+    arena_.clear();
+
+    RunResult result;
+    result.returnValue = callFunction(func, {});
+    result.instructions = executed_;
+    sink_ = nullptr;
+    return result;
+}
+
+std::uint64_t
+Interpreter::callFunction(const Function &func,
+                          const std::vector<std::uint64_t> &args)
+{
+    SS_ASSERT(args.size() == func.paramRegs.size(),
+              "arity mismatch calling ", func.name);
+    if (++call_depth_ > kMaxCallDepth)
+        SS_FATAL("call depth exceeded in ", func.name);
+
+    const std::size_t nregs =
+        std::max<std::size_t>(func.numVirtRegs, func.layout.total());
+    const std::size_t base = arena_.size();
+    arena_.resize(base + nregs, 0);
+
+    // Frame allocation.
+    std::int64_t fp = stack_top_;
+    stack_top_ += func.frameBytes;
+    if (stack_top_ > mem_.limit())
+        SS_FATAL("stack overflow in ", func.name);
+
+    Reg fp_reg = func.framePointer();
+    if (fp_reg != kNoReg && fp_reg < nregs)
+        arena_[base + fp_reg] = fromInt(fp);
+    for (std::size_t i = 0; i < args.size(); ++i)
+        arena_[base + func.paramRegs[i]] = args[i];
+
+    auto get = [&](Reg r) -> std::uint64_t {
+        SS_ASSERT(r < nregs, "register v", r, " out of range in ",
+                  func.name);
+        return arena_[base + r];
+    };
+
+    std::uint64_t ret_value = 0;
+    BlockId block = 0;
+    std::size_t ip = 0;
+    bool running = true;
+
+    while (running) {
+        SS_ASSERT(block >= 0 && static_cast<std::size_t>(block) <
+                                    func.blocks.size(),
+                  "bad block id in ", func.name);
+        const BasicBlock &bb = func.blocks[block];
+        SS_ASSERT(ip < bb.instrs.size(), "fell off block in ",
+                  func.name);
+        const Instr &in = bb.instrs[ip];
+
+        if (++executed_ > opts_.fuel)
+            outOfFuel();
+
+        DynInstr di;
+        if (sink_) {
+            di.op = in.op;
+            di.dst = in.dst;
+        }
+
+        // Fetch ALU operands.
+        auto rhs = [&]() -> std::uint64_t {
+            return in.hasImm ? fromInt(in.imm) : get(in.src2);
+        };
+
+        std::uint64_t value = 0;
+        bool writes = true;
+        std::int64_t next_block = -1;
+
+        switch (in.op) {
+          case Opcode::AddI:
+            value = fromInt(asInt(get(in.src1)) + asInt(rhs()));
+            break;
+          case Opcode::SubI:
+            value = fromInt(asInt(get(in.src1)) - asInt(rhs()));
+            break;
+          case Opcode::MulI:
+            value = fromInt(asInt(get(in.src1)) * asInt(rhs()));
+            break;
+          case Opcode::DivI: {
+            std::int64_t d = asInt(rhs());
+            if (d == 0)
+                SS_FATAL("integer division by zero in ", func.name);
+            value = fromInt(asInt(get(in.src1)) / d);
+            break;
+          }
+          case Opcode::RemI: {
+            std::int64_t d = asInt(rhs());
+            if (d == 0)
+                SS_FATAL("integer remainder by zero in ", func.name);
+            value = fromInt(asInt(get(in.src1)) % d);
+            break;
+          }
+          case Opcode::CmpEqI:
+            value = asInt(get(in.src1)) == asInt(rhs()) ? 1 : 0;
+            break;
+          case Opcode::CmpNeI:
+            value = asInt(get(in.src1)) != asInt(rhs()) ? 1 : 0;
+            break;
+          case Opcode::CmpLtI:
+            value = asInt(get(in.src1)) < asInt(rhs()) ? 1 : 0;
+            break;
+          case Opcode::CmpLeI:
+            value = asInt(get(in.src1)) <= asInt(rhs()) ? 1 : 0;
+            break;
+          case Opcode::CmpGtI:
+            value = asInt(get(in.src1)) > asInt(rhs()) ? 1 : 0;
+            break;
+          case Opcode::CmpGeI:
+            value = asInt(get(in.src1)) >= asInt(rhs()) ? 1 : 0;
+            break;
+          case Opcode::AndI:
+            value = get(in.src1) & rhs();
+            break;
+          case Opcode::OrI:
+            value = get(in.src1) | rhs();
+            break;
+          case Opcode::XorI:
+            value = get(in.src1) ^ rhs();
+            break;
+          case Opcode::NotI:
+            value = ~get(in.src1);
+            break;
+          case Opcode::ShlI:
+            value = fromInt(asInt(get(in.src1))
+                            << (asInt(rhs()) & 63));
+            break;
+          case Opcode::ShrAI:
+            value = fromInt(asInt(get(in.src1)) >> (asInt(rhs()) & 63));
+            break;
+          case Opcode::ShrLI:
+            value = get(in.src1) >> (asInt(rhs()) & 63);
+            break;
+          case Opcode::MovI:
+          case Opcode::MovF:
+            value = get(in.src1);
+            break;
+          case Opcode::LiI:
+            value = fromInt(in.imm);
+            break;
+          case Opcode::LiF:
+            value = fromF(in.fimm);
+            break;
+          case Opcode::LoadW:
+          case Opcode::LoadF: {
+            std::int64_t addr = asInt(get(in.src1)) + in.imm;
+            value = mem_.loadWord(addr);
+            if (sink_)
+                di.addr = addr;
+            break;
+          }
+          case Opcode::StoreW:
+          case Opcode::StoreF: {
+            std::int64_t addr = asInt(get(in.src1)) + in.imm;
+            mem_.storeWord(addr, get(in.src2));
+            if (sink_)
+                di.addr = addr;
+            writes = false;
+            break;
+          }
+          case Opcode::AddF:
+            value = fromF(asF(get(in.src1)) + asF(get(in.src2)));
+            break;
+          case Opcode::SubF:
+            value = fromF(asF(get(in.src1)) - asF(get(in.src2)));
+            break;
+          case Opcode::MulF:
+            value = fromF(asF(get(in.src1)) * asF(get(in.src2)));
+            break;
+          case Opcode::DivF:
+            value = fromF(asF(get(in.src1)) / asF(get(in.src2)));
+            break;
+          case Opcode::NegF:
+            value = fromF(-asF(get(in.src1)));
+            break;
+          case Opcode::AbsF:
+            value = fromF(std::fabs(asF(get(in.src1))));
+            break;
+          case Opcode::CmpEqF:
+            value = asF(get(in.src1)) == asF(get(in.src2)) ? 1 : 0;
+            break;
+          case Opcode::CmpNeF:
+            value = asF(get(in.src1)) != asF(get(in.src2)) ? 1 : 0;
+            break;
+          case Opcode::CmpLtF:
+            value = asF(get(in.src1)) < asF(get(in.src2)) ? 1 : 0;
+            break;
+          case Opcode::CmpLeF:
+            value = asF(get(in.src1)) <= asF(get(in.src2)) ? 1 : 0;
+            break;
+          case Opcode::CmpGtF:
+            value = asF(get(in.src1)) > asF(get(in.src2)) ? 1 : 0;
+            break;
+          case Opcode::CmpGeF:
+            value = asF(get(in.src1)) >= asF(get(in.src2)) ? 1 : 0;
+            break;
+          case Opcode::CvtIF:
+            value = fromF(static_cast<double>(asInt(get(in.src1))));
+            break;
+          case Opcode::CvtFI:
+            value = fromInt(static_cast<std::int64_t>(asF(get(in.src1))));
+            break;
+          case Opcode::Br:
+            next_block = get(in.src1) != 0 ? in.target0 : in.target1;
+            writes = false;
+            break;
+          case Opcode::Jmp:
+            next_block = in.target0;
+            writes = false;
+            break;
+          case Opcode::Call: {
+            const Function &callee = module_.function(in.callee);
+            // Trace the call before descending so the stream is in
+            // fetch order, followed by explicit argument-transfer
+            // moves (the calling convention's visible cost, which
+            // also ties the callee's parameter registers to the
+            // caller's dataflow in the timing model).
+            if (sink_) {
+                sink_->emit(di);
+                for (std::size_t i = 0; i < in.args.size(); ++i) {
+                    DynInstr mv;
+                    mv.op = callee.paramIsFloat[i] ? Opcode::MovF
+                                                   : Opcode::MovI;
+                    mv.dst = callee.paramRegs[i];
+                    mv.addSrc(in.args[i]);
+                    sink_->emit(mv);
+                }
+                executed_ += in.args.size();
+            }
+            std::vector<std::uint64_t> call_args;
+            call_args.reserve(in.args.size());
+            for (Reg a : in.args)
+                call_args.push_back(get(a));
+            std::uint64_t rv = callFunction(callee, call_args);
+            if (in.dst != kNoReg) {
+                arena_[base + in.dst] = rv;
+                // Return-value transfer move.
+                if (sink_ && last_ret_reg_ != kNoReg) {
+                    DynInstr mv;
+                    mv.op = callee.returnsFloat ? Opcode::MovF
+                                                : Opcode::MovI;
+                    mv.dst = in.dst;
+                    mv.addSrc(last_ret_reg_);
+                    sink_->emit(mv);
+                    ++executed_;
+                }
+            }
+            ++ip;
+            continue; // trace already emitted
+          }
+          case Opcode::Ret:
+            if (in.src1 != kNoReg)
+                ret_value = get(in.src1);
+            last_ret_reg_ = in.src1;
+            running = false;
+            writes = false;
+            break;
+          default:
+            SS_PANIC("unhandled opcode in interpreter: ",
+                     opcodeName(in.op));
+        }
+
+        if (writes && in.dst != kNoReg)
+            arena_[base + in.dst] = value;
+
+        if (sink_) {
+            // Inline source collection (forEachSrc's std::function is
+            // too hot for this path).
+            if (in.src1 != kNoReg)
+                di.addSrc(in.src1);
+            if (in.src2 != kNoReg)
+                di.addSrc(in.src2);
+            sink_->emit(di);
+        }
+
+        if (next_block >= 0) {
+            block = static_cast<BlockId>(next_block);
+            ip = 0;
+        } else {
+            ++ip;
+        }
+    }
+
+    arena_.resize(base);
+    stack_top_ -= func.frameBytes;
+    --call_depth_;
+    return ret_value;
+}
+
+} // namespace ilp

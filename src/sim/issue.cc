@@ -1,0 +1,151 @@
+#include "sim/issue.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+IssueEngine::IssueEngine(const MachineConfig &config)
+    : config_(config)
+{
+    config_.validate();
+    unit_free_.resize(config_.units.size());
+    for (std::size_t u = 0; u < config_.units.size(); ++u)
+        unit_free_[u].assign(
+            static_cast<std::size_t>(config_.units[u].multiplicity), 0);
+    counts_.assign(static_cast<std::size_t>(config_.issueWidth) + 1, 0);
+}
+
+std::uint64_t
+IssueEngine::regReady(Reg r) const
+{
+    return r < reg_ready_.size() ? reg_ready_[r] : 0;
+}
+
+void
+IssueEngine::setRegReady(Reg r, std::uint64_t t)
+{
+    if (r >= reg_ready_.size())
+        reg_ready_.resize(static_cast<std::size_t>(r) + 1, 0);
+    reg_ready_[r] = t;
+}
+
+void
+IssueEngine::emit(const DynInstr &di)
+{
+    const InstrClass cls = di.cls();
+
+    // Earliest issue: in order, and after any branch fence.
+    std::uint64_t t = std::max(cur_cycle_, fence_);
+
+    // Register RAW.
+    for (std::uint8_t i = 0; i < di.numSrcs; ++i)
+        t = std::max(t, regReady(di.srcs[i]));
+
+    // Memory RAW / WAW through the actual word address.
+    if (di.addr >= 0) {
+        auto it = store_ready_.find(di.addr);
+        if (it != store_ready_.end())
+            t = std::max(t, it->second);
+    }
+
+    // Functional-unit availability (class conflicts).
+    int unit = config_.unitFor(cls);
+    std::size_t copy = 0;
+    if (unit >= 0) {
+        auto &copies = unit_free_[static_cast<std::size_t>(unit)];
+        copy = 0;
+        for (std::size_t i = 1; i < copies.size(); ++i) {
+            if (copies[i] < copies[copy])
+                copy = i;
+        }
+        t = std::max(t, copies[copy]);
+    }
+
+    // Issue-slot availability: if we moved past the cycle being
+    // filled, the new cycle starts empty; otherwise check the width.
+    if (t > cur_cycle_) {
+        ++counts_[static_cast<std::size_t>(cur_count_)];
+        empty_cycles_ += t - cur_cycle_ - 1;
+        cur_cycle_ = t;
+        cur_count_ = 0;
+    } else if (cur_count_ >= config_.issueWidth) {
+        ++counts_[static_cast<std::size_t>(cur_count_)];
+        t = ++cur_cycle_;
+        cur_count_ = 0;
+        // Re-check unit availability at the new cycle: the chosen
+        // copy is still the earliest-free one, so only max() again.
+        if (unit >= 0)
+            t = std::max(
+                t, unit_free_[static_cast<std::size_t>(unit)][copy]);
+        if (t > cur_cycle_) {
+            empty_cycles_ += t - cur_cycle_;
+            cur_cycle_ = t;
+        }
+    }
+
+    // --- Issue at minor cycle t. ---
+    ++cur_count_;
+    ++instructions_;
+
+    const std::uint64_t lat =
+        static_cast<std::uint64_t>(config_.latencyMinor(cls));
+    const std::uint64_t done = t + lat;
+    last_complete_ = std::max(last_complete_, done);
+
+    if (di.dst != kNoReg)
+        setRegReady(di.dst, done);
+    if (di.addr >= 0 && isStore(di.op))
+        store_ready_[di.addr] = done;
+    if (unit >= 0) {
+        unit_free_[static_cast<std::size_t>(unit)][copy] =
+            t + static_cast<std::uint64_t>(
+                    config_.units[static_cast<std::size_t>(unit)]
+                        .issueLatency);
+    }
+    if (!config_.issueAcrossBranches &&
+        (cls == InstrClass::Branch || cls == InstrClass::Jump))
+        fence_ = t + 1;
+}
+
+std::uint64_t
+IssueEngine::minorCycles() const
+{
+    return last_complete_;
+}
+
+std::vector<std::uint64_t>
+IssueEngine::issueCounts() const
+{
+    std::vector<std::uint64_t> out = counts_;
+    out[0] += empty_cycles_;
+    if (cur_count_ > 0 &&
+        static_cast<std::size_t>(cur_count_) < out.size())
+        ++out[static_cast<std::size_t>(cur_count_)];
+    return out;
+}
+
+double
+IssueEngine::baseCycles() const
+{
+    return static_cast<double>(last_complete_) /
+           static_cast<double>(config_.pipelineDegree);
+}
+
+double
+IssueEngine::instrPerBaseCycle() const
+{
+    SS_ASSERT(last_complete_ > 0, "no instructions simulated");
+    return static_cast<double>(instructions_) / baseCycles();
+}
+
+double
+simulateTrace(const TraceBuffer &trace, const MachineConfig &config)
+{
+    IssueEngine engine(config);
+    trace.replay(engine);
+    return engine.baseCycles();
+}
+
+} // namespace ilp

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The timing simulator: a strictly in-order issue engine running in
+ * minor cycles (1/m of a base cycle), consuming the dynamic trace.
+ *
+ * Per Section 2 and the §2.3.2 exclusion, instructions never issue out
+ * of order: "We will not consider superscalar machines or any other
+ * machines that issue instructions out of order."  An instruction
+ * issues in the earliest minor cycle t such that:
+ *
+ *  1. t is not before the previous instruction's issue cycle;
+ *  2. fewer than `issueWidth` instructions have issued in t;
+ *  3. every register source is ready (producer latency elapsed);
+ *  4. loads wait for earlier stores to the same word to complete,
+ *     stores wait for earlier stores to the same word (memory RAW /
+ *     WAW through actual addresses);
+ *  5. a functional-unit copy serving its class is free (class
+ *     conflicts, §2.3.2) — unless the machine has fully duplicated
+ *     units;
+ *  6. if `issueAcrossBranches` is false, t is strictly after the
+ *     latest branch's issue cycle.
+ *
+ * Branch prediction is perfect and control transfers add no latency
+ * (§2.1's "no contribution to control latency" assumption).  Register
+ * WAW is resolved by overwrite (last writer wins; no interlock) — see
+ * DESIGN.md.  Elapsed time in base cycles is minor cycles / m, making
+ * superscalar and superpipelined machines directly comparable.
+ */
+
+#ifndef SUPERSYM_SIM_ISSUE_HH
+#define SUPERSYM_SIM_ISSUE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/machine/machine.hh"
+#include "sim/trace.hh"
+#include "support/statistics.hh"
+
+namespace ilp {
+
+class IssueEngine : public TraceSink
+{
+  public:
+    explicit IssueEngine(const MachineConfig &config);
+
+    void emit(const DynInstr &di) override;
+
+    /** Dynamic instructions issued so far. */
+    std::uint64_t instructions() const { return instructions_; }
+
+    /** Elapsed minor cycles until the last instruction completes. */
+    std::uint64_t minorCycles() const;
+
+    /** Elapsed time in base cycles (minor cycles / m). */
+    double baseCycles() const;
+
+    /**
+     * Instructions per base cycle = dynamic instructions / base
+     * cycles; on an ideal machine this is the available parallelism
+     * actually exploited.
+     */
+    double instrPerBaseCycle() const;
+
+    /**
+     * issueCounts()[k] = number of minor cycles in which exactly k
+     * instructions issued (k = 0..issueWidth), up to the last issue.
+     */
+    std::vector<std::uint64_t> issueCounts() const;
+
+    const MachineConfig &config() const { return config_; }
+
+  private:
+    std::uint64_t regReady(Reg r) const;
+    void setRegReady(Reg r, std::uint64_t t);
+
+    MachineConfig config_;
+
+    std::uint64_t instructions_ = 0;
+    /** Minor cycle currently being filled. */
+    std::uint64_t cur_cycle_ = 0;
+    /** Instructions already issued in cur_cycle_. */
+    int cur_count_ = 0;
+    /** Completion time of the latest-finishing instruction. */
+    std::uint64_t last_complete_ = 0;
+    /** Earliest cycle the next instruction may use (branch fences). */
+    std::uint64_t fence_ = 0;
+
+    std::vector<std::uint64_t> reg_ready_;
+    std::unordered_map<std::int64_t, std::uint64_t> store_ready_;
+    /** Next-free minor cycle per functional-unit copy, per unit. */
+    std::vector<std::vector<std::uint64_t>> unit_free_;
+
+    /** counts_[k] = closed cycles that issued exactly k instrs. */
+    std::vector<std::uint64_t> counts_;
+    /** Fully-empty cycles skipped during stalls. */
+    std::uint64_t empty_cycles_ = 0;
+};
+
+/**
+ * Convenience: replay a buffered trace on a machine and return the
+ * elapsed base cycles.
+ */
+double simulateTrace(const TraceBuffer &trace,
+                     const MachineConfig &config);
+
+} // namespace ilp
+
+#endif // SUPERSYM_SIM_ISSUE_HH

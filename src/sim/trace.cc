@@ -1,0 +1,6 @@
+#include "sim/trace.hh"
+
+// Header-only types; this TU anchors the vtables.
+
+namespace ilp {
+} // namespace ilp

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Dynamic instruction records and trace sinks.
+ *
+ * The functional simulator (sim/interp.hh) executes a module and
+ * streams one DynInstr per executed instruction into a TraceSink.
+ * Sinks include the timing engine (sim/issue.hh), class-frequency
+ * profilers, the cache model, and buffering sinks for replaying one
+ * execution against many machine configurations.
+ */
+
+#ifndef SUPERSYM_SIM_TRACE_HH
+#define SUPERSYM_SIM_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics/metrics.hh"
+#include "isa/isa.hh"
+
+namespace ilp {
+
+/** One executed instruction. */
+struct DynInstr
+{
+    Opcode op = Opcode::Jmp;
+    /** Destination register; kNoReg if none. */
+    Reg dst = kNoReg;
+    /** Source registers actually read (up to 4 recorded). */
+    std::array<Reg, 4> srcs{kNoReg, kNoReg, kNoReg, kNoReg};
+    std::uint8_t numSrcs = 0;
+    /** Byte address for loads/stores; -1 otherwise. */
+    std::int64_t addr = -1;
+
+    InstrClass cls() const { return opcodeClass(op); }
+
+    void
+    addSrc(Reg r)
+    {
+        if (r != kNoReg && numSrcs < srcs.size())
+            srcs[numSrcs++] = r;
+    }
+};
+
+/** Receives the dynamic instruction stream. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void emit(const DynInstr &di) = 0;
+};
+
+/** Fans one stream out to several sinks. */
+class TeeSink : public TraceSink
+{
+  public:
+    void addSink(TraceSink *sink) { sinks_.push_back(sink); }
+    void emit(const DynInstr &di) override
+    {
+        for (auto *s : sinks_)
+            s->emit(di);
+    }
+
+  private:
+    std::vector<TraceSink *> sinks_;
+};
+
+/** Buffers the whole trace for replay against many machines. */
+class TraceBuffer : public TraceSink
+{
+  public:
+    void emit(const DynInstr &di) override { trace_.push_back(di); }
+    const std::vector<DynInstr> &trace() const { return trace_; }
+    std::size_t size() const { return trace_.size(); }
+    void clear() { trace_.clear(); }
+
+    /** Replay the buffered trace into another sink. */
+    void replay(TraceSink &sink) const
+    {
+        for (const auto &di : trace_)
+            sink.emit(di);
+    }
+
+  private:
+    std::vector<DynInstr> trace_;
+};
+
+/** Counts dynamic instructions per class (Table 2-1 measured mix). */
+class ClassProfileSink : public TraceSink
+{
+  public:
+    ClassProfileSink() { counts_.fill(0); }
+    void emit(const DynInstr &di) override
+    {
+        ++counts_[static_cast<std::size_t>(di.cls())];
+        ++total_;
+    }
+    const ClassCounts &counts() const { return counts_; }
+    std::uint64_t total() const { return total_; }
+    ClassFrequencies frequencies() const
+    {
+        return normalizeCounts(counts_);
+    }
+
+  private:
+    ClassCounts counts_{};
+    std::uint64_t total_ = 0;
+};
+
+} // namespace ilp
+
+#endif // SUPERSYM_SIM_TRACE_HH

@@ -1,0 +1,70 @@
+#include "support/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ilp {
+
+namespace {
+
+std::atomic<bool> throws{false};
+std::atomic<std::size_t> warnings{0};
+
+} // namespace
+
+void
+setLoggingThrows(bool enable)
+{
+    throws.store(enable);
+}
+
+bool
+loggingThrows()
+{
+    return throws.load();
+}
+
+std::size_t
+warnCount()
+{
+    return warnings.load();
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = detail::concat("panic: ", msg, " @ ", file, ":", line);
+    if (loggingThrows())
+        throw FatalError(full);
+    std::fprintf(stderr, "%s\n", full.c_str());
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = detail::concat("fatal: ", msg, " @ ", file, ":", line);
+    if (loggingThrows())
+        throw FatalError(full);
+    std::fprintf(stderr, "%s\n", full.c_str());
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    warnings.fetch_add(1);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace ilp

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Status and error reporting, in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated: a supersym bug.
+ *            Aborts (can dump core).
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad machine description, malformed source).  Exits(1).
+ * warn()   — something is modelled approximately; keep going.
+ * inform() — plain status output.
+ *
+ * All of them accept printf-free, iostream-free formatting via a small
+ * variadic string builder so call sites stay terse.
+ */
+
+#ifndef SUPERSYM_SUPPORT_LOGGING_HH
+#define SUPERSYM_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace ilp {
+
+namespace detail {
+
+/** Concatenate any streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/** Implementation hooks; they live in logging.cc so tests can observe. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Exception thrown by fatal() and panic() when throw-mode is enabled
+ * (used by the test suite so death paths are testable in-process).
+ */
+struct FatalError : std::runtime_error
+{
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what) {}
+};
+
+/**
+ * When true, panic()/fatal() throw FatalError instead of terminating.
+ * Tests flip this on; library code never does.
+ */
+void setLoggingThrows(bool enable);
+bool loggingThrows();
+
+/** Count of warnings emitted so far (tests assert on deltas). */
+std::size_t warnCount();
+
+} // namespace ilp
+
+#define SS_PANIC(...) \
+    ::ilp::detail::panicImpl(__FILE__, __LINE__, \
+                             ::ilp::detail::concat(__VA_ARGS__))
+
+#define SS_FATAL(...) \
+    ::ilp::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::ilp::detail::concat(__VA_ARGS__))
+
+#define SS_WARN(...) \
+    ::ilp::detail::warnImpl(::ilp::detail::concat(__VA_ARGS__))
+
+#define SS_INFORM(...) \
+    ::ilp::detail::informImpl(::ilp::detail::concat(__VA_ARGS__))
+
+/** Assert an internal invariant; compiled in all build types. */
+#define SS_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            SS_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // SUPERSYM_SUPPORT_LOGGING_HH

@@ -1,0 +1,112 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+std::string
+formatFixed(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+Table::Table(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+Table &
+Table::row()
+{
+    body_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &text)
+{
+    SS_ASSERT(!body_.empty(), "cell() before row()");
+    body_.back().push_back(text);
+    return *this;
+}
+
+Table &
+Table::cell(const char *text)
+{
+    return cell(std::string(text));
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    return cell(formatFixed(value, precision));
+}
+
+Table &
+Table::cell(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths;
+    auto widen = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto &r : body_)
+        widen(r);
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << title_ << "\n";
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                os << "  ";
+            os << cells[i];
+            // Pad all but the last column.
+            if (i + 1 < widths.size())
+                os << std::string(widths[i] - cells[i].size(), ' ');
+        }
+        os << "\n";
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : body_)
+        emit(r);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::string text = render();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+}
+
+} // namespace ilp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A small fixed-column text table printer used by the benchmark
+ * harness to emit the paper's tables and figure series as aligned rows.
+ */
+
+#ifndef SUPERSYM_SUPPORT_TABLE_HH
+#define SUPERSYM_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace ilp {
+
+/**
+ * Accumulates rows of string cells and renders them with per-column
+ * widths, a header rule, and an optional title.  Numeric convenience
+ * overloads format doubles with a fixed precision.
+ */
+class Table
+{
+  public:
+    /** @param title Rendered above the table; empty to omit. */
+    explicit Table(std::string title = "");
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Begin a new row. */
+    Table &row();
+
+    /** Append one cell to the current row. */
+    Table &cell(const std::string &text);
+    Table &cell(const char *text);
+    Table &cell(double value, int precision = 2);
+    Table &cell(long long value);
+    Table &cell(int value) { return cell(static_cast<long long>(value)); }
+    Table &cell(std::size_t value)
+    {
+        return cell(static_cast<long long>(value));
+    }
+
+    /** Number of data rows so far. */
+    std::size_t rows() const { return body_.size(); }
+
+    /** Render the table to a string (trailing newline included). */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> body_;
+};
+
+/** Format a double with fixed precision (helper shared with Table). */
+std::string formatFixed(double value, int precision);
+
+} // namespace ilp
+
+#endif // SUPERSYM_SUPPORT_TABLE_HH

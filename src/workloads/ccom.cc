@@ -1,0 +1,162 @@
+#include "workloads/sources.hh"
+
+namespace ilp {
+
+/**
+ * ccom: stands in for the paper's C compiler front end.  A random
+ * expression generator produces token streams; a recursive-descent
+ * parser compiles them to stack code; a stack machine evaluates the
+ * code.  Dynamic profile: integer ALU, array/table traffic, heavy
+ * branching, real recursion — the "slightly parallel" regime.
+ */
+const char *
+ccomSource()
+{
+    return R"MT(
+// ccom -- recursive-descent expression compiler + stack evaluator.
+// Token kinds: 0 number, 1 '+', 2 '-', 3 '*', 4 '(', 5 ')', 6 end.
+var int toks[30000];
+var int tvals[30000];
+var int ntoks;
+var int pos;
+// Stack code: op 0 push-literal, 1 add, 2 sub, 3 mul-mod.
+var int code[60000];
+var int cargs[60000];
+var int ncode;
+var int stack[4000];
+var int seed;
+var real result_fp;
+
+func rnd(int m) : int {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return seed % m;
+}
+
+func emitTok(int kind, int val) {
+    if (ntoks < 29990) {
+        toks[ntoks] = kind;
+        tvals[ntoks] = val;
+        ntoks = ntoks + 1;
+    }
+}
+
+func genFactor(int depth) {
+    if (depth <= 0 || rnd(100) < 65) {
+        emitTok(0, rnd(1000));
+    } else {
+        emitTok(4, 0);
+        genExpr(depth - 1);
+        emitTok(5, 0);
+    }
+}
+
+func genTerm(int depth) {
+    genFactor(depth);
+    while (rnd(100) < 35 && ntoks < 25000) {
+        emitTok(3, 0);
+        genFactor(depth);
+    }
+}
+
+func genExpr(int depth) {
+    genTerm(depth);
+    while (rnd(100) < 45 && ntoks < 25000) {
+        if (rnd(2) == 0) {
+            emitTok(1, 0);
+        } else {
+            emitTok(2, 0);
+        }
+        genTerm(depth);
+    }
+}
+
+func emitCode(int op, int a) {
+    code[ncode] = op;
+    cargs[ncode] = a;
+    ncode = ncode + 1;
+}
+
+func parseFactor() {
+    if (toks[pos] == 0) {
+        emitCode(0, tvals[pos]);
+        pos = pos + 1;
+    } else {
+        pos = pos + 1;     // '('
+        parseExpr();
+        pos = pos + 1;     // ')'
+    }
+}
+
+func parseTerm() {
+    parseFactor();
+    while (toks[pos] == 3) {
+        pos = pos + 1;
+        parseFactor();
+        emitCode(3, 0);
+    }
+}
+
+func parseExpr() {
+    var int op;
+    parseTerm();
+    while (toks[pos] == 1 || toks[pos] == 2) {
+        op = toks[pos];
+        pos = pos + 1;
+        parseTerm();
+        emitCode(op, 0);
+    }
+}
+
+func evalCode() : int {
+    var int sp;
+    var int i;
+    var int a;
+    var int b;
+    var int op;
+    sp = 0;
+    for (i = 0; i < ncode; i = i + 1) {
+        op = code[i];
+        if (op == 0) {
+            stack[sp] = cargs[i];
+            sp = sp + 1;
+        } else {
+            b = stack[sp - 1];
+            a = stack[sp - 2];
+            sp = sp - 1;
+            if (op == 1) {
+                stack[sp - 1] = a + b;
+            } else {
+                if (op == 2) {
+                    stack[sp - 1] = a - b;
+                } else {
+                    stack[sp - 1] = (a * b) % 65536;
+                }
+            }
+        }
+    }
+    return stack[0];
+}
+
+func main() : int {
+    var int iter;
+    var int check;
+    var int v;
+    seed = 123457;
+    check = 0;
+    for (iter = 0; iter < 160; iter = iter + 1) {
+        ntoks = 0;
+        pos = 0;
+        ncode = 0;
+        genExpr(5);
+        emitTok(6, 0);
+        parseExpr();
+        v = evalCode();
+        check = (check * 31 + v + ncode) % 1000000007;
+    }
+    result_fp = real(check);
+    return check;
+}
+)MT";
+}
+
+} // namespace ilp

@@ -1,0 +1,161 @@
+#include "workloads/sources.hh"
+
+namespace ilp {
+
+/**
+ * grr: stands in for the paper's PC board router.  A Lee-style
+ * breadth-first wavefront router on a 64x64 grid with random
+ * obstacles: expand a wave from source to target, backtrace the path,
+ * and commit it as new obstacles for subsequent nets.  Dynamic
+ * profile: queue and grid array traffic, short dependent chains,
+ * dense branching.
+ */
+const char *
+grrSource()
+{
+    return R"MT(
+// grr -- Lee wavefront maze router, 64x64 grid.
+var int grid[4096];     // 0 free, 1 blocked
+var int dist[4096];
+var int queue[20000];
+var int seed;
+var real result_fp;
+
+func rnd(int m) : int {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return seed % m;
+}
+
+// BFS wave from src; returns path length to dst or -1.
+func route(int src, int dst) : int {
+    var int head;
+    var int tail;
+    var int i;
+    var int c;
+    var int d;
+    var int row;
+    var int col;
+    for (i = 0; i < 4096; i = i + 1) {
+        dist[i] = 0 - 1;
+    }
+    head = 0;
+    tail = 0;
+    queue[tail] = src;
+    tail = tail + 1;
+    dist[src] = 0;
+    while (head < tail) {
+        c = queue[head];
+        head = head + 1;
+        if (c == dst) {
+            return dist[c];
+        }
+        d = dist[c] + 1;
+        row = c / 64;
+        col = c % 64;
+        if (col > 0 && grid[c - 1] == 0 && dist[c - 1] < 0) {
+            dist[c - 1] = d;
+            queue[tail] = c - 1;
+            tail = tail + 1;
+        }
+        if (col < 63 && grid[c + 1] == 0 && dist[c + 1] < 0) {
+            dist[c + 1] = d;
+            queue[tail] = c + 1;
+            tail = tail + 1;
+        }
+        if (row > 0 && grid[c - 64] == 0 && dist[c - 64] < 0) {
+            dist[c - 64] = d;
+            queue[tail] = c - 64;
+            tail = tail + 1;
+        }
+        if (row < 63 && grid[c + 64] == 0 && dist[c + 64] < 0) {
+            dist[c + 64] = d;
+            queue[tail] = c + 64;
+            tail = tail + 1;
+        }
+        if (tail > 19000) {
+            return 0 - 1;
+        }
+    }
+    return 0 - 1;
+}
+
+// Walk back from dst along decreasing distance, blocking the path.
+func backtrace(int src, int dst) : int {
+    var int c;
+    var int want;
+    var int row;
+    var int col;
+    var int next;
+    var int cells;
+    c = dst;
+    cells = 0;
+    while (c != src && cells < 4096) {
+        grid[c] = 1;
+        cells = cells + 1;
+        want = dist[c] - 1;
+        row = c / 64;
+        col = c % 64;
+        next = c;
+        if (col > 0 && dist[c - 1] == want) {
+            next = c - 1;
+        } else {
+            if (col < 63 && dist[c + 1] == want) {
+                next = c + 1;
+            } else {
+                if (row > 0 && dist[c - 64] == want) {
+                    next = c - 64;
+                } else {
+                    if (row < 63 && dist[c + 64] == want) {
+                        next = c + 64;
+                    }
+                }
+            }
+        }
+        if (next == c) {
+            return cells;
+        }
+        c = next;
+    }
+    grid[src] = 1;
+    return cells;
+}
+
+func main() : int {
+    var int i;
+    var int net;
+    var int src;
+    var int dst;
+    var int len;
+    var int check;
+    var int routed;
+    seed = 424243;
+    check = 0;
+    routed = 0;
+    // Sprinkle obstacles over ~18% of the board.
+    for (i = 0; i < 4096; i = i + 1) {
+        if (rnd(100) < 18) {
+            grid[i] = 1;
+        } else {
+            grid[i] = 0;
+        }
+    }
+    for (net = 0; net < 24; net = net + 1) {
+        src = rnd(4096);
+        dst = rnd(4096);
+        if (grid[src] == 0 && grid[dst] == 0 && src != dst) {
+            len = route(src, dst);
+            if (len > 0) {
+                routed = routed + 1;
+                check = (check * 31 + len + backtrace(src, dst))
+                        % 1000000007;
+            }
+        }
+    }
+    check = (check * 31 + routed) % 1000000007;
+    result_fp = real(check);
+    return check;
+}
+)MT";
+}
+
+} // namespace ilp

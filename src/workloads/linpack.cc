@@ -1,0 +1,180 @@
+#include "workloads/sources.hh"
+
+namespace ilp {
+
+/**
+ * linpack: double-precision LU factorization and solve (dgefa/dgesl)
+ * on a 64x64 system, column-major in a flat array, with daxpy and
+ * idamax inner kernels.  The paper runs the official Linpack whose
+ * inner loops are unrolled 4x; here the daxpy loop is written rolled
+ * and the study harness applies the mechanized 4x unroll by default
+ * (Workload::defaultUnroll), and sweeps other factors for Fig 4-6.
+ */
+const char *
+linpackSource()
+{
+    return R"MT(
+// linpack -- dgefa/dgesl, n=64, column-major a[col*n + row].
+var real a[4096];
+var real b[64];
+var real x[64];
+var int ipvt[64];
+var int seed;
+var real result_fp;
+
+func rndf() : real {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return real(seed % 20000) / 10000.0 - 1.0;
+}
+
+// y[yoff+i] += t * x[xoff+i]  for i in [lo,hi)  (the daxpy kernel)
+func daxpy(int lo, int hi, real t, int xoff, int yoff) {
+    var int i;
+    for (i = lo; i < hi; i = i + 1) {
+        a[yoff + i] = a[yoff + i] + t * a[xoff + i];
+    }
+}
+
+// index of max |a[off+i]| for i in [lo,hi)
+func idamax(int lo, int hi, int off) : int {
+    var int i;
+    var int im;
+    var real vm;
+    var real v;
+    im = lo;
+    vm = a[off + lo];
+    if (vm < 0.0) {
+        vm = -vm;
+    }
+    for (i = lo + 1; i < hi; i = i + 1) {
+        v = a[off + i];
+        if (v < 0.0) {
+            v = -v;
+        }
+        if (v > vm) {
+            vm = v;
+            im = i;
+        }
+    }
+    return im;
+}
+
+// LU factorization with partial pivoting; returns 0 on success.
+func dgefa() : int {
+    var int n;
+    var int k;
+    var int j;
+    var int p;
+    var real t;
+    var real pivot;
+    var int kcol;
+    var int jcol;
+    n = 64;
+    for (k = 0; k < n - 1; k = k + 1) {
+        kcol = k * n;
+        p = idamax(k, n, kcol);
+        ipvt[k] = p;
+        pivot = a[kcol + p];
+        if (pivot == 0.0) {
+            return 1;
+        }
+        // Swap pivot row element in column k.
+        if (p != k) {
+            t = a[kcol + p];
+            a[kcol + p] = a[kcol + k];
+            a[kcol + k] = t;
+        }
+        // Scale the multipliers.
+        t = -1.0 / a[kcol + k];
+        j = k + 1;
+        while (j < n) {
+            a[kcol + j] = a[kcol + j] * t;
+            j = j + 1;
+        }
+        // Eliminate: column updates via daxpy.
+        for (j = k + 1; j < n; j = j + 1) {
+            jcol = j * n;
+            t = a[jcol + p];
+            if (p != k) {
+                a[jcol + p] = a[jcol + k];
+                a[jcol + k] = t;
+            }
+            daxpy(k + 1, n, t, kcol, jcol);
+        }
+    }
+    ipvt[n - 1] = n - 1;
+    return 0;
+}
+
+// Solve L U x = b using the factors (forward + back substitution).
+func dgesl() {
+    var int n;
+    var int k;
+    var int i;
+    var int p;
+    var real t;
+    n = 64;
+    for (i = 0; i < n; i = i + 1) {
+        x[i] = b[i];
+    }
+    // Forward.
+    for (k = 0; k < n - 1; k = k + 1) {
+        p = ipvt[k];
+        t = x[p];
+        if (p != k) {
+            x[p] = x[k];
+            x[k] = t;
+        }
+        for (i = k + 1; i < n; i = i + 1) {
+            x[i] = x[i] + t * a[k * 64 + i];
+        }
+    }
+    // Back substitution.
+    k = n - 1;
+    while (k >= 0) {
+        x[k] = x[k] / a[k * 64 + k];
+        t = -x[k];
+        for (i = 0; i < k; i = i + 1) {
+            x[i] = x[i] + t * a[k * 64 + i];
+        }
+        k = k - 1;
+    }
+}
+
+func main() : int {
+    var int rep;
+    var int i;
+    var int j;
+    var real sum;
+    var real check;
+    var int r;
+    check = 0.0;
+    seed = 987651;
+    for (rep = 0; rep < 2; rep = rep + 1) {
+        // Fresh well-conditioned-ish random matrix and rhs.
+        for (j = 0; j < 64; j = j + 1) {
+            for (i = 0; i < 64; i = i + 1) {
+                a[j * 64 + i] = rndf();
+                if (i == j) {
+                    a[j * 64 + i] = a[j * 64 + i] + 8.0;
+                }
+            }
+            b[j] = rndf();
+        }
+        r = dgefa();
+        if (r == 0) {
+            dgesl();
+            sum = 0.0;
+            for (i = 0; i < 64; i = i + 1) {
+                sum = sum + x[i];
+            }
+            check = check + sum;
+        }
+    }
+    result_fp = check;
+    return int(check * 1048576.0);
+}
+)MT";
+}
+
+} // namespace ilp

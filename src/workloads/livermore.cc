@@ -1,0 +1,278 @@
+#include "workloads/sources.hh"
+
+namespace ilp {
+
+/**
+ * livermore: the first 14 Livermore Fortran kernels, double
+ * precision, not unrolled (the paper's default; Figure 4-6 unrolls
+ * them mechanically).  Each kernel keeps its classic dependence
+ * structure — in particular kernels 5, 6, and 11 are first-order
+ * recurrences, the loops the paper notes "benefit little from
+ * unrolling".
+ */
+const char *
+livermoreSource()
+{
+    return R"MT(
+// livermore -- kernels 1..14, n ~ 90, multiple passes.
+var real x[1024];
+var real y[1024];
+var real z[1024];
+var real u[1024];
+var real v[1024];
+var real w[1024];
+var real px[512];
+var real cx[512];
+var real vx[256];
+var real xx[256];
+var real grd[256];
+var int ix[256];
+var int ir[256];
+var real q;
+var real r;
+var real t;
+var int seed;
+var real result_fp;
+
+func rndf() : real {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return real(seed % 20000) / 20000.0;
+}
+
+func initData() {
+    var int i;
+    for (i = 0; i < 1024; i = i + 1) {
+        x[i] = rndf();
+        y[i] = rndf();
+        z[i] = rndf();
+        u[i] = rndf();
+        v[i] = rndf();
+        w[i] = rndf();
+    }
+    for (i = 0; i < 512; i = i + 1) {
+        px[i] = rndf();
+        cx[i] = rndf();
+    }
+    for (i = 0; i < 256; i = i + 1) {
+        vx[i] = rndf() * 64.0;
+        xx[i] = rndf() * 64.0;
+        grd[i] = real(i) + 0.5;
+        ix[i] = seed % 64;
+        ir[i] = (seed / 64) % 64;
+    }
+    q = 0.5;
+    r = 0.25;
+    t = 0.125;
+}
+
+// K1: hydro fragment.
+func kernel1(int n) : real {
+    var int k;
+    for (k = 0; k < n; k = k + 1) {
+        x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+    }
+    return x[0] + x[n - 1];
+}
+
+// K2: ICCG excerpt (incomplete Cholesky, inner reduction).
+func kernel2(int n) : real {
+    var int k;
+    var int ipntp;
+    var int ipnt;
+    var int ii;
+    var int i;
+    ii = n;
+    ipntp = 0;
+    while (ii > 1) {
+        ipnt = ipntp;
+        ipntp = ipntp + ii;
+        ii = ii / 2;
+        i = ipntp;
+        for (k = ipnt + 1; k < ipntp; k = k + 2) {
+            i = i + 1;
+            x[i] = x[k] - v[k] * x[k - 1] - v[k + 1] * x[k + 1];
+        }
+    }
+    return x[ipntp];
+}
+
+// K3: inner product.
+func kernel3(int n) : real {
+    var int k;
+    var real s;
+    s = 0.0;
+    for (k = 0; k < n; k = k + 1) {
+        s = s + z[k] * x[k];
+    }
+    return s;
+}
+
+// K4: banded linear equations (simplified band update).
+func kernel4(int n) : real {
+    var int k;
+    var int j;
+    var real s;
+    for (j = 5; j < n; j = j + 5) {
+        s = 0.0;
+        for (k = 0; k < j; k = k + 1) {
+            s = s + y[k] * x[j - k];
+        }
+        w[j] = w[j] - s * r;
+    }
+    return w[n - 1];
+}
+
+// K5: tridiagonal elimination, below diagonal (a recurrence).
+func kernel5(int n) : real {
+    var int i;
+    for (i = 1; i < n; i = i + 1) {
+        x[i] = z[i] * (y[i] - x[i - 1]);
+    }
+    return x[n - 1];
+}
+
+// K6: general linear recurrence equations.
+func kernel6(int n) : real {
+    var int i;
+    var int k;
+    var real s;
+    for (i = 1; i < n; i = i + 1) {
+        s = 0.0;
+        for (k = 0; k < i; k = k + 1) {
+            s = s + z[i * 16 % 512 + k % 16] * x[i - k - 1];
+        }
+        w[i] = w[i] + s * t;
+    }
+    return w[n - 1];
+}
+
+// K7: equation of state fragment.
+func kernel7(int n) : real {
+    var int k;
+    for (k = 0; k < n; k = k + 1) {
+        x[k] = u[k] + r * (z[k] + r * y[k])
+             + t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1])
+             + t * (u[k + 6] + q * (u[k + 5] + q * u[k + 4])));
+    }
+    return x[n - 1];
+}
+
+// K8: ADI integration (simplified two-sweep update).
+func kernel8(int n) : real {
+    var int k;
+    for (k = 1; k < n - 1; k = k + 1) {
+        v[k] = v[k] + q * (u[k - 1] + u[k + 1] - 2.0 * u[k]);
+    }
+    for (k = 1; k < n - 1; k = k + 1) {
+        u[k] = u[k] + q * (v[k - 1] + v[k + 1] - 2.0 * v[k]);
+    }
+    return u[n / 2];
+}
+
+// K9: numerical integration predictors.
+func kernel9(int n) : real {
+    var int i;
+    for (i = 0; i < n; i = i + 1) {
+        px[i] = cx[i] + r * (px[i] + t * (cx[i] * 2.5
+               + px[(i + 7) % 512] * 1.25))
+               + q * px[(i + 3) % 512];
+    }
+    return px[0];
+}
+
+// K10: numerical differentiation predictors.
+func kernel10(int n) : real {
+    var int i;
+    var real d1;
+    var real d2;
+    for (i = 4; i < n; i = i + 1) {
+        d1 = cx[i] - cx[i - 1];
+        d2 = d1 - (cx[i - 1] - cx[i - 2]);
+        px[i] = px[i] + d1 * r + d2 * t
+              + (cx[i - 2] - cx[i - 3]) * q;
+    }
+    return px[n - 1];
+}
+
+// K11: first sum, a running-total recurrence.
+func kernel11(int n) : real {
+    var int k;
+    for (k = 1; k < n; k = k + 1) {
+        x[k] = x[k - 1] + y[k];
+    }
+    return x[n - 1];
+}
+
+// K12: first difference.
+func kernel12(int n) : real {
+    var int k;
+    for (k = 0; k < n; k = k + 1) {
+        x[k] = y[k + 1] - y[k];
+    }
+    return x[n - 1];
+}
+
+// K13: 2-D particle in cell (simplified: gather/scatter + update).
+func kernel13(int n) : real {
+    var int ip;
+    var int i1;
+    var int i2;
+    for (ip = 0; ip < n; ip = ip + 1) {
+        i1 = ix[ip] % 64;
+        i2 = ir[ip] % 64;
+        vx[ip] = vx[ip] + grd[i1] - grd[i2];
+        xx[ip] = xx[ip] + vx[ip] * t;
+        ix[ip] = (i1 + int(xx[ip])) % 64;
+        if (ix[ip] < 0) {
+            ix[ip] = ix[ip] + 64;
+        }
+    }
+    return vx[n - 1] + xx[n - 1];
+}
+
+// K14: 1-D particle in cell (simplified).
+func kernel14(int n) : real {
+    var int k;
+    var int i;
+    for (k = 0; k < n; k = k + 1) {
+        i = int(vx[k]) % 256;
+        if (i < 0) {
+            i = i + 256;
+        }
+        grd[i % 256] = grd[i % 256] + xx[k] * q;
+        vx[k] = vx[k] + cx[k % 512] * r;
+    }
+    return grd[0] + vx[n - 1];
+}
+
+func main() : int {
+    var int pass;
+    var real check;
+    var int n;
+    n = 90;
+    check = 0.0;
+    seed = 777771;
+    initData();
+    for (pass = 0; pass < 12; pass = pass + 1) {
+        check = check + kernel1(n);
+        check = check + kernel2(64);
+        check = check + kernel3(n);
+        check = check + kernel4(n);
+        check = check + kernel5(n);
+        check = check + kernel6(48);
+        check = check + kernel7(n);
+        check = check + kernel8(n);
+        check = check + kernel9(n);
+        check = check + kernel10(n);
+        check = check + kernel11(n);
+        check = check + kernel12(n);
+        check = check + kernel13(n);
+        check = check + kernel14(n);
+    }
+    result_fp = check;
+    return int(check * 4096.0);
+}
+)MT";
+}
+
+} // namespace ilp

@@ -1,0 +1,138 @@
+#include "workloads/sources.hh"
+
+namespace ilp {
+
+/**
+ * met: stands in for Metronome, the board-level timing verifier.  A
+ * random combinational netlist is built as arrays (two inputs and a
+ * delay per gate, explicit fanout lists), and an event-driven
+ * worklist propagates arrival times; afterwards input arrival times
+ * are perturbed and the propagation re-runs incrementally.  Dynamic
+ * profile: pointer-style array chasing, a work queue, max/compare
+ * logic — event-driven simulator code.
+ */
+const char *
+metSource()
+{
+    return R"MT(
+// met -- event-driven arrival-time propagation on a random DAG.
+var int gin1[2048];
+var int gin2[2048];
+var int gdelay[2048];
+var int arrival[2048];
+// Fanout adjacency: head index per gate, then linked by fnext.
+var int fhead[2048];
+var int fnext[4096];
+var int fdst[4096];
+var int nfan;
+// FIFO worklist with an in-queue flag.
+var int queue[60000];
+var int inq[2048];
+var int seed;
+var real result_fp;
+
+func rnd(int m) : int {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return seed % m;
+}
+
+func addFanout(int src, int dst) {
+    fdst[nfan] = dst;
+    fnext[nfan] = fhead[src];
+    fhead[src] = nfan;
+    nfan = nfan + 1;
+}
+
+func buildCircuit(int ngates, int nin) {
+    var int g;
+    nfan = 0;
+    for (g = 0; g < ngates; g = g + 1) {
+        fhead[g] = -1;
+        arrival[g] = 0;
+        inq[g] = 0;
+    }
+    for (g = nin; g < ngates; g = g + 1) {
+        gin1[g] = rnd(g);
+        gin2[g] = rnd(g);
+        gdelay[g] = 1 + rnd(9);
+        addFanout(gin1[g], g);
+        addFanout(gin2[g], g);
+    }
+}
+
+// Worklist propagation; returns number of events processed.
+func propagate(int ngates, int nin) : int {
+    var int head;
+    var int tail;
+    var int g;
+    var int e;
+    var int na;
+    var int a1;
+    var int a2;
+    var int events;
+    head = 0;
+    tail = 0;
+    events = 0;
+    for (g = nin; g < ngates; g = g + 1) {
+        queue[tail] = g;
+        inq[g] = 1;
+        tail = tail + 1;
+    }
+    while (head < tail && tail < 59000) {
+        g = queue[head];
+        head = head + 1;
+        inq[g] = 0;
+        events = events + 1;
+        a1 = arrival[gin1[g]];
+        a2 = arrival[gin2[g]];
+        if (a2 > a1) {
+            na = a2 + gdelay[g];
+        } else {
+            na = a1 + gdelay[g];
+        }
+        if (na != arrival[g]) {
+            arrival[g] = na;
+            e = fhead[g];
+            while (e >= 0) {
+                if (inq[fdst[e]] == 0) {
+                    queue[tail] = fdst[e];
+                    inq[fdst[e]] = 1;
+                    tail = tail + 1;
+                }
+                e = fnext[e];
+            }
+        }
+    }
+    return events;
+}
+
+func main() : int {
+    var int ngates;
+    var int nin;
+    var int trial;
+    var int g;
+    var int check;
+    var int events;
+    ngates = 1600;
+    nin = 64;
+    seed = 20011;
+    check = 0;
+    buildCircuit(ngates, nin);
+    for (trial = 0; trial < 10; trial = trial + 1) {
+        // Perturb the primary input arrival times.
+        for (g = 0; g < nin; g = g + 1) {
+            arrival[g] = rnd(20);
+        }
+        events = propagate(ngates, nin);
+        check = (check * 31 + events) % 1000000007;
+        for (g = ngates - 8; g < ngates; g = g + 1) {
+            check = (check * 31 + arrival[g]) % 1000000007;
+        }
+    }
+    result_fp = real(check);
+    return check;
+}
+)MT";
+}
+
+} // namespace ilp

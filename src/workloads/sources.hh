@@ -1,0 +1,23 @@
+/**
+ * @file
+ * MT source text of each benchmark (one translation unit per
+ * benchmark; see workloads.hh for the catalogue).
+ */
+
+#ifndef SUPERSYM_WORKLOADS_SOURCES_HH
+#define SUPERSYM_WORKLOADS_SOURCES_HH
+
+namespace ilp {
+
+const char *ccomSource();
+const char *grrSource();
+const char *linpackSource();
+const char *livermoreSource();
+const char *metSource();
+const char *stanfordSource();
+const char *whetSource();
+const char *yaccSource();
+
+} // namespace ilp
+
+#endif // SUPERSYM_WORKLOADS_SOURCES_HH

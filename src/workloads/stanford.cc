@@ -1,0 +1,331 @@
+#include "workloads/sources.hh"
+
+namespace ilp {
+
+/**
+ * stanford: the Hennessy benchmark collection from Stanford ("puzzle,
+ * tower, queens, etc." per §3).  Implemented components: Perm
+ * (recursive permutations), Towers (of Hanoi), Queens (8-queens),
+ * Intmm (integer matrix multiply), Mm (real matrix multiply), Bubble
+ * (bubblesort), Quick (recursive quicksort), and Trees (binary tree
+ * insertion/search over array-encoded nodes).
+ */
+const char *
+stanfordSource()
+{
+    return R"MT(
+// stanford -- Hennessy's collection.
+var int permarr[16];
+var int permcount;
+var int moves;
+// 8-queens state.
+var int qa[16];
+var int qb[32];
+var int qc[32];
+var int qx[16];
+var int qcount;
+// Matrices, 20x20 flattened.
+var int ima[400];
+var int imb[400];
+var int imr[400];
+var real rma[400];
+var real rmb[400];
+var real rmr[400];
+// Sorting.
+var int sortarr[1000];
+// Binary tree: node i has key tkey[i], children tl[i]/tr[i].
+var int tkey[2048];
+var int tl[2048];
+var int tr[2048];
+var int tn;
+var int seed;
+var real result_fp;
+
+func rnd(int m) : int {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return seed % m;
+}
+
+// ---- Perm ----
+func swap(int i, int j) {
+    var int t;
+    t = permarr[i];
+    permarr[i] = permarr[j];
+    permarr[j] = t;
+}
+
+func permute(int n) {
+    var int i;
+    permcount = permcount + 1;
+    if (n > 1) {
+        permute(n - 1);
+        for (i = 0; i < n - 1; i = i + 1) {
+            swap(i, n - 1);
+            permute(n - 1);
+            swap(i, n - 1);
+        }
+    }
+}
+
+func permRun() : int {
+    var int i;
+    for (i = 0; i < 7; i = i + 1) {
+        permarr[i] = i;
+    }
+    permcount = 0;
+    permute(7);
+    return permcount;
+}
+
+// ---- Towers ----
+func hanoi(int n, int from, int to, int via) {
+    if (n > 0) {
+        hanoi(n - 1, from, via, to);
+        moves = moves + 1;
+        hanoi(n - 1, via, to, from);
+    }
+}
+
+func towersRun() : int {
+    moves = 0;
+    hanoi(12, 0, 2, 1);
+    return moves;
+}
+
+// ---- Queens ----
+func tryQueen(int col, int n) {
+    var int row;
+    for (row = 0; row < n; row = row + 1) {
+        if (qa[row] == 0 && qb[row + col] == 0
+            && qc[row - col + n - 1] == 0) {
+            qa[row] = 1;
+            qb[row + col] = 1;
+            qc[row - col + n - 1] = 1;
+            qx[col] = row;
+            if (col + 1 == n) {
+                qcount = qcount + 1;
+            } else {
+                tryQueen(col + 1, n);
+            }
+            qa[row] = 0;
+            qb[row + col] = 0;
+            qc[row - col + n - 1] = 0;
+        }
+    }
+}
+
+func queensRun() : int {
+    var int i;
+    for (i = 0; i < 16; i = i + 1) {
+        qa[i] = 0;
+        qx[i] = 0;
+    }
+    for (i = 0; i < 32; i = i + 1) {
+        qb[i] = 0;
+        qc[i] = 0;
+    }
+    qcount = 0;
+    tryQueen(0, 8);
+    return qcount;
+}
+
+// ---- Intmm ----
+func intmmRun() : int {
+    var int i;
+    var int j;
+    var int k;
+    var int s;
+    for (i = 0; i < 400; i = i + 1) {
+        ima[i] = rnd(100) - 50;
+        imb[i] = rnd(100) - 50;
+    }
+    for (i = 0; i < 20; i = i + 1) {
+        for (j = 0; j < 20; j = j + 1) {
+            s = 0;
+            for (k = 0; k < 20; k = k + 1) {
+                s = s + ima[i * 20 + k] * imb[k * 20 + j];
+            }
+            imr[i * 20 + j] = s;
+        }
+    }
+    return imr[0] + imr[210] + imr[399];
+}
+
+// ---- Mm (real) ----
+func mmRun() : real {
+    var int i;
+    var int j;
+    var int k;
+    var real s;
+    for (i = 0; i < 400; i = i + 1) {
+        rma[i] = real(rnd(1000)) / 1000.0 - 0.5;
+        rmb[i] = real(rnd(1000)) / 1000.0 - 0.5;
+    }
+    for (i = 0; i < 20; i = i + 1) {
+        for (j = 0; j < 20; j = j + 1) {
+            s = 0.0;
+            for (k = 0; k < 20; k = k + 1) {
+                s = s + rma[i * 20 + k] * rmb[k * 20 + j];
+            }
+            rmr[i * 20 + j] = s;
+        }
+    }
+    return rmr[0] + rmr[210] + rmr[399];
+}
+
+// ---- Bubble ----
+func bubbleRun() : int {
+    var int i;
+    var int j;
+    var int t;
+    var int n;
+    n = 250;
+    for (i = 0; i < n; i = i + 1) {
+        sortarr[i] = rnd(100000);
+    }
+    for (i = 0; i < n - 1; i = i + 1) {
+        for (j = 0; j < n - 1 - i; j = j + 1) {
+            if (sortarr[j] > sortarr[j + 1]) {
+                t = sortarr[j];
+                sortarr[j] = sortarr[j + 1];
+                sortarr[j + 1] = t;
+            }
+        }
+    }
+    return sortarr[0] + sortarr[n / 2] + sortarr[n - 1];
+}
+
+// ---- Quick ----
+func quicksort(int lo, int hi) {
+    var int i;
+    var int j;
+    var int p;
+    var int t;
+    i = lo;
+    j = hi;
+    p = sortarr[(lo + hi) / 2];
+    while (i <= j) {
+        while (sortarr[i] < p) {
+            i = i + 1;
+        }
+        while (sortarr[j] > p) {
+            j = j - 1;
+        }
+        if (i <= j) {
+            t = sortarr[i];
+            sortarr[i] = sortarr[j];
+            sortarr[j] = t;
+            i = i + 1;
+            j = j - 1;
+        }
+    }
+    if (lo < j) {
+        quicksort(lo, j);
+    }
+    if (i < hi) {
+        quicksort(i, hi);
+    }
+}
+
+func quickRun() : int {
+    var int i;
+    var int n;
+    n = 800;
+    for (i = 0; i < n; i = i + 1) {
+        sortarr[i] = rnd(100000);
+    }
+    quicksort(0, n - 1);
+    return sortarr[0] + sortarr[n / 2] + sortarr[n - 1];
+}
+
+// ---- Trees ----
+func treeInsert(int key) {
+    var int cur;
+    var int done;
+    tkey[tn] = key;
+    tl[tn] = -1;
+    tr[tn] = -1;
+    if (tn == 0) {
+        tn = 1;
+        return;
+    }
+    cur = 0;
+    done = 0;
+    while (done == 0) {
+        if (key < tkey[cur]) {
+            if (tl[cur] < 0) {
+                tl[cur] = tn;
+                done = 1;
+            } else {
+                cur = tl[cur];
+            }
+        } else {
+            if (tr[cur] < 0) {
+                tr[cur] = tn;
+                done = 1;
+            } else {
+                cur = tr[cur];
+            }
+        }
+    }
+    tn = tn + 1;
+}
+
+func treeSearch(int key) : int {
+    var int cur;
+    var int depth;
+    cur = 0;
+    depth = 0;
+    while (cur >= 0 && depth < 64) {
+        if (tkey[cur] == key) {
+            return depth;
+        }
+        if (key < tkey[cur]) {
+            cur = tl[cur];
+        } else {
+            cur = tr[cur];
+        }
+        depth = depth + 1;
+    }
+    return -1;
+}
+
+func treesRun() : int {
+    var int i;
+    var int hits;
+    var int k;
+    tn = 0;
+    for (i = 0; i < 1500; i = i + 1) {
+        treeInsert(rnd(1000000));
+    }
+    hits = 0;
+    for (i = 0; i < 1500; i = i + 1) {
+        k = treeSearch(rnd(1000000));
+        if (k >= 0) {
+            hits = hits + k;
+        }
+    }
+    return tn + hits;
+}
+
+func main() : int {
+    var int check;
+    var real fcheck;
+    seed = 74755;
+    check = 0;
+    check = (check * 31 + permRun()) % 1000000007;
+    check = (check * 31 + towersRun()) % 1000000007;
+    check = (check * 31 + queensRun()) % 1000000007;
+    check = (check * 31 + intmmRun()) % 1000000007;
+    fcheck = mmRun();
+    check = (check * 31 + int(fcheck * 1024.0)) % 1000000007;
+    check = (check * 31 + bubbleRun()) % 1000000007;
+    check = (check * 31 + quickRun()) % 1000000007;
+    check = (check * 31 + treesRun()) % 1000000007;
+    result_fp = real(check) + fcheck;
+    return check;
+}
+)MT";
+}
+
+} // namespace ilp

@@ -1,0 +1,230 @@
+#include "workloads/sources.hh"
+
+namespace ilp {
+
+/**
+ * whet: Whetstone.  The classic module structure — array-element
+ * arithmetic, conditional jumps, integer arithmetic, "trig" and
+ * "standard function" modules, procedure-call module — with the
+ * transcendental library replaced by in-language polynomial
+ * approximations and a Newton square root (so every FP operation is
+ * visible to the compiler and simulator, and the call-heavy profile
+ * of the original is preserved).
+ */
+const char *
+whetSource()
+{
+    return R"MT(
+// whet -- Whetstone with in-language math kernels.
+var real e1[8];
+var real gt;
+var real gt1;
+var real gt2;
+var int gj;
+var real result_fp;
+
+// sin(x) ~ x - x^3/6 + x^5/120 - x^7/5040, |x| small.
+func psin(real x) : real {
+    var real x2;
+    x2 = x * x;
+    return x * (1.0 - x2 / 6.0 * (1.0 - x2 / 20.0
+                * (1.0 - x2 / 42.0)));
+}
+
+func pcos(real x) : real {
+    var real x2;
+    x2 = x * x;
+    return 1.0 - x2 / 2.0 * (1.0 - x2 / 12.0 * (1.0 - x2 / 30.0));
+}
+
+// atan via the |x|<=1 series, range-reduced with
+// atan(x) = pi/2 - atan(1/x) for |x| > 1.
+func patanSmall(real x) : real {
+    var real x2;
+    x2 = x * x;
+    return x * (1.0 - x2 / 3.0 + x2 * x2 / 5.0
+                - x2 * x2 * x2 / 7.0 + x2 * x2 * x2 * x2 / 9.0);
+}
+
+func patan(real x) : real {
+    var real s;
+    s = 1.0;
+    if (x < 0.0) {
+        x = -x;
+        s = -1.0;
+    }
+    if (x > 1.0) {
+        return s * (1.5707963268 - patanSmall(1.0 / x));
+    }
+    return s * patanSmall(x);
+}
+
+func pexp(real x) : real {
+    return 1.0 + x * (1.0 + x / 2.0 * (1.0 + x / 3.0
+                      * (1.0 + x / 4.0 * (1.0 + x / 5.0))));
+}
+
+func plog(real x) : real {
+    var real y;
+    var real y2;
+    y = (x - 1.0) / (x + 1.0);
+    y2 = y * y;
+    return 2.0 * y * (1.0 + y2 / 3.0 + y2 * y2 / 5.0
+                      + y2 * y2 * y2 / 7.0);
+}
+
+func psqrt(real x) : real {
+    var real g;
+    var int i;
+    if (x <= 0.0) {
+        return 0.0;
+    }
+    g = x;
+    if (g > 1.0) {
+        g = g / 2.0;
+    }
+    for (i = 0; i < 5; i = i + 1) {
+        g = 0.5 * (g + x / g);
+    }
+    return g;
+}
+
+// Module 8 procedure: the classic p3.
+func p3(real x, real y) : real {
+    var real xt;
+    var real yt;
+    xt = gt * (x + y);
+    yt = gt * (xt + y);
+    return (xt + yt) / gt2;
+}
+
+// Module 6 procedure: pa on the e1 array.
+func pa(int off) {
+    var int j;
+    j = 0;
+    while (j < 6) {
+        e1[off + 0] = (e1[off + 0] + e1[off + 1]
+                      + e1[off + 2] - e1[off + 3]) * gt;
+        e1[off + 1] = (e1[off + 0] + e1[off + 1]
+                      - e1[off + 2] + e1[off + 3]) * gt;
+        e1[off + 2] = (e1[off + 0] - e1[off + 1]
+                      + e1[off + 2] + e1[off + 3]) * gt;
+        e1[off + 3] = (0.0 - e1[off + 0] + e1[off + 1]
+                      + e1[off + 2] + e1[off + 3]) / gt2;
+        j = j + 1;
+    }
+}
+
+func main() : int {
+    var int n1; var int n2; var int n3; var int n4;
+    var int n6; var int n7; var int n8; var int n10; var int n11;
+    var int i;
+    var int ix;
+    var real x;
+    var real y;
+    var real z;
+    var real x1; var real x2; var real x3; var real x4;
+    var real check;
+
+    gt = 0.499975;
+    gt1 = 0.50025;
+    gt2 = 2.0;
+    // Loop counts, scaled from the classic weights.
+    n1 = 120; n2 = 840; n3 = 600; n4 = 2000;
+    n6 = 600; n7 = 320; n8 = 700; n10 = 0; n11 = 600;
+    check = 0.0;
+
+    // Module 1: simple identifiers.
+    x1 = 1.0; x2 = -1.0; x3 = -1.0; x4 = -1.0;
+    for (i = 0; i < n1; i = i + 1) {
+        x1 = (x1 + x2 + x3 - x4) * gt;
+        x2 = (x1 + x2 - x3 + x4) * gt;
+        x3 = (x1 - x2 + x3 + x4) * gt;
+        x4 = (0.0 - x1 + x2 + x3 + x4) * gt;
+    }
+    check = check + x1 + x2 + x3 + x4;
+
+    // Module 2: array elements.
+    e1[0] = 1.0; e1[1] = -1.0; e1[2] = -1.0; e1[3] = -1.0;
+    for (i = 0; i < n2; i = i + 1) {
+        e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * gt;
+        e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * gt;
+        e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * gt;
+        e1[3] = (0.0 - e1[0] + e1[1] + e1[2] + e1[3]) * gt;
+    }
+    check = check + e1[0] + e1[1] + e1[2] + e1[3];
+
+    // Module 3: array as parameter (procedure on the global array).
+    for (i = 0; i < n3; i = i + 1) {
+        pa(0);
+    }
+    check = check + e1[0] + e1[3];
+
+    // Module 4: conditional jumps.
+    gj = 1;
+    for (i = 0; i < n4; i = i + 1) {
+        if (gj == 1) {
+            gj = 2;
+        } else {
+            gj = 3;
+        }
+        if (gj > 2) {
+            gj = 0;
+        } else {
+            gj = 1;
+        }
+        if (gj < 1) {
+            gj = 1;
+        } else {
+            gj = 0;
+        }
+    }
+    check = check + real(gj);
+
+    // Module 6: integer arithmetic.
+    gj = 1;
+    ix = 2;
+    for (i = 0; i < n6; i = i + 1) {
+        gj = gj * (ix - gj) * (3 - ix + gj) % 1024;
+        if (gj < 0) {
+            gj = 0 - gj;
+        }
+        ix = (ix + gj + 7) % 97 + 1;
+        e1[gj % 4] = real(gj + ix);
+    }
+    check = check + real(ix + gj);
+
+    // Module 7: "trig" functions.
+    x = 0.5;
+    y = 0.5;
+    for (i = 0; i < n7; i = i + 1) {
+        x = gt * patan(gt2 * psin(x) * pcos(x)
+            / (pcos(x + y) + pcos(x - y) - 1.0));
+        y = gt * patan(gt2 * psin(y) * pcos(y)
+            / (pcos(x + y) + pcos(x - y) - 1.0));
+    }
+    check = check + x + y;
+
+    // Module 8: procedure calls.
+    x = 1.0;
+    y = 1.0;
+    z = 1.0;
+    for (i = 0; i < n8; i = i + 1) {
+        z = p3(x, y);
+    }
+    check = check + z;
+
+    // Module 11: standard functions.
+    x = 0.75;
+    for (i = 0; i < n11; i = i + 1) {
+        x = psqrt(pexp(plog(x) / gt1));
+    }
+    check = check + x;
+
+    result_fp = check;
+    return int(check * 65536.0);
+}
+)MT";
+}
+
+} // namespace ilp

@@ -1,0 +1,62 @@
+#include "workloads/workloads.hh"
+
+#include "support/logging.hh"
+#include "workloads/sources.hh"
+
+namespace ilp {
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    // Expected checksums are the reference interpreter's outputs at
+    // OptLevel::None; tests/workloads_test.cc asserts every
+    // optimization level reproduces them bit-for-bit.
+    static const std::vector<Workload> suite = [] {
+        std::vector<Workload> w;
+        w.push_back({"ccom",
+                     "recursive-descent expression compiler + "
+                     "stack-code evaluator",
+                     ccomSource(), 721446570, false, 1});
+        w.push_back({"grr",
+                     "Lee wavefront PC-board router on a 64x64 grid",
+                     grrSource(), 351841626, false, 1});
+        w.push_back({"linpack",
+                     "double-precision dgefa/dgesl, n=32 "
+                     "(inner loops unrolled 4x by default)",
+                     linpackSource(), -716049, true, 4});
+        w.push_back({"livermore",
+                     "the first 14 Livermore loops, double precision, "
+                     "not unrolled",
+                     livermoreSource(), 723059883845817728, true, 1});
+        w.push_back({"met",
+                     "event-driven gate arrival-time verifier "
+                     "(Metronome analogue)",
+                     metSource(), 320861011, false, 1});
+        w.push_back({"stanford",
+                     "Hennessy's collection: perm, towers, queens, "
+                     "intmm, mm, bubble, quick, trees",
+                     stanfordSource(), 393352647, true, 1});
+        w.push_back({"whet",
+                     "Whetstone with in-language polynomial math "
+                     "kernels",
+                     whetSource(), 1041909, true, 1});
+        w.push_back({"yacc",
+                     "table-driven SLR parser over generated "
+                     "expression sentences",
+                     yaccSource(), 57245071, false, 1});
+        return w;
+    }();
+    return suite;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    for (const auto &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    SS_FATAL("unknown workload '", name, "'");
+}
+
+} // namespace ilp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The benchmark suite of Section 3, rewritten in the MT language.
+ *
+ * The paper's eight benchmarks (all Modula-2 except yacc):
+ *   ccom      - their C compiler front end
+ *   grr       - a PC board router
+ *   linpack   - double-precision Linpack, inner loops unrolled 4x
+ *   livermore - the first 14 Livermore loops, not unrolled
+ *   met       - Metronome, a board-level timing verifier
+ *   stanford  - Hennessy's Stanford collection (puzzle, tower, queens…)
+ *   whet      - Whetstones
+ *   yacc      - the Unix parser generator
+ *
+ * Each is rebuilt here as a kernel-level analogue with the same
+ * dynamic character (see DESIGN.md §1 "Substitutions"): ccom is a
+ * recursive-descent expression compiler plus stack-code evaluator,
+ * grr a Lee-style wavefront maze router, met an event-driven gate
+ * arrival-time verifier, yacc a table-driven shift/reduce parser, and
+ * the numeric three are direct transliterations of the classic
+ * kernels.
+ *
+ * Every program defines `func main() : int` returning an integer
+ * checksum, and stores a floating checksum in global `result_fp`
+ * where meaningful (used with tolerance when reassociation legally
+ * perturbs FP results).
+ */
+
+#ifndef SUPERSYM_WORKLOADS_WORKLOADS_HH
+#define SUPERSYM_WORKLOADS_WORKLOADS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ilp {
+
+struct Workload
+{
+    std::string name;
+    std::string description;
+    /** MT program text. */
+    std::string source;
+    /**
+     * Expected main() checksum under every Figure 4-8 level
+     * (optimization must not change results).  Filled from the
+     * reference interpreter; guarded by tests/workloads_test.cc.
+     */
+    std::int64_t expected = 0;
+    /**
+     * True if the benchmark has floating-point accumulations whose
+     * checksum legally changes under careful-unrolling reassociation.
+     */
+    bool fpSensitive = false;
+    /** Default source-level unroll factor, matching the paper
+     *  ("linpack ... unrolled 4x unless noted otherwise"). */
+    int defaultUnroll = 1;
+};
+
+/** The eight benchmarks, in the paper's order. */
+const std::vector<Workload> &allWorkloads();
+
+/** Look up one benchmark; fatal() if unknown. */
+const Workload &workloadByName(const std::string &name);
+
+} // namespace ilp
+
+#endif // SUPERSYM_WORKLOADS_WORKLOADS_HH

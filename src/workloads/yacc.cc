@@ -1,0 +1,191 @@
+#include "workloads/sources.hh"
+
+namespace ilp {
+
+/**
+ * yacc: stands in for the Unix parser generator's generated-parser
+ * workload — a table-driven SLR shift/reduce parser for the textbook
+ * expression grammar
+ *
+ *   E -> E + T | T ;  T -> T * F | F ;  F -> ( E ) | id
+ *
+ * with the standard 12-state ACTION/GOTO tables encoded as data, a
+ * random sentence generator, and semantic evaluation on reduce.
+ * Dynamic profile: table lookups, stack pushes/pops, branch-dense
+ * dispatch — the least instruction-level parallelism in the suite,
+ * exactly as the paper reports for yacc.
+ */
+const char *
+yaccSource()
+{
+    return R"MT(
+// yacc -- table-driven SLR(1) parser for E -> E+T | T, ...
+// Terminals: 0 id, 1 '+', 2 '*', 3 '(', 4 ')', 5 '$'.
+// ACTION encoding: 0 error, 100+s shift to s, 200+p reduce by p,
+// 999 accept.  Productions: 1 E->E+T  2 E->T  3 T->T*F  4 T->F
+// 5 F->(E)  6 F->id.
+var int action[72] = {
+    105,   0,   0, 104,   0,   0,    // state 0
+      0, 106,   0,   0,   0, 999,    // state 1
+      0, 202, 107,   0, 202, 202,    // state 2
+      0, 204, 204,   0, 204, 204,    // state 3
+    105,   0,   0, 104,   0,   0,    // state 4
+      0, 206, 206,   0, 206, 206,    // state 5
+    105,   0,   0, 104,   0,   0,    // state 6
+    105,   0,   0, 104,   0,   0,    // state 7
+      0, 106,   0,   0, 111,   0,    // state 8
+      0, 201, 107,   0, 201, 201,    // state 9
+      0, 203, 203,   0, 203, 203,    // state 10
+      0, 205, 205,   0, 205, 205     // state 11
+};
+// GOTO[state*3 + nt], nt: 0 E, 1 T, 2 F; -1 = none.
+var int goton[36] = {
+     1,  2,  3,
+    -1, -1, -1,
+    -1, -1, -1,
+    -1, -1, -1,
+     8,  2,  3,
+    -1, -1, -1,
+    -1,  9,  3,
+    -1, -1, 10,
+    -1, -1, -1,
+    -1, -1, -1,
+    -1, -1, -1,
+    -1, -1, -1
+};
+// Production lengths and left-hand sides (nt index).
+var int prodlen[7] = { 0, 3, 1, 3, 1, 3, 1 };
+var int prodlhs[7] = { 0, 0, 0, 1, 1, 2, 2 };
+
+var int toks[20000];
+var int tvals[20000];
+var int ntoks;
+var int sstack[512];
+var int vstack[512];
+var int seed;
+var real result_fp;
+
+func rnd(int m) : int {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return seed % m;
+}
+
+func emitTok(int kind, int val) {
+    if (ntoks < 19990) {
+        toks[ntoks] = kind;
+        tvals[ntoks] = val;
+        ntoks = ntoks + 1;
+    }
+}
+
+// Random sentence generation from the grammar.
+func genF(int depth) {
+    if (depth <= 0 || rnd(100) < 70) {
+        emitTok(0, rnd(1000));
+    } else {
+        emitTok(3, 0);
+        genE(depth - 1);
+        emitTok(4, 0);
+    }
+}
+
+func genT(int depth) {
+    genF(depth);
+    while (rnd(100) < 30 && ntoks < 18000) {
+        emitTok(2, 0);
+        genF(depth);
+    }
+}
+
+func genE(int depth) {
+    genT(depth);
+    while (rnd(100) < 40 && ntoks < 18000) {
+        emitTok(1, 0);
+        genT(depth);
+    }
+}
+
+// The LR driver: parse toks[0..ntoks), returning the value of the
+// accepted expression (or -1 on error).
+func parse() : int {
+    var int sp;
+    var int pos;
+    var int state;
+    var int tok;
+    var int act;
+    var int p;
+    var int len;
+    var int val;
+    var int g;
+    sp = 0;
+    sstack[0] = 0;
+    vstack[0] = 0;
+    pos = 0;
+    while (1 == 1) {
+        state = sstack[sp];
+        tok = toks[pos];
+        act = action[state * 6 + tok];
+        if (act == 999) {
+            return vstack[sp];
+        }
+        if (act >= 200) {
+            // Reduce.
+            p = act - 200;
+            len = prodlen[p];
+            // Semantic action.
+            if (p == 1) {
+                val = (vstack[sp - 2] + vstack[sp]) % 1000003;
+            } else {
+                if (p == 3) {
+                    val = (vstack[sp - 2] * vstack[sp]) % 1000003;
+                } else {
+                    if (p == 5) {
+                        val = vstack[sp - 1];
+                    } else {
+                        val = vstack[sp];
+                    }
+                }
+            }
+            sp = sp - len;
+            g = goton[sstack[sp] * 3 + prodlhs[p]];
+            if (g < 0) {
+                return -1;
+            }
+            sp = sp + 1;
+            sstack[sp] = g;
+            vstack[sp] = val;
+        } else {
+            if (act >= 100) {
+                // Shift.
+                sp = sp + 1;
+                sstack[sp] = act - 100;
+                vstack[sp] = tvals[pos];
+                pos = pos + 1;
+            } else {
+                return -1;
+            }
+        }
+    }
+    return -1;
+}
+
+func main() : int {
+    var int iter;
+    var int check;
+    var int v;
+    seed = 55555;
+    check = 0;
+    for (iter = 0; iter < 260; iter = iter + 1) {
+        ntoks = 0;
+        genE(5);
+        emitTok(5, 0);
+        v = parse();
+        check = (check * 31 + v + ntoks) % 1000000007;
+    }
+    result_fp = real(check);
+    return check;
+}
+)MT";
+}
+
+} // namespace ilp

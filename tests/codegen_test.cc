@@ -1,0 +1,280 @@
+/** End-to-end language semantics: MT source -> IR -> interpreter. */
+
+#include <gtest/gtest.h>
+
+#include "tests/helpers.hh"
+
+namespace ilp {
+namespace {
+
+using test::runRaw;
+
+TEST(CodegenTest, ArithmeticAndPrecedence)
+{
+    EXPECT_EQ(runRaw("func main() : int { return 2 + 3 * 4; }"), 14);
+    EXPECT_EQ(runRaw("func main() : int { return (2 + 3) * 4; }"), 20);
+    EXPECT_EQ(runRaw("func main() : int { return 17 / 5; }"), 3);
+    EXPECT_EQ(runRaw("func main() : int { return 17 % 5; }"), 2);
+    EXPECT_EQ(runRaw("func main() : int { return -7 + 2; }"), -5);
+}
+
+TEST(CodegenTest, BitwiseAndShifts)
+{
+    EXPECT_EQ(runRaw("func main() : int { return 12 & 10; }"), 8);
+    EXPECT_EQ(runRaw("func main() : int { return 12 | 10; }"), 14);
+    EXPECT_EQ(runRaw("func main() : int { return 12 ^ 10; }"), 6);
+    EXPECT_EQ(runRaw("func main() : int { return 3 << 4; }"), 48);
+    EXPECT_EQ(runRaw("func main() : int { return -16 >> 2; }"), -4);
+    EXPECT_EQ(runRaw("func main() : int { return !5; }"), 0);
+    EXPECT_EQ(runRaw("func main() : int { return !0; }"), 1);
+}
+
+TEST(CodegenTest, Comparisons)
+{
+    EXPECT_EQ(runRaw("func main() : int { return 3 < 4; }"), 1);
+    EXPECT_EQ(runRaw("func main() : int { return 4 <= 3; }"), 0);
+    EXPECT_EQ(runRaw("func main() : int { return 4 == 4; }"), 1);
+    EXPECT_EQ(runRaw("func main() : int { return 4 != 4; }"), 0);
+    EXPECT_EQ(runRaw("func main() : int { return 2.5 < 2.75; }"), 1);
+}
+
+TEST(CodegenTest, RealArithmeticAndCasts)
+{
+    EXPECT_EQ(runRaw("func main() : int { return int(2.5 * 4.0); }"),
+              10);
+    EXPECT_EQ(runRaw("func main() : int { return int(7.9); }"), 7);
+    EXPECT_EQ(runRaw("func main() : int {"
+                     "  var real x = 1.5; var int i = 2;"
+                     "  return int(x * i + 1); }"), // implicit widen
+              4);
+    EXPECT_EQ(runRaw("func main() : int { return int(real(3) / 2.0 "
+                     "* 2.0); }"),
+              3);
+}
+
+TEST(CodegenTest, ShortCircuitEvaluation)
+{
+    // The second operand must not execute when short-circuited:
+    // make it have a visible side effect via a helper.
+    const char *src = R"(
+        var int hits;
+        func bump() : int { hits = hits + 1; return 1; }
+        func main() : int {
+            var int r;
+            hits = 0;
+            r = 0 && bump();
+            r = r + (1 || bump());
+            return hits * 10 + r;
+        })";
+    // hits stays 0; r = 0 + 1.
+    EXPECT_EQ(runRaw(src), 1);
+}
+
+TEST(CodegenTest, ShortCircuitNormalizesToBool)
+{
+    EXPECT_EQ(runRaw("func main() : int { return 7 && 9; }"), 1);
+    EXPECT_EQ(runRaw("func main() : int { return 0 || 5; }"), 1);
+    EXPECT_EQ(runRaw("func main() : int { return 0 || 0; }"), 0);
+}
+
+TEST(CodegenTest, IfElseChains)
+{
+    const char *src = R"(
+        func grade(int x) : int {
+            if (x > 90) { return 4; }
+            else if (x > 80) { return 3; }
+            else if (x > 70) { return 2; }
+            return 0;
+        }
+        func main() : int {
+            return grade(95) * 100 + grade(85) * 10 + grade(50);
+        })";
+    EXPECT_EQ(runRaw(src), 430);
+}
+
+TEST(CodegenTest, WhileAndForLoops)
+{
+    EXPECT_EQ(runRaw("func main() : int {"
+                     "  var int s = 0; var int i = 0;"
+                     "  while (i < 10) { s = s + i; i = i + 1; }"
+                     "  return s; }"),
+              45);
+    EXPECT_EQ(runRaw("func main() : int {"
+                     "  var int s = 0; var int i;"
+                     "  for (i = 1; i <= 10; i = i + 1) { s = s + i; }"
+                     "  return s; }"),
+              55);
+}
+
+TEST(CodegenTest, BreakAndContinue)
+{
+    EXPECT_EQ(runRaw("func main() : int {"
+                     "  var int s = 0; var int i;"
+                     "  for (i = 0; i < 100; i = i + 1) {"
+                     "    if (i == 5) { break; }"
+                     "    s = s + i; }"
+                     "  return s; }"),
+              10);
+    EXPECT_EQ(runRaw("func main() : int {"
+                     "  var int s = 0; var int i;"
+                     "  for (i = 0; i < 10; i = i + 1) {"
+                     "    if (i % 2 == 0) { continue; }"
+                     "    s = s + i; }"
+                     "  return s; }"),
+              25);
+}
+
+TEST(CodegenTest, GlobalsAndInitializers)
+{
+    const char *src = R"(
+        var int counter = 7;
+        var real scale = 0.5;
+        var int table[4] = {10, 20, 30, 40};
+        func main() : int {
+            counter = counter + table[2];
+            return counter + int(scale * 2.0);
+        })";
+    EXPECT_EQ(runRaw(src), 7 + 30 + 1);
+}
+
+TEST(CodegenTest, ArraysReadWrite)
+{
+    const char *src = R"(
+        var int a[16];
+        func main() : int {
+            var int i;
+            for (i = 0; i < 16; i = i + 1) { a[i] = i * i; }
+            var int s = 0;
+            for (i = 0; i < 16; i = i + 1) { s = s + a[i]; }
+            return s;
+        })";
+    EXPECT_EQ(runRaw(src), 1240);
+}
+
+TEST(CodegenTest, RecursionFibonacci)
+{
+    const char *src = R"(
+        func fib(int n) : int {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        func main() : int { return fib(15); })";
+    EXPECT_EQ(runRaw(src), 610);
+}
+
+TEST(CodegenTest, MutualRecursionAndForwardCalls)
+{
+    const char *src = R"(
+        func isEven(int n) : int {
+            if (n == 0) { return 1; }
+            return isOdd(n - 1);
+        }
+        func isOdd(int n) : int {
+            if (n == 0) { return 0; }
+            return isEven(n - 1);
+        }
+        func main() : int { return isEven(10) * 10 + isOdd(7); })";
+    EXPECT_EQ(runRaw(src), 11);
+}
+
+TEST(CodegenTest, VoidFunctionsAndGlobalEffects)
+{
+    const char *src = R"(
+        var int acc;
+        func add(int v) { acc = acc + v; }
+        func main() : int {
+            acc = 0;
+            add(3); add(4); add(5);
+            return acc;
+        })";
+    EXPECT_EQ(runRaw(src), 12);
+}
+
+TEST(CodegenTest, ParamsAreByValue)
+{
+    const char *src = R"(
+        func f(int x) : int { x = x + 100; return x; }
+        func main() : int {
+            var int a = 5;
+            var int r = f(a);
+            return r * 1000 + a;
+        })";
+    EXPECT_EQ(runRaw(src), 105005);
+}
+
+TEST(CodegenTest, RealParamsAndReturns)
+{
+    const char *src = R"(
+        func mix(real a, real b, int k) : real {
+            return a * real(k) + b;
+        }
+        func main() : int { return int(mix(1.5, 0.25, 4)); })";
+    EXPECT_EQ(runRaw(src), 6);
+}
+
+class CodegenErrorTest : public test::ThrowingErrors
+{
+};
+
+TEST_F(CodegenErrorTest, UndefinedVariable)
+{
+    EXPECT_THROW(runRaw("func main() : int { return zz; }"),
+                 FatalError);
+}
+
+TEST_F(CodegenErrorTest, UndefinedFunction)
+{
+    EXPECT_THROW(runRaw("func main() : int { return nope(); }"),
+                 FatalError);
+}
+
+TEST_F(CodegenErrorTest, ArityMismatch)
+{
+    EXPECT_THROW(runRaw("func f(int a) : int { return a; }"
+                        "func main() : int { return f(1, 2); }"),
+                 FatalError);
+}
+
+TEST_F(CodegenErrorTest, VoidUsedAsValue)
+{
+    EXPECT_THROW(runRaw("func f() { }"
+                        "func main() : int { return f(); }"),
+                 FatalError);
+}
+
+TEST_F(CodegenErrorTest, NarrowingWithoutCast)
+{
+    EXPECT_THROW(runRaw("func main() : int { return 2.5; }"),
+                 FatalError);
+}
+
+TEST_F(CodegenErrorTest, RedeclarationRejected)
+{
+    EXPECT_THROW(runRaw("func main() : int {"
+                        "  var int x = 1; var int x = 2; return x; }"),
+                 FatalError);
+}
+
+TEST_F(CodegenErrorTest, ShadowingGlobalRejected)
+{
+    EXPECT_THROW(runRaw("var int g;"
+                        "func main() : int { var int g = 1;"
+                        "  return g; }"),
+                 FatalError);
+}
+
+TEST_F(CodegenErrorTest, ArrayUsedAsScalar)
+{
+    EXPECT_THROW(runRaw("var int a[4];"
+                        "func main() : int { return a; }"),
+                 FatalError);
+}
+
+TEST_F(CodegenErrorTest, BreakOutsideLoop)
+{
+    EXPECT_THROW(runRaw("func main() : int { break; return 0; }"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace ilp

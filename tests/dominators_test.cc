@@ -1,0 +1,156 @@
+/** Tests for src/ir/dominators: dominator tree and natural loops. */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/dominators.hh"
+
+namespace ilp {
+namespace {
+
+/** Build a function with the given edges; block 0 is the entry.
+ *  Blocks with two listed successors get a Br, one gets a Jmp, zero
+ *  get a Ret. */
+Function
+makeCfg(Module &m, const std::vector<std::vector<BlockId>> &succs)
+{
+    Function &f = m.function(m.addFunction("cfg"));
+    IrBuilder b(f);
+    for (std::size_t i = 1; i < succs.size(); ++i)
+        b.makeBlock();
+    Reg c = kNoReg;
+    for (std::size_t i = 0; i < succs.size(); ++i) {
+        b.setBlock(static_cast<BlockId>(i));
+        switch (succs[i].size()) {
+          case 0:
+            b.ret();
+            break;
+          case 1:
+            b.jmp(succs[i][0]);
+            break;
+          case 2:
+            c = b.li(1);
+            b.br(c, succs[i][0], succs[i][1]);
+            break;
+          default:
+            ADD_FAILURE() << "bad edge spec";
+        }
+    }
+    return f;
+}
+
+TEST(DominatorsTest, DiamondCfg)
+{
+    //      0
+    //     . .
+    //    1   2
+    //     . .
+    //      3
+    Module m;
+    Function f = makeCfg(m, {{1, 2}, {3}, {3}, {}});
+    Dominators dom(f);
+    EXPECT_EQ(dom.idom(0), 0);
+    EXPECT_EQ(dom.idom(1), 0);
+    EXPECT_EQ(dom.idom(2), 0);
+    EXPECT_EQ(dom.idom(3), 0); // join dominated by the fork, not arms
+    EXPECT_TRUE(dom.dominates(0, 3));
+    EXPECT_FALSE(dom.dominates(1, 3));
+    EXPECT_TRUE(dom.dominates(1, 1));
+}
+
+TEST(DominatorsTest, LinearChain)
+{
+    Module m;
+    Function f = makeCfg(m, {{1}, {2}, {3}, {}});
+    Dominators dom(f);
+    EXPECT_EQ(dom.idom(1), 0);
+    EXPECT_EQ(dom.idom(2), 1);
+    EXPECT_EQ(dom.idom(3), 2);
+    EXPECT_TRUE(dom.dominates(1, 3));
+    EXPECT_FALSE(dom.dominates(3, 1));
+}
+
+TEST(DominatorsTest, UnreachableBlockReported)
+{
+    Module m;
+    // Block 2 unreachable from the entry.
+    Function f = makeCfg(m, {{1}, {}, {1}});
+    Dominators dom(f);
+    EXPECT_TRUE(dom.reachable(0));
+    EXPECT_TRUE(dom.reachable(1));
+    EXPECT_FALSE(dom.reachable(2));
+}
+
+TEST(DominatorsTest, ReversePostorderStartsAtEntry)
+{
+    Module m;
+    Function f = makeCfg(m, {{1, 2}, {3}, {3}, {}});
+    Dominators dom(f);
+    ASSERT_FALSE(dom.reversePostorder().empty());
+    EXPECT_EQ(dom.reversePostorder().front(), 0);
+    EXPECT_EQ(dom.reversePostorder().size(), 4u);
+}
+
+TEST(NaturalLoopsTest, SimpleWhileLoop)
+{
+    // 0 -> 1(header) -> 2(body) -> 1, 1 -> 3(exit)
+    Module m;
+    Function f = makeCfg(m, {{1}, {2, 3}, {1}, {}});
+    Dominators dom(f);
+    auto loops = findNaturalLoops(f, dom);
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].header, 1);
+    EXPECT_TRUE(loops[0].contains(1));
+    EXPECT_TRUE(loops[0].contains(2));
+    EXPECT_FALSE(loops[0].contains(0));
+    EXPECT_FALSE(loops[0].contains(3));
+    EXPECT_EQ(loops[0].depth, 1);
+}
+
+TEST(NaturalLoopsTest, NestedLoopsHaveDepths)
+{
+    // 0 -> 1(outer hd) -> 2(inner hd) -> 3 -> 2 ; 2 -> 4 -> 1 ; 1 -> 5
+    Module m;
+    Function f =
+        makeCfg(m, {{1}, {2, 5}, {3, 4}, {2}, {1}, {}});
+    Dominators dom(f);
+    auto loops = findNaturalLoops(f, dom);
+    ASSERT_EQ(loops.size(), 2u);
+    const NaturalLoop *outer = nullptr;
+    const NaturalLoop *inner = nullptr;
+    for (const auto &l : loops) {
+        if (l.header == 1)
+            outer = &l;
+        if (l.header == 2)
+            inner = &l;
+    }
+    ASSERT_TRUE(outer && inner);
+    EXPECT_EQ(outer->depth, 1);
+    EXPECT_EQ(inner->depth, 2);
+    EXPECT_TRUE(outer->contains(2));
+    EXPECT_TRUE(outer->contains(4));
+    EXPECT_TRUE(inner->contains(3));
+    EXPECT_FALSE(inner->contains(4));
+}
+
+TEST(NaturalLoopsTest, SelfLoop)
+{
+    Module m;
+    Function f = makeCfg(m, {{1}, {1, 2}, {}});
+    Dominators dom(f);
+    auto loops = findNaturalLoops(f, dom);
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_EQ(loops[0].header, 1);
+    EXPECT_EQ(loops[0].blocks.size(), 1u);
+}
+
+TEST(NaturalLoopsTest, NoLoopsInDag)
+{
+    Module m;
+    Function f = makeCfg(m, {{1, 2}, {3}, {3}, {}});
+    Dominators dom(f);
+    EXPECT_TRUE(findNaturalLoops(f, dom).empty());
+}
+
+} // namespace
+} // namespace ilp

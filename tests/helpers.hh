@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared test utilities: compile-and-run helpers over the whole
+ * pipeline and a fixture that turns panic()/fatal() into catchable
+ * exceptions.
+ */
+
+#ifndef SUPERSYM_TESTS_HELPERS_HH
+#define SUPERSYM_TESTS_HELPERS_HH
+
+#include <gtest/gtest.h>
+
+#include "core/machine/models.hh"
+#include "frontend/compile.hh"
+#include "opt/pipeline.hh"
+#include "sim/interp.hh"
+#include "support/logging.hh"
+
+namespace ilp::test {
+
+/** Makes SS_PANIC/SS_FATAL throw FatalError for the test's scope. */
+class ThrowingErrors : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLoggingThrows(true); }
+    void TearDown() override { setLoggingThrows(false); }
+};
+
+/** Compile MT source (no optimization) and run main(); returns the
+ *  checksum as a signed integer. */
+inline std::int64_t
+runRaw(const std::string &source)
+{
+    Module m = compileToIr(source);
+    OptimizeOptions oo;
+    oo.level = OptLevel::None;
+    optimizeModule(m, baseMachine(), oo);
+    Interpreter interp(m);
+    return static_cast<std::int64_t>(interp.run().returnValue);
+}
+
+/** Compile-and-run at a given level/machine/alias. */
+inline std::int64_t
+runOptimized(const std::string &source,
+             OptLevel level = OptLevel::RegAlloc,
+             const MachineConfig &machine = baseMachine(),
+             AliasLevel alias = AliasLevel::Conservative,
+             const UnrollOptions &unroll = {})
+{
+    Module m = compileToIr(source, unroll);
+    OptimizeOptions oo;
+    oo.level = level;
+    oo.alias = alias;
+    oo.reassociate = unroll.careful;
+    optimizeModule(m, machine, oo);
+    Interpreter interp(m);
+    return static_cast<std::int64_t>(interp.run().returnValue);
+}
+
+/** Dynamic instruction count of a raw (unoptimized) run. */
+inline std::uint64_t
+countRaw(const std::string &source)
+{
+    Module m = compileToIr(source);
+    OptimizeOptions oo;
+    oo.level = OptLevel::None;
+    optimizeModule(m, baseMachine(), oo);
+    Interpreter interp(m);
+    return interp.run().instructions;
+}
+
+} // namespace ilp::test
+
+#endif // SUPERSYM_TESTS_HELPERS_HH

@@ -1,0 +1,261 @@
+/** Tests for src/ir: instructions, builder, module, printer,
+ *  verifier. */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+#include "tests/helpers.hh"
+
+namespace ilp {
+namespace {
+
+TEST(InstrTest, FactoriesFillOperandsAsDocumented)
+{
+    Instr add = Instr::binary(Opcode::AddI, 2, 0, 1);
+    EXPECT_EQ(add.dst, 2u);
+    EXPECT_EQ(add.src1, 0u);
+    EXPECT_EQ(add.src2, 1u);
+    EXPECT_FALSE(add.hasImm);
+
+    Instr addi = Instr::binaryImm(Opcode::AddI, 2, 0, 5);
+    EXPECT_TRUE(addi.hasImm);
+    EXPECT_EQ(addi.imm, 5);
+    EXPECT_EQ(addi.src2, kNoReg);
+
+    Instr ld = Instr::load(Opcode::LoadW, 3, 1, 16);
+    EXPECT_EQ(ld.src1, 1u);
+    EXPECT_EQ(ld.imm, 16);
+
+    Instr st = Instr::store(Opcode::StoreF, 1, 8, 4);
+    EXPECT_EQ(st.src1, 1u);  // base
+    EXPECT_EQ(st.src2, 4u);  // value
+    EXPECT_EQ(st.dst, kNoReg);
+
+    Instr br = Instr::br(0, 1, 2);
+    EXPECT_EQ(br.target0, 1);
+    EXPECT_EQ(br.target1, 2);
+}
+
+TEST(InstrTest, SrcEnumerationCoversArgs)
+{
+    Instr c = Instr::call(0, {3, 4, 5}, 6);
+    auto srcs = c.srcRegs();
+    EXPECT_EQ(srcs, (std::vector<Reg>{3, 4, 5}));
+
+    Instr st = Instr::store(Opcode::StoreW, 1, 0, 2);
+    EXPECT_EQ(st.srcRegs(), (std::vector<Reg>{1, 2}));
+}
+
+TEST(InstrTest, RewriteSrcsTouchesEverySource)
+{
+    Instr c = Instr::call(0, {3, 4}, 6);
+    c.rewriteSrcs([](Reg r) { return r + 10; });
+    EXPECT_EQ(c.args[0], 13u);
+    EXPECT_EQ(c.args[1], 14u);
+}
+
+TEST(InstrTest, SideEffects)
+{
+    EXPECT_TRUE(Instr::store(Opcode::StoreW, 0, 0, 1).hasSideEffect());
+    EXPECT_TRUE(Instr::jmp(0).hasSideEffect());
+    EXPECT_TRUE(Instr::call(0, {}, kNoReg).hasSideEffect());
+    EXPECT_FALSE(Instr::binary(Opcode::AddI, 2, 0, 1).hasSideEffect());
+}
+
+TEST(ModuleTest, GlobalsGetDisjointAddressesAboveBase)
+{
+    Module m;
+    std::int64_t a = m.addGlobal("a", 4, false);
+    std::int64_t b = m.addGlobal("b", 1, true);
+    EXPECT_GE(a, kGlobalBase);
+    EXPECT_EQ(b, a + 4 * kWordBytes);
+    EXPECT_TRUE(m.addressInGlobals(a));
+    EXPECT_TRUE(m.addressInGlobals(a + 3 * kWordBytes));
+    EXPECT_FALSE(m.addressInGlobals(0));
+    EXPECT_FALSE(m.addressInGlobals(m.globalEnd()));
+    EXPECT_EQ(m.findGlobal("a")->words, 4);
+    EXPECT_TRUE(m.findGlobal("b")->isFloat);
+    EXPECT_EQ(m.findGlobal("zzz"), nullptr);
+}
+
+TEST(ModuleTest, DuplicateGlobalIsAnError)
+{
+    setLoggingThrows(true);
+    Module m;
+    m.addGlobal("x", 1, false);
+    EXPECT_THROW(m.addGlobal("x", 1, false), FatalError);
+    setLoggingThrows(false);
+}
+
+TEST(ModuleTest, FunctionLookup)
+{
+    Module m;
+    FuncId f = m.addFunction("foo");
+    FuncId g = m.addFunction("bar");
+    EXPECT_EQ(m.findFunction("foo"), f);
+    EXPECT_EQ(m.findFunction("bar"), g);
+    EXPECT_EQ(m.findFunction("baz"), kNoFunc);
+    EXPECT_EQ(m.function(f).name, "foo");
+}
+
+TEST(BuilderTest, BuildsARunnableFunction)
+{
+    // main() { return 2 + 3; }
+    Module m;
+    FuncId id = m.addFunction("main");
+    Function &f = m.function(id);
+    f.returnsValue = true;
+    IrBuilder b(f);
+    Reg two = b.li(2);
+    Reg three = b.li(3);
+    Reg sum = b.binary(Opcode::AddI, two, three);
+    b.ret(sum);
+
+    EXPECT_TRUE(verify(m).empty());
+
+    OptimizeOptions oo;
+    oo.level = OptLevel::None;
+    optimizeModule(m, baseMachine(), oo);
+    Interpreter interp(m);
+    EXPECT_EQ(interp.run().returnValue, 5u);
+}
+
+TEST(BuilderTest, RefusesToEmitPastTerminator)
+{
+    setLoggingThrows(true);
+    Module m;
+    Function &f = m.function(m.addFunction("f"));
+    IrBuilder b(f);
+    b.ret();
+    EXPECT_THROW(b.li(1), FatalError);
+    setLoggingThrows(false);
+}
+
+TEST(BuilderTest, BlocksAndBranches)
+{
+    Module m;
+    Function &f = m.function(m.addFunction("main"));
+    f.returnsValue = true;
+    IrBuilder b(f);
+    BlockId then_bb = b.makeBlock("then");
+    BlockId else_bb = b.makeBlock("else");
+    Reg c = b.li(1);
+    b.br(c, then_bb, else_bb);
+    b.setBlock(then_bb);
+    Reg a = b.li(10);
+    b.ret(a);
+    b.setBlock(else_bb);
+    Reg z = b.li(20);
+    b.ret(z);
+
+    EXPECT_TRUE(verify(m).empty());
+    EXPECT_EQ(f.blocks.size(), 3u);
+    EXPECT_EQ(f.entry().successors(),
+              (std::vector<BlockId>{then_bb, else_bb}));
+
+    OptimizeOptions oo;
+    oo.level = OptLevel::None;
+    optimizeModule(m, baseMachine(), oo);
+    Interpreter interp(m);
+    EXPECT_EQ(interp.run().returnValue, 10u);
+}
+
+TEST(VerifierTest, CatchesMissingTerminator)
+{
+    Module m;
+    Function &f = m.function(m.addFunction("f"));
+    IrBuilder b(f);
+    b.li(1); // no terminator
+    auto problems = verify(m);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("terminator"), std::string::npos);
+}
+
+TEST(VerifierTest, CatchesBadBranchTarget)
+{
+    Module m;
+    Function &f = m.function(m.addFunction("f"));
+    IrBuilder b(f);
+    Reg c = b.li(1);
+    f.blocks[0].instrs.push_back(Instr::br(c, 7, 0)); // bb7 absent
+    auto problems = verify(m);
+    ASSERT_FALSE(problems.empty());
+}
+
+TEST(VerifierTest, CatchesBadRegister)
+{
+    Module m;
+    Function &f = m.function(m.addFunction("f"));
+    IrBuilder b(f);
+    f.blocks[0].instrs.push_back(
+        Instr::binary(Opcode::AddI, 0, 99, 98)); // unallocated vregs
+    f.blocks[0].instrs.push_back(Instr::ret(kNoReg));
+    f.numVirtRegs = 1;
+    auto problems = verify(m);
+    EXPECT_FALSE(problems.empty());
+}
+
+TEST(VerifierTest, CatchesCallArityMismatch)
+{
+    Module m;
+    FuncId callee_id = m.addFunction("callee");
+    Function &callee = m.function(callee_id);
+    {
+        IrBuilder b(callee);
+        callee.paramRegs = {callee.newVirtReg()};
+        callee.paramIsFloat = {false};
+        b.ret();
+    }
+    Function &f = m.function(m.addFunction("f"));
+    IrBuilder b(f);
+    b.emit(Instr::call(callee_id, {}, kNoReg)); // 0 args vs 1 param
+    b.ret();
+    auto problems = verify(m);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("arity"), std::string::npos);
+}
+
+TEST(PrinterTest, RendersInstructionsReadably)
+{
+    EXPECT_EQ(toString(Instr::binary(Opcode::AddI, 2, 0, 1)),
+              "add v2 <- v0, v1");
+    EXPECT_EQ(toString(Instr::binaryImm(Opcode::ShlI, 4, 3, 3)),
+              "shl v4 <- v3, #3");
+    EXPECT_EQ(toString(Instr::li(1, 42)), "li v1 <- #42");
+    EXPECT_EQ(toString(Instr::load(Opcode::LoadW, 5, 2, 8)),
+              "ld v5 <- 8(v2)");
+    EXPECT_EQ(toString(Instr::store(Opcode::StoreF, 2, 16, 7)),
+              "fst 16(v2) <- v7");
+    EXPECT_EQ(toString(Instr::br(3, 1, 2)), "br v3, bb1, bb2");
+    EXPECT_EQ(toString(Instr::jmp(4)), "jmp bb4");
+    EXPECT_EQ(toString(Instr::ret(2)), "ret v2");
+}
+
+TEST(PrinterTest, FunctionListingContainsBlocksAndName)
+{
+    Module m;
+    Function &f = m.function(m.addFunction("main"));
+    IrBuilder b(f);
+    b.ret();
+    std::string out = toString(m);
+    EXPECT_NE(out.find("func main"), std::string::npos);
+    EXPECT_NE(out.find("entry"), std::string::npos);
+    EXPECT_NE(out.find("ret"), std::string::npos);
+}
+
+TEST(FunctionTest, FrameSlotsAreWordAlignedAndSequential)
+{
+    Function f;
+    std::int64_t a = f.addFrameSlot("a", false);
+    std::int64_t b = f.addFrameSlot("b", true);
+    std::int64_t c = f.addFrameSlot("arr", false, 3);
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 8);
+    EXPECT_EQ(c, 16);
+    EXPECT_EQ(f.frameBytes, 16 + 3 * 8);
+}
+
+} // namespace
+} // namespace ilp

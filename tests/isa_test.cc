@@ -1,0 +1,142 @@
+/** Tests for src/isa: opcode metadata and the 14 instruction classes. */
+
+#include <gtest/gtest.h>
+
+#include "isa/isa.hh"
+
+namespace ilp {
+namespace {
+
+TEST(IsaTest, FourteenClasses)
+{
+    // Section 3: "we therefore group the MultiTitan operations into
+    // fourteen classes".
+    EXPECT_EQ(kNumInstrClasses, 14u);
+}
+
+TEST(IsaTest, EveryOpcodeHasAClassAndName)
+{
+    for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+        Opcode op = static_cast<Opcode>(i);
+        EXPECT_LT(static_cast<std::size_t>(opcodeClass(op)),
+                  kNumInstrClasses);
+        EXPECT_FALSE(opcodeName(op).empty());
+    }
+}
+
+TEST(IsaTest, ClassAssignmentsMatchThePaperGroups)
+{
+    EXPECT_EQ(opcodeClass(Opcode::AddI), InstrClass::IntAdd);
+    EXPECT_EQ(opcodeClass(Opcode::SubI), InstrClass::IntAdd);
+    EXPECT_EQ(opcodeClass(Opcode::CmpLtI), InstrClass::IntAdd);
+    EXPECT_EQ(opcodeClass(Opcode::MulI), InstrClass::IntMul);
+    EXPECT_EQ(opcodeClass(Opcode::DivI), InstrClass::IntDiv);
+    EXPECT_EQ(opcodeClass(Opcode::RemI), InstrClass::IntDiv);
+    EXPECT_EQ(opcodeClass(Opcode::AndI), InstrClass::Logical);
+    EXPECT_EQ(opcodeClass(Opcode::ShlI), InstrClass::Shift);
+    EXPECT_EQ(opcodeClass(Opcode::LiI), InstrClass::Move);
+    EXPECT_EQ(opcodeClass(Opcode::LoadW), InstrClass::Load);
+    EXPECT_EQ(opcodeClass(Opcode::LoadF), InstrClass::Load);
+    EXPECT_EQ(opcodeClass(Opcode::StoreF), InstrClass::Store);
+    EXPECT_EQ(opcodeClass(Opcode::Br), InstrClass::Branch);
+    EXPECT_EQ(opcodeClass(Opcode::Call), InstrClass::Branch);
+    EXPECT_EQ(opcodeClass(Opcode::Ret), InstrClass::Branch);
+    EXPECT_EQ(opcodeClass(Opcode::Jmp), InstrClass::Jump);
+    EXPECT_EQ(opcodeClass(Opcode::AddF), InstrClass::FPAdd);
+    EXPECT_EQ(opcodeClass(Opcode::CmpLtF), InstrClass::FPAdd);
+    EXPECT_EQ(opcodeClass(Opcode::MulF), InstrClass::FPMul);
+    EXPECT_EQ(opcodeClass(Opcode::DivF), InstrClass::FPDiv);
+    EXPECT_EQ(opcodeClass(Opcode::CvtIF), InstrClass::FPCvt);
+}
+
+TEST(IsaTest, MemoryPredicates)
+{
+    EXPECT_TRUE(isLoad(Opcode::LoadW));
+    EXPECT_TRUE(isLoad(Opcode::LoadF));
+    EXPECT_FALSE(isLoad(Opcode::StoreW));
+    EXPECT_TRUE(isStore(Opcode::StoreW));
+    EXPECT_TRUE(isMem(Opcode::LoadF));
+    EXPECT_TRUE(isMem(Opcode::StoreF));
+    EXPECT_FALSE(isMem(Opcode::AddI));
+}
+
+TEST(IsaTest, TerminatorPredicate)
+{
+    EXPECT_TRUE(isTerminator(Opcode::Br));
+    EXPECT_TRUE(isTerminator(Opcode::Jmp));
+    EXPECT_TRUE(isTerminator(Opcode::Ret));
+    // A call returns to the next instruction: not a terminator.
+    EXPECT_FALSE(isTerminator(Opcode::Call));
+}
+
+TEST(IsaTest, FloatnessOfResults)
+{
+    EXPECT_TRUE(producesFloat(Opcode::AddF));
+    EXPECT_TRUE(producesFloat(Opcode::LoadF));
+    EXPECT_TRUE(producesFloat(Opcode::CvtIF));
+    EXPECT_FALSE(producesFloat(Opcode::CvtFI));
+    EXPECT_FALSE(producesFloat(Opcode::CmpLtF)); // compares are ints
+    EXPECT_FALSE(producesFloat(Opcode::AddI));
+}
+
+TEST(IsaTest, CommutativityAndReassociability)
+{
+    EXPECT_TRUE(isCommutative(Opcode::AddI));
+    EXPECT_TRUE(isCommutative(Opcode::MulF));
+    EXPECT_FALSE(isCommutative(Opcode::SubI));
+    EXPECT_FALSE(isCommutative(Opcode::DivF));
+    EXPECT_FALSE(isCommutative(Opcode::ShlI));
+
+    EXPECT_TRUE(isReassociable(Opcode::AddF));
+    EXPECT_TRUE(isReassociable(Opcode::MulI));
+    EXPECT_FALSE(isReassociable(Opcode::SubF));
+}
+
+TEST(IsaTest, BinaryAndUnaryPartition)
+{
+    EXPECT_TRUE(isBinaryAlu(Opcode::XorI));
+    EXPECT_TRUE(isBinaryAlu(Opcode::CmpGeF));
+    EXPECT_FALSE(isBinaryAlu(Opcode::NegF));
+    EXPECT_TRUE(isUnaryAlu(Opcode::NegF));
+    EXPECT_TRUE(isUnaryAlu(Opcode::MovI));
+    EXPECT_FALSE(isUnaryAlu(Opcode::AddI));
+    EXPECT_FALSE(isBinaryAlu(Opcode::LoadW));
+    EXPECT_FALSE(isUnaryAlu(Opcode::LoadW));
+}
+
+TEST(IsaTest, ComparePredicate)
+{
+    EXPECT_TRUE(isCompare(Opcode::CmpEqI));
+    EXPECT_TRUE(isCompare(Opcode::CmpGeF));
+    EXPECT_FALSE(isCompare(Opcode::AddI));
+}
+
+TEST(IsaTest, RegFileLayoutGeometry)
+{
+    RegFileLayout layout;
+    layout.numTemp = 16;
+    layout.numHome = 26;
+    EXPECT_EQ(layout.total(), 44u);
+    EXPECT_EQ(layout.tempReg(0), 0u);
+    EXPECT_EQ(layout.homeReg(0), 16u);
+    EXPECT_EQ(layout.fp(), 42u);
+    EXPECT_EQ(layout.gp(), 43u);
+    EXPECT_TRUE(layout.isTemp(15));
+    EXPECT_FALSE(layout.isTemp(16));
+    EXPECT_TRUE(layout.isHome(16));
+    EXPECT_TRUE(layout.isHome(41));
+    EXPECT_FALSE(layout.isHome(42));
+}
+
+TEST(IsaTest, ClassNamesAreDistinct)
+{
+    for (std::size_t a = 0; a < kNumInstrClasses; ++a) {
+        for (std::size_t b = a + 1; b < kNumInstrClasses; ++b) {
+            EXPECT_NE(instrClassName(static_cast<InstrClass>(a)),
+                      instrClassName(static_cast<InstrClass>(b)));
+        }
+    }
+}
+
+} // namespace
+} // namespace ilp

@@ -1,0 +1,111 @@
+/** Tests for the MT lexer. */
+
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hh"
+#include "tests/helpers.hh"
+
+namespace ilp {
+namespace {
+
+std::vector<Tok>
+kinds(const std::string &src)
+{
+    Lexer lex(src);
+    std::vector<Tok> out;
+    for (const auto &t : lex.lexAll())
+        out.push_back(t.kind);
+    return out;
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers)
+{
+    auto ks = kinds("var int x while whilex");
+    EXPECT_EQ(ks, (std::vector<Tok>{Tok::KwVar, Tok::KwInt, Tok::Ident,
+                                    Tok::KwWhile, Tok::Ident,
+                                    Tok::Eof}));
+}
+
+TEST(LexerTest, IntegerAndRealLiterals)
+{
+    Lexer lex("42 3.5 1e3 2.5e-2 7");
+    auto toks = lex.lexAll();
+    ASSERT_EQ(toks.size(), 6u);
+    EXPECT_EQ(toks[0].kind, Tok::IntLit);
+    EXPECT_EQ(toks[0].intValue, 42);
+    EXPECT_EQ(toks[1].kind, Tok::RealLit);
+    EXPECT_DOUBLE_EQ(toks[1].realValue, 3.5);
+    EXPECT_EQ(toks[2].kind, Tok::RealLit);
+    EXPECT_DOUBLE_EQ(toks[2].realValue, 1000.0);
+    EXPECT_EQ(toks[3].kind, Tok::RealLit);
+    EXPECT_DOUBLE_EQ(toks[3].realValue, 0.025);
+    EXPECT_EQ(toks[4].kind, Tok::IntLit);
+}
+
+TEST(LexerTest, TwoCharOperators)
+{
+    auto ks = kinds("== != <= >= << >> && || = < >");
+    EXPECT_EQ(ks, (std::vector<Tok>{
+                      Tok::EqEq, Tok::BangEq, Tok::Le, Tok::Ge,
+                      Tok::Shl, Tok::Shr, Tok::AmpAmp, Tok::PipePipe,
+                      Tok::Assign, Tok::Lt, Tok::Gt, Tok::Eof}));
+}
+
+TEST(LexerTest, CommentsAreSkipped)
+{
+    auto ks = kinds("a // line comment\n b /* block\n comment */ c");
+    EXPECT_EQ(ks, (std::vector<Tok>{Tok::Ident, Tok::Ident, Tok::Ident,
+                                    Tok::Eof}));
+}
+
+TEST(LexerTest, LineAndColumnTracking)
+{
+    Lexer lex("a\n  b");
+    auto toks = lex.lexAll();
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[0].col, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[1].col, 3);
+}
+
+TEST(LexerTest, DotWithoutDigitIsNotARealSuffix)
+{
+    // "5." should lex as the int 5 followed by an error on '.'.
+    setLoggingThrows(true);
+    Lexer lex("5.");
+    EXPECT_THROW(lex.lexAll(), FatalError);
+    setLoggingThrows(false);
+}
+
+class LexerErrorTest : public test::ThrowingErrors
+{
+};
+
+TEST_F(LexerErrorTest, UnexpectedCharacter)
+{
+    Lexer lex("a $ b", "unit");
+    try {
+        lex.lexAll();
+        FAIL() << "expected an error";
+    } catch (const FatalError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("unit:1"), std::string::npos);
+        EXPECT_NE(what.find("'$'"), std::string::npos);
+    }
+}
+
+TEST_F(LexerErrorTest, UnterminatedComment)
+{
+    Lexer lex("a /* never closed");
+    EXPECT_THROW(lex.lexAll(), FatalError);
+}
+
+TEST(LexerTest, EofIsAlwaysLast)
+{
+    auto ks = kinds("");
+    ASSERT_EQ(ks.size(), 1u);
+    EXPECT_EQ(ks[0], Tok::Eof);
+}
+
+} // namespace
+} // namespace ilp

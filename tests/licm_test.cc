@@ -1,0 +1,137 @@
+/** Tests for loop-invariant code motion. */
+
+#include <gtest/gtest.h>
+
+#include "ir/verifier.hh"
+#include "opt/passes.hh"
+#include "tests/helpers.hh"
+
+namespace ilp {
+namespace {
+
+using test::runOptimized;
+using test::runRaw;
+
+/** Dynamic instruction count at a given level. */
+std::uint64_t
+dynCount(const std::string &src, OptLevel level)
+{
+    Module m = compileToIr(src);
+    OptimizeOptions oo;
+    oo.level = level;
+    optimizeModule(m, baseMachine(), oo);
+    Interpreter interp(m);
+    return interp.run().instructions;
+}
+
+const char *kInvariantHeavy = R"(
+    var int a[100];
+    var int n = 100;
+    func main() : int {
+        var int i;
+        var int x = 17;
+        var int s = 0;
+        for (i = 0; i < 100; i = i + 1) {
+            // x*13+5 is invariant; the address scale of a[i] is not.
+            s = s + a[i] + (x * 13 + 5);
+        }
+        return s;
+    })";
+
+TEST(LicmTest, HoistsInvariantComputation)
+{
+    Module m = compileToIr(kInvariantHeavy);
+    Function &f = m.function(m.findFunction("main"));
+    // Local cleanup first so the loop body is in its CSE'd form.
+    foldConstants(f);
+    localValueNumbering(f);
+    eliminateDeadCode(f);
+    int hoisted = hoistLoopInvariants(m, f);
+    EXPECT_GT(hoisted, 0);
+    EXPECT_TRUE(verify(m).empty());
+}
+
+TEST(LicmTest, PreservesSemantics)
+{
+    EXPECT_EQ(runOptimized(kInvariantHeavy, OptLevel::Global),
+              runRaw(kInvariantHeavy));
+}
+
+TEST(LicmTest, ReducesDynamicInstructions)
+{
+    EXPECT_LT(dynCount(kInvariantHeavy, OptLevel::Global),
+              dynCount(kInvariantHeavy, OptLevel::Local));
+}
+
+TEST(LicmTest, NestedLoopsHoistFromInnerToo)
+{
+    const char *src = R"(
+        var int m[64];
+        func main() : int {
+            var int i; var int j; var int s = 0;
+            var int k = 6;
+            for (i = 0; i < 8; i = i + 1) {
+                for (j = 0; j < 8; j = j + 1) {
+                    s = s + m[i * 8 + j] + k * k * k;
+                }
+            }
+            return s;
+        })";
+    EXPECT_EQ(runOptimized(src, OptLevel::Global), runRaw(src));
+    EXPECT_LT(dynCount(src, OptLevel::Global),
+              dynCount(src, OptLevel::Local));
+}
+
+TEST(LicmTest, DoesNotHoistDivides)
+{
+    // x/y inside the loop where y may be zero on the skipped path:
+    // hoisting the divide would fault.  Loop executes zero times.
+    const char *src = R"(
+        func main() : int {
+            var int i;
+            var int x = 10;
+            var int y = 0;
+            var int s = 0;
+            for (i = 0; i < 0; i = i + 1) {
+                s = s + x / y;
+            }
+            return s + 3;
+        })";
+    // Would crash (division by zero) if the divide were hoisted.
+    EXPECT_EQ(runOptimized(src, OptLevel::Global), 3);
+}
+
+TEST(LicmTest, DoesNotHoistVaryingComputation)
+{
+    const char *src = R"(
+        func main() : int {
+            var int i;
+            var int s = 0;
+            for (i = 0; i < 16; i = i + 1) { s = s + i * i; }
+            return s;
+        })";
+    EXPECT_EQ(runOptimized(src, OptLevel::Global), runRaw(src));
+    EXPECT_EQ(runOptimized(src, OptLevel::Global), 1240);
+}
+
+TEST(LicmTest, WhileLoopsGetPreheadersToo)
+{
+    const char *src = R"(
+        var int g = 5;
+        func main() : int {
+            var int s = 0;
+            var int x = 12;
+            var int i = 0;
+            while (i < 50) {
+                s = s + x * x * x;
+                i = i + 1;
+            }
+            return s;
+        })";
+    EXPECT_EQ(runOptimized(src, OptLevel::Global), runRaw(src));
+    EXPECT_LT(dynCount(src, OptLevel::Global),
+              dynCount(src, OptLevel::Local));
+}
+
+} // namespace
+} // namespace ilp

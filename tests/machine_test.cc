@@ -1,0 +1,119 @@
+/** Tests for the machine taxonomy and predefined models. */
+
+#include <gtest/gtest.h>
+
+#include "core/machine/models.hh"
+#include "tests/helpers.hh"
+
+namespace ilp {
+namespace {
+
+TEST(MachineTest, BaseMachineDefinition)
+{
+    MachineConfig m = baseMachine();
+    // §2.1: issue 1/cycle, simple op latency 1, parallelism needed 1.
+    EXPECT_EQ(m.issueWidth, 1);
+    EXPECT_EQ(m.pipelineDegree, 1);
+    for (std::size_t c = 0; c < kNumInstrClasses; ++c)
+        EXPECT_EQ(m.latency[c], 1);
+    EXPECT_TRUE(m.units.empty());
+}
+
+TEST(MachineTest, SuperscalarAndSuperpipelinedDegrees)
+{
+    MachineConfig ss = idealSuperscalar(4);
+    EXPECT_EQ(ss.issueWidth, 4);
+    EXPECT_EQ(ss.pipelineDegree, 1);
+
+    MachineConfig sp = superpipelined(4);
+    EXPECT_EQ(sp.issueWidth, 1);
+    EXPECT_EQ(sp.pipelineDegree, 4);
+    // Simple op latency in minor cycles is m (§2.4).
+    EXPECT_EQ(sp.latencyMinor(InstrClass::IntAdd), 4);
+
+    MachineConfig both = superpipelinedSuperscalar(3, 2);
+    EXPECT_EQ(both.issueWidth, 3);
+    EXPECT_EQ(both.pipelineDegree, 2);
+}
+
+TEST(MachineTest, MultiTitanLatencies)
+{
+    // §2.7: "ALU operations are one cycle, but loads, stores, and
+    // branches are two cycles, and all floating-point operations are
+    // three cycles."
+    MachineConfig m = multiTitan();
+    EXPECT_EQ(m.latencyBase(InstrClass::IntAdd), 1);
+    EXPECT_EQ(m.latencyBase(InstrClass::Logical), 1);
+    EXPECT_EQ(m.latencyBase(InstrClass::Shift), 1);
+    EXPECT_EQ(m.latencyBase(InstrClass::Load), 2);
+    EXPECT_EQ(m.latencyBase(InstrClass::Store), 2);
+    EXPECT_EQ(m.latencyBase(InstrClass::Branch), 2);
+    EXPECT_EQ(m.latencyBase(InstrClass::FPAdd), 3);
+    EXPECT_EQ(m.latencyBase(InstrClass::FPMul), 3);
+}
+
+TEST(MachineTest, Cray1Latencies)
+{
+    // Table 2-1 column: logical 1, shift 2, add/sub 3, load 11,
+    // store 1, branch 3.
+    MachineConfig m = cray1();
+    EXPECT_EQ(m.latencyBase(InstrClass::Logical), 1);
+    EXPECT_EQ(m.latencyBase(InstrClass::Shift), 2);
+    EXPECT_EQ(m.latencyBase(InstrClass::IntAdd), 3);
+    EXPECT_EQ(m.latencyBase(InstrClass::Load), 11);
+    EXPECT_EQ(m.latencyBase(InstrClass::Store), 1);
+    EXPECT_EQ(m.latencyBase(InstrClass::Branch), 3);
+
+    MachineConfig unit = cray1(/*unit_latencies=*/true);
+    EXPECT_EQ(unit.latencyBase(InstrClass::Load), 1);
+}
+
+TEST(MachineTest, ClassConflictMachineCoversAllClasses)
+{
+    MachineConfig m = superscalarWithClassConflicts(4);
+    EXPECT_FALSE(m.units.empty());
+    for (std::size_t c = 0; c < kNumInstrClasses; ++c)
+        EXPECT_GE(m.unitFor(static_cast<InstrClass>(c)), 0);
+    // Ideal machines report -1 (no conflicts).
+    EXPECT_EQ(idealSuperscalar(4).unitFor(InstrClass::IntAdd), -1);
+}
+
+TEST(MachineTest, UnderpipelinedHalfIssue)
+{
+    MachineConfig m = underpipelinedHalfIssue();
+    ASSERT_EQ(m.units.size(), 1u);
+    EXPECT_EQ(m.units[0].issueLatency, 2);
+    EXPECT_EQ(m.units[0].multiplicity, 1);
+}
+
+TEST(MachineTest, ValidationCatchesBadConfigs)
+{
+    setLoggingThrows(true);
+    MachineConfig m;
+    m.issueWidth = 0;
+    EXPECT_THROW(m.validate(), FatalError);
+
+    MachineConfig m2;
+    m2.latency[0] = 0;
+    EXPECT_THROW(m2.validate(), FatalError);
+
+    MachineConfig m3;
+    FuncUnit u;
+    u.name = "only-adds";
+    u.classes = {InstrClass::IntAdd};
+    m3.units.push_back(u); // other classes unserved
+    EXPECT_THROW(m3.validate(), FatalError);
+    setLoggingThrows(false);
+}
+
+TEST(MachineTest, UnitLookupFindsServingUnit)
+{
+    MachineConfig m = superscalarWithClassConflicts(2);
+    int alu = m.unitFor(InstrClass::IntAdd);
+    ASSERT_GE(alu, 0);
+    EXPECT_TRUE(m.units[alu].handles(InstrClass::Logical));
+    EXPECT_FALSE(m.units[alu].handles(InstrClass::FPMul));
+}
+
+} // namespace
+} // namespace ilp

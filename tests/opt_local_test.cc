@@ -1,0 +1,315 @@
+/** Tests for local passes: constant folding, value numbering / CSE,
+ *  dead-code elimination. */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "opt/passes.hh"
+#include "tests/helpers.hh"
+
+namespace ilp {
+namespace {
+
+using test::runOptimized;
+using test::runRaw;
+
+/** Count instructions with a given opcode across a function. */
+std::size_t
+countOp(const Function &f, Opcode op)
+{
+    std::size_t n = 0;
+    for (const auto &bb : f.blocks) {
+        for (const auto &in : bb.instrs) {
+            if (in.op == op)
+                ++n;
+        }
+    }
+    return n;
+}
+
+TEST(ConstFoldTest, FoldsConstantExpressions)
+{
+    Module m;
+    Function &f = m.function(m.addFunction("f"));
+    f.returnsValue = true;
+    IrBuilder b(f);
+    Reg two = b.li(2);
+    Reg three = b.li(3);
+    Reg sum = b.binary(Opcode::AddI, two, three);
+    Reg prod = b.binaryImm(Opcode::MulI, sum, 4);
+    b.ret(prod);
+
+    EXPECT_GT(foldConstants(f), 0);
+    eliminateDeadCode(f);
+    // Everything folds to a single li 20.
+    EXPECT_EQ(countOp(f, Opcode::AddI), 0u);
+    EXPECT_EQ(countOp(f, Opcode::MulI), 0u);
+    ASSERT_EQ(countOp(f, Opcode::LiI), 1u);
+    EXPECT_EQ(f.blocks[0].instrs[0].imm, 20);
+}
+
+TEST(ConstFoldTest, FoldsFloatArithmetic)
+{
+    Module m;
+    Function &f = m.function(m.addFunction("f"));
+    f.returnsValue = true;
+    f.returnsFloat = true;
+    IrBuilder b(f);
+    Reg a = b.lif(1.5);
+    Reg c = b.lif(2.0);
+    Reg p = b.binary(Opcode::MulF, a, c);
+    b.ret(p);
+    EXPECT_GT(foldConstants(f), 0);
+    eliminateDeadCode(f);
+    ASSERT_EQ(countOp(f, Opcode::LiF), 1u);
+    EXPECT_DOUBLE_EQ(f.blocks[0].instrs[0].fimm, 3.0);
+}
+
+TEST(ConstFoldTest, AlgebraicIdentities)
+{
+    Module m;
+    Function &f = m.function(m.addFunction("f"));
+    f.returnsValue = true;
+    IrBuilder b(f);
+    Reg x = f.newVirtReg(); // opaque input
+    f.paramRegs = {x};
+    f.paramIsFloat = {false};
+    Reg a = b.binaryImm(Opcode::AddI, x, 0);  // x + 0 -> mov
+    Reg c = b.binaryImm(Opcode::MulI, a, 1);  // x * 1 -> mov
+    Reg d = b.binaryImm(Opcode::MulI, c, 0);  // x * 0 -> li 0
+    b.ret(d);
+    foldConstants(f);
+    EXPECT_EQ(countOp(f, Opcode::MulI), 0u);
+    EXPECT_EQ(countOp(f, Opcode::AddI), 0u);
+}
+
+TEST(ConstFoldTest, DivisionByZeroIsNotFolded)
+{
+    Module m;
+    Function &f = m.function(m.addFunction("f"));
+    f.returnsValue = true;
+    IrBuilder b(f);
+    Reg one = b.li(1);
+    Reg z = b.binaryImm(Opcode::DivI, one, 0);
+    b.ret(z);
+    foldConstants(f);
+    EXPECT_EQ(countOp(f, Opcode::DivI), 1u); // left for runtime fault
+}
+
+TEST(ConstFoldTest, RegisterConstantBecomesImmediate)
+{
+    Module m;
+    Function &f = m.function(m.addFunction("f"));
+    f.returnsValue = true;
+    IrBuilder b(f);
+    Reg x = f.newVirtReg();
+    f.paramRegs = {x};
+    f.paramIsFloat = {false};
+    Reg five = b.li(5);
+    Reg sum = b.binary(Opcode::AddI, x, five);
+    b.ret(sum);
+    foldConstants(f);
+    const Instr &add = f.blocks[0].instrs[1];
+    EXPECT_EQ(add.op, Opcode::AddI);
+    EXPECT_TRUE(add.hasImm);
+    EXPECT_EQ(add.imm, 5);
+}
+
+TEST(CseTest, RedundantExpressionEliminated)
+{
+    // Two identical adds: the second becomes a move, DCE'able after
+    // copy propagation rewires the use.
+    Module m;
+    Function &f = m.function(m.addFunction("f"));
+    f.returnsValue = true;
+    IrBuilder b(f);
+    Reg x = f.newVirtReg();
+    Reg y = f.newVirtReg();
+    f.paramRegs = {x, y};
+    f.paramIsFloat = {false, false};
+    Reg s1 = b.binary(Opcode::AddI, x, y);
+    Reg s2 = b.binary(Opcode::AddI, x, y);
+    Reg p = b.binary(Opcode::MulI, s1, s2);
+    b.ret(p);
+    EXPECT_GT(localValueNumbering(f), 0);
+    eliminateDeadCode(f);
+    EXPECT_EQ(countOp(f, Opcode::AddI), 1u);
+}
+
+TEST(CseTest, CommutativeOperandsMatch)
+{
+    Module m;
+    Function &f = m.function(m.addFunction("f"));
+    f.returnsValue = true;
+    IrBuilder b(f);
+    Reg x = f.newVirtReg();
+    Reg y = f.newVirtReg();
+    f.paramRegs = {x, y};
+    f.paramIsFloat = {false, false};
+    Reg s1 = b.binary(Opcode::AddI, x, y);
+    Reg s2 = b.binary(Opcode::AddI, y, x); // same value
+    Reg p = b.binary(Opcode::MulI, s1, s2);
+    b.ret(p);
+    localValueNumbering(f);
+    eliminateDeadCode(f);
+    EXPECT_EQ(countOp(f, Opcode::AddI), 1u);
+}
+
+TEST(CseTest, LoadsKilledByStores)
+{
+    // ld a; st a; ld a  -- the second load must NOT be CSE'd.
+    Module m;
+    m.addGlobal("g", 1, false);
+    std::int64_t addr = m.findGlobal("g")->address;
+    Function &f = m.function(m.addFunction("f"));
+    f.returnsValue = true;
+    IrBuilder b(f);
+    Reg base = b.li(addr);
+    Reg v1 = b.load(Opcode::LoadW, base, 0);
+    Reg nv = b.binaryImm(Opcode::AddI, v1, 1);
+    b.store(Opcode::StoreW, base, 0, nv);
+    Reg v2 = b.load(Opcode::LoadW, base, 0);
+    Reg s = b.binary(Opcode::AddI, v1, v2);
+    b.ret(s);
+    localValueNumbering(f);
+    eliminateDeadCode(f);
+    EXPECT_EQ(countOp(f, Opcode::LoadW), 2u);
+}
+
+TEST(CseTest, RepeatedLoadWithoutStoreIsCseD)
+{
+    Module m;
+    m.addGlobal("g", 1, false);
+    std::int64_t addr = m.findGlobal("g")->address;
+    Function &f = m.function(m.addFunction("f"));
+    f.returnsValue = true;
+    IrBuilder b(f);
+    Reg base = b.li(addr);
+    Reg v1 = b.load(Opcode::LoadW, base, 0);
+    Reg v2 = b.load(Opcode::LoadW, base, 0);
+    Reg s = b.binary(Opcode::AddI, v1, v2);
+    b.ret(s);
+    localValueNumbering(f);
+    eliminateDeadCode(f);
+    EXPECT_EQ(countOp(f, Opcode::LoadW), 1u);
+}
+
+TEST(CseTest, AddressComputationCse)
+{
+    // The Livermore-anomaly shape (§4.4): A[i] read and written —
+    // its address computation is a common subexpression.
+    const char *src = R"(
+        var int a[8];
+        func main() : int {
+            var int i = 3;
+            a[i] = a[i] + 1;
+            return a[i];
+        })";
+    Module m = compileToIr(src);
+    Function &f = m.function(m.findFunction("main"));
+    std::size_t shls_before = countOp(f, Opcode::ShlI);
+    foldConstants(f);
+    localValueNumbering(f);
+    eliminateDeadCode(f);
+    EXPECT_LT(countOp(f, Opcode::ShlI), shls_before);
+}
+
+TEST(DceTest, RemovesUnusedComputation)
+{
+    Module m;
+    Function &f = m.function(m.addFunction("f"));
+    f.returnsValue = true;
+    IrBuilder b(f);
+    Reg used = b.li(1);
+    b.li(999);                          // dead
+    Reg also_dead = b.binaryImm(Opcode::AddI, used, 5);
+    (void)also_dead;
+    b.ret(used);
+    EXPECT_EQ(eliminateDeadCode(f), 2);
+    EXPECT_EQ(f.blocks[0].instrs.size(), 2u); // li + ret
+}
+
+TEST(DceTest, KeepsStoresCallsBranches)
+{
+    Module m;
+    m.addGlobal("g", 1, false);
+    Function &f = m.function(m.addFunction("f"));
+    IrBuilder b(f);
+    Reg base = b.li(m.findGlobal("g")->address);
+    Reg v = b.li(12);
+    b.store(Opcode::StoreW, base, 0, v);
+    b.ret();
+    EXPECT_EQ(eliminateDeadCode(f), 0);
+}
+
+TEST(DceTest, TransitiveDeadChains)
+{
+    Module m;
+    Function &f = m.function(m.addFunction("f"));
+    f.returnsValue = true;
+    IrBuilder b(f);
+    Reg a = b.li(1);
+    Reg c = b.binaryImm(Opcode::AddI, a, 1); // feeds only dead code
+    Reg d = b.binaryImm(Opcode::MulI, c, 3); // dead
+    (void)d;
+    Reg r = b.li(0);
+    b.ret(r);
+    EXPECT_EQ(eliminateDeadCode(f), 3);
+}
+
+TEST(DceTest, CrossBlockLivenessRespected)
+{
+    Module m;
+    Function &f = m.function(m.addFunction("f"));
+    f.returnsValue = true;
+    IrBuilder b(f);
+    BlockId second = b.makeBlock();
+    Reg a = b.li(5); // used only in the next block: must survive
+    b.jmp(second);
+    b.setBlock(second);
+    b.ret(a);
+    EXPECT_EQ(eliminateDeadCode(f), 0);
+}
+
+TEST(LocalPipelineTest, FullLocalCleanupPreservesSemantics)
+{
+    const char *src = R"(
+        var int a[10];
+        func main() : int {
+            var int i;
+            var int s = 0;
+            for (i = 0; i < 10; i = i + 1) {
+                a[i] = (2 * 3) + i * 1 + 0;
+                s = s + a[i] + a[i];
+            }
+            return s;
+        })";
+    EXPECT_EQ(runOptimized(src, OptLevel::Local), runRaw(src));
+}
+
+TEST(LocalPipelineTest, OptimizationShrinksDynamicCount)
+{
+    const char *src = R"(
+        var int a[64];
+        func main() : int {
+            var int i;
+            var int s = 0;
+            for (i = 0; i < 64; i = i + 1) {
+                a[i] = a[i] + 1;
+                s = s + a[i] * 2 + a[i] * 2;
+            }
+            return s;
+        })";
+    auto count = [&](OptLevel level) {
+        Module m = compileToIr(src);
+        OptimizeOptions oo;
+        oo.level = level;
+        optimizeModule(m, baseMachine(), oo);
+        Interpreter interp(m);
+        return interp.run().instructions;
+    };
+    EXPECT_LT(count(OptLevel::Local), count(OptLevel::None));
+}
+
+} // namespace
+} // namespace ilp

@@ -1,0 +1,191 @@
+/** Tests for the MT parser: program structure, precedence, errors. */
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hh"
+#include "tests/helpers.hh"
+
+namespace ilp {
+namespace {
+
+TEST(ParserTest, GlobalsScalarsAndArrays)
+{
+    Program p = parseProgram(
+        "var int n; var real x[10]; var int k = 5;"
+        "var real t[3] = {1.0, 2.5, -3.0};");
+    ASSERT_EQ(p.globals.size(), 4u);
+    EXPECT_EQ(p.globals[0].name, "n");
+    EXPECT_EQ(p.globals[0].arraySize, 0);
+    EXPECT_EQ(p.globals[1].arraySize, 10);
+    EXPECT_EQ(p.globals[1].type, MtType::Real);
+    EXPECT_EQ(p.globals[2].intInit.size(), 1u);
+    EXPECT_EQ(p.globals[2].intInit[0], 5);
+    ASSERT_EQ(p.globals[3].realInit.size(), 3u);
+    EXPECT_DOUBLE_EQ(p.globals[3].realInit[2], -3.0);
+}
+
+TEST(ParserTest, FunctionSignature)
+{
+    Program p = parseProgram(
+        "func f(int a, real b) : real { return b; }"
+        "func g() { }");
+    ASSERT_EQ(p.funcs.size(), 2u);
+    EXPECT_EQ(p.funcs[0].name, "f");
+    ASSERT_EQ(p.funcs[0].params.size(), 2u);
+    EXPECT_EQ(p.funcs[0].params[1].type, MtType::Real);
+    EXPECT_TRUE(p.funcs[0].hasReturn);
+    EXPECT_EQ(p.funcs[0].returnType, MtType::Real);
+    EXPECT_FALSE(p.funcs[1].hasReturn);
+}
+
+/** Parse `expr` inside a canonical wrapper and return the AST. */
+const Expr &
+parseExpr(Program &storage, const std::string &expr)
+{
+    storage = parseProgram("func f() : int { return " + expr + "; }");
+    const Stmt &body = *storage.funcs[0].body;
+    return *body.body[0]->value;
+}
+
+TEST(ParserTest, PrecedenceMulOverAdd)
+{
+    Program p;
+    const Expr &e = parseExpr(p, "1 + 2 * 3");
+    ASSERT_EQ(e.kind, ExprKind::Binary);
+    EXPECT_EQ(e.binOp, BinOp::Add);
+    EXPECT_EQ(e.rhs->binOp, BinOp::Mul);
+}
+
+TEST(ParserTest, PrecedenceShiftBelowCompare)
+{
+    Program p;
+    const Expr &e = parseExpr(p, "1 << 2 < 3");
+    // (1 << 2) < 3
+    EXPECT_EQ(e.binOp, BinOp::Lt);
+    EXPECT_EQ(e.lhs->binOp, BinOp::Shl);
+}
+
+TEST(ParserTest, LogicalOperatorsLowest)
+{
+    Program p;
+    const Expr &e = parseExpr(p, "a == 1 && b < 2 || c");
+    EXPECT_EQ(e.binOp, BinOp::LogOr);
+    EXPECT_EQ(e.lhs->binOp, BinOp::LogAnd);
+}
+
+TEST(ParserTest, UnaryBindsTighterThanBinary)
+{
+    Program p;
+    const Expr &e = parseExpr(p, "-a * b");
+    EXPECT_EQ(e.binOp, BinOp::Mul);
+    EXPECT_EQ(e.lhs->kind, ExprKind::Unary);
+}
+
+TEST(ParserTest, CastsAndCalls)
+{
+    Program p;
+    const Expr &e = parseExpr(p, "int(f(1, x) + real(2))");
+    EXPECT_EQ(e.kind, ExprKind::Cast);
+    EXPECT_EQ(e.castTo, MtType::Int);
+    const Expr &sum = *e.lhs;
+    EXPECT_EQ(sum.lhs->kind, ExprKind::Call);
+    EXPECT_EQ(sum.lhs->args.size(), 2u);
+    EXPECT_EQ(sum.rhs->kind, ExprKind::Cast);
+}
+
+TEST(ParserTest, ArrayAssignVersusIndexRead)
+{
+    Program p = parseProgram(
+        "func f() { a[i + 1] = 2; x = a[3]; }");
+    const Stmt &body = *p.funcs[0].body;
+    ASSERT_EQ(body.body.size(), 2u);
+    EXPECT_EQ(body.body[0]->kind, StmtKind::Assign);
+    EXPECT_NE(body.body[0]->indexExpr, nullptr);
+    EXPECT_EQ(body.body[1]->kind, StmtKind::Assign);
+    EXPECT_EQ(body.body[1]->indexExpr, nullptr);
+    EXPECT_EQ(body.body[1]->value->kind, ExprKind::Index);
+}
+
+TEST(ParserTest, ForLoopShape)
+{
+    Program p = parseProgram(
+        "func f() { var int i; for (i = 0; i < 10; i = i + 2) { } }");
+    const Stmt &body = *p.funcs[0].body;
+    const Stmt &loop = *body.body[1];
+    EXPECT_EQ(loop.kind, StmtKind::For);
+    EXPECT_EQ(loop.name, "i");
+    EXPECT_EQ(loop.cond->binOp, BinOp::Lt);
+    EXPECT_EQ(loop.stepExpr->binOp, BinOp::Add);
+}
+
+TEST(ParserTest, ControlStatements)
+{
+    Program p = parseProgram(
+        "func f() { while (1) { break; } if (0) { } else { } "
+        "var int i; for (i = 0; i < 1; i = i + 1) continue; }");
+    EXPECT_EQ(p.funcs.size(), 1u);
+}
+
+class ParserErrorTest : public test::ThrowingErrors
+{
+};
+
+TEST_F(ParserErrorTest, ForStepMustAssignLoopVariable)
+{
+    EXPECT_THROW(
+        parseProgram("func f() { var int i; var int j;"
+                     "for (i = 0; i < 1; j = j + 1) { } }"),
+        FatalError);
+}
+
+TEST_F(ParserErrorTest, LocalArraysRejected)
+{
+    EXPECT_THROW(parseProgram("func f() { var int a[10]; }"),
+                 FatalError);
+}
+
+TEST_F(ParserErrorTest, MissingSemicolon)
+{
+    EXPECT_THROW(parseProgram("func f() { x = 1 }"), FatalError);
+}
+
+TEST_F(ParserErrorTest, ScalarBraceInitializerRejected)
+{
+    EXPECT_THROW(parseProgram("var int x = {1, 2};"), FatalError);
+}
+
+TEST_F(ParserErrorTest, TooManyInitializers)
+{
+    EXPECT_THROW(parseProgram("var int x[2] = {1, 2, 3};"),
+                 FatalError);
+}
+
+TEST_F(ParserErrorTest, TopLevelGarbage)
+{
+    EXPECT_THROW(parseProgram("int x;"), FatalError);
+}
+
+TEST(ParserTest, AstCloneIsDeep)
+{
+    Program p = parseProgram(
+        "func f() : int { if (a < 2) { return a + 1; } return 0; }");
+    StmtPtr copy = p.funcs[0].body->clone();
+    // Mutate the original; the clone must be unaffected.
+    p.funcs[0].body->body[0]->cond->binOp = BinOp::Gt;
+    EXPECT_EQ(copy->body[0]->cond->binOp, BinOp::Lt);
+}
+
+TEST(ParserTest, SubstituteVarReplacesReads)
+{
+    Program p = parseProgram("func f() : int { return i + a[i]; }");
+    ExprPtr repl = Expr::binary(BinOp::Add, Expr::var("i"),
+                                Expr::intLit(4));
+    StmtPtr body = std::move(p.funcs[0].body);
+    body = substituteVarStmt(std::move(body), "i", *repl);
+    const Expr &sum = *body->body[0]->value;
+    EXPECT_EQ(sum.lhs->kind, ExprKind::Binary); // i -> (i + 4)
+    EXPECT_EQ(sum.rhs->lhs->kind, ExprKind::Binary); // index too
+}
+
+} // namespace
+} // namespace ilp

@@ -1,0 +1,246 @@
+/** Tests for global register allocation (home promotion) and temp
+ *  register assignment with spilling. */
+
+#include <gtest/gtest.h>
+
+#include "ir/verifier.hh"
+#include "sim/issue.hh"
+#include "opt/passes.hh"
+#include "tests/helpers.hh"
+
+namespace ilp {
+namespace {
+
+using test::runRaw;
+
+std::size_t
+countMemOps(const Function &f)
+{
+    std::size_t n = 0;
+    for (const auto &bb : f.blocks) {
+        for (const auto &in : bb.instrs) {
+            if (isMem(in.op))
+                ++n;
+        }
+    }
+    return n;
+}
+
+const char *kHotLoop = R"(
+    var int a[100];
+    func main() : int {
+        var int i;
+        var int s = 0;
+        for (i = 0; i < 100; i = i + 1) {
+            s = s + a[i] + i;
+        }
+        return s;
+    })";
+
+TEST(HomeAllocTest, PromotionRemovesScalarTraffic)
+{
+    Module m = compileToIr(kHotLoop);
+    Function &f = m.function(m.findFunction("main"));
+    foldConstants(f);
+    localValueNumbering(f);
+    eliminateDeadCode(f);
+    std::size_t before = countMemOps(f);
+    RegFileLayout layout;
+    int promoted = allocateHomeRegisters(f, layout);
+    localValueNumbering(f);
+    eliminateDeadCode(f);
+    EXPECT_GE(promoted, 2); // i and s at least
+    EXPECT_LT(countMemOps(f), before);
+    EXPECT_TRUE(verify(m).empty());
+}
+
+TEST(HomeAllocTest, SemanticsPreserved)
+{
+    EXPECT_EQ(test::runOptimized(kHotLoop, OptLevel::RegAlloc),
+              runRaw(kHotLoop));
+}
+
+TEST(HomeAllocTest, HomeCountRespected)
+{
+    // More locals than home registers: only numHome get promoted.
+    std::string src = "func main() : int {\n";
+    for (int i = 0; i < 12; ++i)
+        src += "var int v" + std::to_string(i) + " = " +
+               std::to_string(i) + ";\n";
+    src += "var int s = 0; var int k;\n"
+           "for (k = 0; k < 10; k = k + 1) { s = s";
+    for (int i = 0; i < 12; ++i)
+        src += " + v" + std::to_string(i);
+    src += "; }\nreturn s; }";
+
+    Module m = compileToIr(src);
+    Function &f = m.function(m.findFunction("main"));
+    RegFileLayout tiny;
+    tiny.numTemp = 16;
+    tiny.numHome = 4;
+    EXPECT_EQ(allocateHomeRegisters(f, tiny), 4);
+    EXPECT_TRUE(verify(m).empty());
+}
+
+TEST(HomeAllocTest, GlobalScalarsStayInMemory)
+{
+    const char *src = R"(
+        var int g = 3;
+        func main() : int {
+            var int i;
+            for (i = 0; i < 10; i = i + 1) { g = g + 1; }
+            return g;
+        })";
+    Module m = compileToIr(src);
+    Function &f = m.function(m.findFunction("main"));
+    RegFileLayout layout;
+    allocateHomeRegisters(f, layout);
+    // g's absolute-address stores must still be there.
+    bool has_global_store = false;
+    for (const auto &bb : f.blocks) {
+        for (const auto &in : bb.instrs) {
+            if (isStore(in.op) && in.src1 != f.fpReg)
+                has_global_store = true;
+        }
+    }
+    EXPECT_TRUE(has_global_store);
+    EXPECT_EQ(test::runOptimized(src, OptLevel::RegAlloc), 13);
+}
+
+TEST(TempAllocTest, AllRegistersBecomePhysical)
+{
+    Module m = compileToIr(kHotLoop);
+    Function &f = m.function(m.findFunction("main"));
+    RegFileLayout layout;
+    assignRegisters(f, layout);
+    EXPECT_TRUE(f.allocated);
+    for (const auto &bb : f.blocks) {
+        for (const auto &in : bb.instrs) {
+            if (in.dst != kNoReg) {
+                EXPECT_LT(in.dst, layout.total());
+            }
+            for (Reg r : in.srcRegs())
+                EXPECT_LT(r, layout.total());
+        }
+    }
+    EXPECT_EQ(f.fpReg, layout.fp());
+}
+
+TEST(TempAllocTest, TinyTempFileForcesSpills)
+{
+    // A wide expression needs more than 3 temps; the allocator must
+    // spill and still compute the right answer.
+    const char *src = R"(
+        func main() : int {
+            var int a = 1; var int b = 2; var int c = 3;
+            var int d = 4; var int e = 5; var int f = 6;
+            return (a + b) * (c + d) + (e + f) * (a + c)
+                 + (b + d) * (e + a) + (c + f) * (d + b);
+        })";
+    std::int64_t want = runRaw(src);
+
+    Module m = compileToIr(src);
+    OptimizeOptions oo;
+    oo.level = OptLevel::None;
+    oo.layout.numTemp = 3;
+    oo.layout.numHome = 4;
+    optimizeModule(m, baseMachine(), oo);
+    Interpreter interp(m);
+    EXPECT_EQ(static_cast<std::int64_t>(interp.run().returnValue),
+              want);
+}
+
+TEST(TempAllocTest, SpillingAddsFrameSlotsAndMemOps)
+{
+    const char *src = R"(
+        func main() : int {
+            var int a = 1; var int b = 2; var int c = 3;
+            var int d = 4; var int e = 5; var int f = 6;
+            return (a + b) * (c + d) + (e + f) * (a + c)
+                 + (b + d) * (e + a) + (c + f) * (d + b);
+        })";
+    auto frame_bytes = [&](std::uint32_t temps) {
+        Module m = compileToIr(src);
+        Function &f = m.function(m.findFunction("main"));
+        RegFileLayout layout;
+        layout.numTemp = temps;
+        assignRegisters(f, layout);
+        return f.frameBytes;
+    };
+    EXPECT_GT(frame_bytes(3), frame_bytes(16));
+}
+
+TEST(TempAllocTest, FewerTempsNeverChangesResults)
+{
+    // Sweep the whole pipeline at several temp-file sizes.
+    const char *src = R"(
+        var real x[32];
+        func main() : int {
+            var int i;
+            var real s = 0.0;
+            for (i = 0; i < 32; i = i + 1) { x[i] = real(i) * 0.5; }
+            for (i = 0; i < 32; i = i + 1) {
+                s = s + x[i] * 2.0 + real(i);
+            }
+            return int(s);
+        })";
+    std::int64_t want = runRaw(src);
+    for (std::uint32_t temps : {4u, 6u, 8u, 16u, 40u}) {
+        Module m = compileToIr(src);
+        OptimizeOptions oo;
+        oo.level = OptLevel::RegAlloc;
+        oo.layout.numTemp = temps;
+        optimizeModule(m, baseMachine(), oo);
+        Interpreter interp(m);
+        EXPECT_EQ(static_cast<std::int64_t>(interp.run().returnValue),
+                  want)
+            << temps << " temps";
+    }
+}
+
+TEST(TempAllocTest, RecursionWorksAfterAllocation)
+{
+    const char *src = R"(
+        func ack(int m, int n) : int {
+            if (m == 0) { return n + 1; }
+            if (n == 0) { return ack(m - 1, 1); }
+            return ack(m - 1, ack(m, n - 1));
+        }
+        func main() : int { return ack(2, 3); })";
+    EXPECT_EQ(test::runOptimized(src, OptLevel::RegAlloc), 9);
+}
+
+TEST(TempAllocTest, MoreTempsImproveScheduledParallelism)
+{
+    // The §3 temp-file effect: scheduling freedom grows with temps.
+    const char *src = R"(
+        var real x[128];
+        var real y[128];
+        func main() : int {
+            var int i;
+            for (i = 0; i < 128; i = i + 1) {
+                x[i] = real(i); y[i] = 1.0;
+            }
+            for (i = 0; i < 128; i = i + 1) {
+                y[i] = y[i] + 0.5 * x[i];
+            }
+            return int(y[100]);
+        })";
+    auto cycles = [&](std::uint32_t temps) {
+        Module m = compileToIr(src, UnrollOptions{4, true});
+        OptimizeOptions oo;
+        oo.level = OptLevel::RegAlloc;
+        oo.alias = AliasLevel::Heroic;
+        oo.layout.numTemp = temps;
+        MachineConfig wide = idealSuperscalar(8);
+        optimizeModule(m, wide, oo);
+        Interpreter interp(m);
+        IssueEngine engine(wide);
+        interp.run("main", &engine);
+        return engine.baseCycles();
+    };
+    EXPECT_LE(cycles(40), cycles(6));
+}
+
+} // namespace
+} // namespace ilp

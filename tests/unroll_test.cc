@@ -1,0 +1,284 @@
+/** Tests for the source-level loop unroller (naive and careful). */
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hh"
+#include "frontend/unroll.hh"
+#include "sim/issue.hh"
+#include "tests/helpers.hh"
+
+namespace ilp {
+namespace {
+
+using test::runOptimized;
+using test::runRaw;
+
+int
+unrollCount(const std::string &src, int factor, bool careful)
+{
+    Program p = parseProgram(src);
+    UnrollOptions o;
+    o.factor = factor;
+    o.careful = careful;
+    return unrollProgram(p, o);
+}
+
+const char *kSumLoop = R"(
+    var int a[64];
+    func main() : int {
+        var int i;
+        var int s = 0;
+        for (i = 0; i < 64; i = i + 1) { a[i] = 3 * i; }
+        for (i = 0; i < 64; i = i + 1) { s = s + a[i]; }
+        return s;
+    })";
+
+TEST(UnrollTest, CountsEligibleLoops)
+{
+    EXPECT_EQ(unrollCount(kSumLoop, 4, false), 2);
+    EXPECT_EQ(unrollCount(kSumLoop, 4, true), 2);
+    EXPECT_EQ(unrollCount(kSumLoop, 1, false), 0); // factor 1 = no-op
+}
+
+TEST(UnrollTest, NaivePreservesSemanticsAcrossFactors)
+{
+    std::int64_t want = runRaw(kSumLoop);
+    for (int u : {2, 3, 4, 7, 10}) {
+        UnrollOptions o;
+        o.factor = u;
+        o.careful = false;
+        EXPECT_EQ(runOptimized(kSumLoop, OptLevel::RegAlloc,
+                               baseMachine(), AliasLevel::Conservative,
+                               o),
+                  want)
+            << "naive factor " << u;
+    }
+}
+
+TEST(UnrollTest, CarefulPreservesIntegerSemantics)
+{
+    std::int64_t want = runRaw(kSumLoop);
+    for (int u : {2, 4, 10}) {
+        UnrollOptions o;
+        o.factor = u;
+        o.careful = true;
+        EXPECT_EQ(runOptimized(kSumLoop, OptLevel::RegAlloc,
+                               baseMachine(), AliasLevel::Heroic, o),
+                  want)
+            << "careful factor " << u;
+    }
+}
+
+TEST(UnrollTest, RemainderIterationsHandled)
+{
+    // Trip count 13 deliberately not divisible by common factors.
+    const char *src = R"(
+        var int a[16];
+        func main() : int {
+            var int i;
+            var int s = 0;
+            for (i = 0; i < 13; i = i + 1) { s = s + i * i; }
+            return s;
+        })";
+    std::int64_t want = runRaw(src);
+    EXPECT_EQ(want, 650);
+    for (int u : {2, 4, 5, 10}) {
+        UnrollOptions o;
+        o.factor = u;
+        EXPECT_EQ(runOptimized(src, OptLevel::RegAlloc, baseMachine(),
+                               AliasLevel::Conservative, o),
+                  want)
+            << "factor " << u;
+    }
+}
+
+TEST(UnrollTest, StepGreaterThanOne)
+{
+    const char *src = R"(
+        func main() : int {
+            var int i;
+            var int s = 0;
+            for (i = 0; i < 30; i = i + 3) { s = s + i; }
+            return s;
+        })";
+    std::int64_t want = runRaw(src);
+    for (int u : {2, 4}) {
+        UnrollOptions o;
+        o.factor = u;
+        EXPECT_EQ(runOptimized(src, OptLevel::RegAlloc, baseMachine(),
+                               AliasLevel::Conservative, o),
+                  want);
+    }
+}
+
+TEST(UnrollTest, LessEqualBound)
+{
+    const char *src = R"(
+        func main() : int {
+            var int i;
+            var int s = 0;
+            for (i = 1; i <= 10; i = i + 1) { s = s + i; }
+            return s;
+        })";
+    UnrollOptions o;
+    o.factor = 4;
+    EXPECT_EQ(runOptimized(src, OptLevel::RegAlloc, baseMachine(),
+                           AliasLevel::Conservative, o),
+              55);
+}
+
+TEST(UnrollTest, ZeroTripLoop)
+{
+    const char *src = R"(
+        func main() : int {
+            var int i;
+            var int s = 7;
+            for (i = 5; i < 5; i = i + 1) { s = s + 100; }
+            return s;
+        })";
+    UnrollOptions o;
+    o.factor = 4;
+    EXPECT_EQ(runOptimized(src, OptLevel::RegAlloc, baseMachine(),
+                           AliasLevel::Conservative, o),
+              7);
+}
+
+TEST(UnrollTest, IneligibleLoopsAreLeftAlone)
+{
+    // break, assignment to the loop variable, and non-literal step
+    // are all disqualifying.
+    EXPECT_EQ(unrollCount(R"(
+        func main() : int {
+            var int i;
+            for (i = 0; i < 10; i = i + 1) { if (i == 3) { break; } }
+            return i;
+        })",
+                          4, false),
+              0);
+    EXPECT_EQ(unrollCount(R"(
+        func main() : int {
+            var int i;
+            for (i = 0; i < 10; i = i + 1) { i = i + 1; }
+            return i;
+        })",
+                          4, false),
+              0);
+    EXPECT_EQ(unrollCount(R"(
+        func main() : int {
+            var int i; var int k = 2;
+            for (i = 0; i < 10; i = i + k) { k = k + 0; }
+            return i;
+        })",
+                          4, false),
+              0);
+}
+
+TEST(UnrollTest, OnlyInnermostLoopUnrolls)
+{
+    const char *src = R"(
+        var int a[100];
+        func main() : int {
+            var int i; var int j; var int s = 0;
+            for (i = 0; i < 10; i = i + 1) {
+                for (j = 0; j < 10; j = j + 1) {
+                    s = s + a[i * 10 + j] + 1;
+                }
+            }
+            return s;
+        })";
+    EXPECT_EQ(unrollCount(src, 4, false), 1);
+    UnrollOptions o;
+    o.factor = 4;
+    EXPECT_EQ(runOptimized(src, OptLevel::RegAlloc, baseMachine(),
+                           AliasLevel::Conservative, o),
+              100);
+}
+
+TEST(UnrollTest, CarefulSplitsReductions)
+{
+    // A dot-product-style reduction: careful unrolling introduces
+    // partial accumulators; with ints the result is exact and must
+    // match.
+    const char *src = R"(
+        var int x[40];
+        var int y[40];
+        func main() : int {
+            var int i;
+            var int q = 0;
+            for (i = 0; i < 40; i = i + 1) { x[i] = i; y[i] = 2 * i; }
+            for (i = 0; i < 40; i = i + 1) { q = q + x[i] * y[i]; }
+            return q;
+        })";
+    std::int64_t want = runRaw(src);
+    UnrollOptions o;
+    o.factor = 4;
+    o.careful = true;
+    EXPECT_EQ(runOptimized(src, OptLevel::RegAlloc, baseMachine(),
+                           AliasLevel::Heroic, o),
+              want);
+}
+
+TEST(UnrollTest, BodyLocalDeclarationsAreRenamedPerCopy)
+{
+    const char *src = R"(
+        var int a[32];
+        func main() : int {
+            var int i;
+            var int s = 0;
+            for (i = 0; i < 32; i = i + 1) {
+                var int t = i * 3;
+                s = s + t;
+            }
+            return s;
+        })";
+    std::int64_t want = runRaw(src);
+    for (bool careful : {false, true}) {
+        UnrollOptions o;
+        o.factor = 4;
+        o.careful = careful;
+        EXPECT_EQ(runOptimized(src, OptLevel::RegAlloc, baseMachine(),
+                               AliasLevel::Conservative, o),
+                  want);
+    }
+}
+
+TEST(UnrollTest, CarefulReducesDependenceHeight)
+{
+    // The careful version of an independent-iteration loop should
+    // need fewer cycles on a wide machine than the naive version.
+    const char *src = R"(
+        var real x[256];
+        var real y[256];
+        func main() : int {
+            var int i;
+            for (i = 0; i < 256; i = i + 1) {
+                x[i] = real(i); y[i] = real(i) * 0.5;
+            }
+            for (i = 0; i < 256; i = i + 1) {
+                y[i] = y[i] + 1.5 * x[i];
+            }
+            return int(y[255]);
+        })";
+    auto cycles = [&](bool careful) {
+        UnrollOptions u;
+        u.factor = 4;
+        u.careful = careful;
+        Module m = compileToIr(src, u);
+        OptimizeOptions oo;
+        oo.level = OptLevel::RegAlloc;
+        oo.alias =
+            careful ? AliasLevel::Heroic : AliasLevel::Conservative;
+        oo.reassociate = careful;
+        oo.layout.numTemp = 40;
+        MachineConfig wide = idealSuperscalar(8);
+        optimizeModule(m, wide, oo);
+        Interpreter interp(m);
+        IssueEngine engine(wide);
+        interp.run("main", &engine);
+        return engine.baseCycles();
+    };
+    EXPECT_LT(cycles(true), cycles(false));
+}
+
+} // namespace
+} // namespace ilp

@@ -1,0 +1,172 @@
+/** Integration tests: every benchmark, every optimization level,
+ *  bit-identical checksums; careful unrolling within FP tolerance. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/study/driver.hh"
+#include "core/machine/models.hh"
+#include "tests/helpers.hh"
+
+namespace ilp {
+namespace {
+
+struct Case
+{
+    std::string workload;
+    OptLevel level;
+};
+
+class WorkloadLevelTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+TEST_P(WorkloadLevelTest, ChecksumStableAcrossOptLevels)
+{
+    const auto &[name, level] = GetParam();
+    const Workload &w = workloadByName(name);
+    CompileOptions o = defaultCompileOptions(w);
+    o.level = static_cast<OptLevel>(level);
+    RunOutcome out = runWorkload(w, idealSuperscalar(4), o);
+    EXPECT_EQ(out.checksum, w.expected)
+        << name << " at " << optLevelName(o.level);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsAllLevels, WorkloadLevelTest,
+    ::testing::Combine(
+        ::testing::Values("ccom", "grr", "linpack", "livermore", "met",
+                          "stanford", "whet", "yacc"),
+        ::testing::Values(0, 1, 2, 3, 4)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_lvl" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+class WorkloadMachineTest
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadMachineTest, ChecksumStableAcrossMachines)
+{
+    // The machine only affects scheduling; results must not change.
+    const Workload &w = workloadByName(GetParam());
+    CompileOptions o = defaultCompileOptions(w);
+    for (const MachineConfig &mc :
+         {baseMachine(), superpipelined(4), multiTitan(), cray1(),
+          superscalarWithClassConflicts(4)}) {
+        RunOutcome out = runWorkload(w, mc, o);
+        EXPECT_EQ(out.checksum, w.expected) << GetParam() << " on "
+                                            << mc.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadMachineTest,
+                         ::testing::Values("ccom", "grr", "linpack",
+                                           "livermore", "met",
+                                           "stanford", "whet", "yacc"),
+                         [](const auto &info) { return info.param; });
+
+TEST(WorkloadCarefulTest, CarefulUnrollingWithinFpTolerance)
+{
+    // Careful unrolling reassociates FP reductions: integer-checksum
+    // equality is not guaranteed, but the FP result must agree to
+    // high relative precision and integer-only benchmarks must agree
+    // exactly.
+    for (const auto &w : allWorkloads()) {
+        CompileOptions o = defaultCompileOptions(w);
+        RunOutcome ref = runWorkload(w, idealSuperscalar(4), o);
+
+        CompileOptions careful = o;
+        careful.unroll.factor = 4;
+        careful.unroll.careful = true;
+        // The paper's hand analysis (modelled by Heroic) was only
+        // done for the Figure 4-6 subjects, linpack and livermore;
+        // elsewhere a sound analysis must be used — whet, for one,
+        // really does have same-array computed stores that alias.
+        careful.alias = (w.name == "linpack" || w.name == "livermore")
+                            ? AliasLevel::Heroic
+                            : AliasLevel::Careful;
+        careful.layout.numTemp = 40;
+        RunOutcome out = runWorkload(w, idealSuperscalar(4), careful);
+
+        if (w.fpSensitive) {
+            double denom = std::max(1.0, std::fabs(ref.fpChecksum));
+            EXPECT_LT(std::fabs(out.fpChecksum - ref.fpChecksum) /
+                          denom,
+                      1e-6)
+                << w.name;
+        } else {
+            EXPECT_EQ(out.checksum, w.expected) << w.name;
+        }
+    }
+}
+
+TEST(WorkloadSuiteTest, CatalogueShape)
+{
+    const auto &suite = allWorkloads();
+    ASSERT_EQ(suite.size(), 8u);
+    EXPECT_EQ(suite[0].name, "ccom");
+    EXPECT_EQ(suite[7].name, "yacc");
+    // The paper's default: linpack inner loops unrolled 4x.
+    EXPECT_EQ(workloadByName("linpack").defaultUnroll, 4);
+    EXPECT_EQ(workloadByName("livermore").defaultUnroll, 1);
+    for (const auto &w : suite) {
+        EXPECT_FALSE(w.source.empty());
+        EXPECT_FALSE(w.description.empty());
+        EXPECT_NE(w.expected, 0) << w.name;
+    }
+}
+
+TEST(WorkloadSuiteTest, UnknownNameIsFatal)
+{
+    setLoggingThrows(true);
+    EXPECT_THROW(workloadByName("doom"), FatalError);
+    setLoggingThrows(false);
+}
+
+TEST(WorkloadSuiteTest, EveryBenchmarkIsNontrivial)
+{
+    // Each benchmark should execute a meaningful number of dynamic
+    // instructions (guards against silently-degenerate workloads).
+    for (const auto &w : allWorkloads()) {
+        CompileOptions o = defaultCompileOptions(w);
+        RunOutcome out = runWorkload(w, baseMachine(), o);
+        EXPECT_GT(out.instructions, 100000u) << w.name;
+        EXPECT_LT(out.instructions, 50000000u) << w.name;
+    }
+}
+
+TEST(WorkloadSuiteTest, ProfilesCoverExpectedClasses)
+{
+    // The numeric benchmarks must execute FP work; the non-numeric
+    // ones should be dominated by integer/branch/memory classes.
+    for (const char *name : {"linpack", "livermore", "whet"}) {
+        CompileOptions o =
+            defaultCompileOptions(workloadByName(name));
+        ClassFrequencies f =
+            profileWorkload(workloadByName(name), o);
+        double fp = f[static_cast<int>(InstrClass::FPAdd)] +
+                    f[static_cast<int>(InstrClass::FPMul)] +
+                    f[static_cast<int>(InstrClass::FPDiv)];
+        EXPECT_GT(fp, 0.05) << name;
+    }
+    for (const char *name : {"ccom", "yacc", "met"}) {
+        CompileOptions o =
+            defaultCompileOptions(workloadByName(name));
+        ClassFrequencies f =
+            profileWorkload(workloadByName(name), o);
+        double fp = f[static_cast<int>(InstrClass::FPAdd)] +
+                    f[static_cast<int>(InstrClass::FPMul)];
+        EXPECT_LT(fp, 0.02) << name;
+        double branches = f[static_cast<int>(InstrClass::Branch)] +
+                          f[static_cast<int>(InstrClass::Jump)];
+        EXPECT_GT(branches, 0.08) << name;
+    }
+}
+
+} // namespace
+} // namespace ilp

@@ -1,0 +1,22 @@
+#include <cstdio>
+#include "core/study/driver.hh"
+#include "core/machine/models.hh"
+#include "frontend/compile.hh"
+#include "opt/pipeline.hh"
+using namespace ilp;
+int main() {
+    const Workload& w = workloadByName("linpack");
+    UnrollOptions u; u.factor = 4; u.careful = true;
+    std::printf("parsing+unroll...\n"); std::fflush(stdout);
+    Module m = compileToIr(w.source, u);
+    std::printf("ir done, funcs=%zu\n", m.functions().size());
+    for (auto& f : m.functions())
+        std::printf("  %s: blocks=%zu instrs=%zu vregs=%u\n", f.name.c_str(), f.blocks.size(), f.instrCount(), f.numVirtRegs);
+    std::fflush(stdout);
+    OptimizeOptions oo; oo.level = OptLevel::RegAlloc; oo.alias = AliasLevel::Heroic;
+    oo.reassociate = true; oo.layout.numTemp = 40; oo.layout.numHome = 26;
+    std::printf("optimizing...\n"); std::fflush(stdout);
+    optimizeModule(m, idealSuperscalar(8), oo);
+    std::printf("optimized\n");
+    return 0;
+}

@@ -1,0 +1,23 @@
+#include <cstdio>
+#include <cmath>
+#include "core/study/driver.hh"
+#include "core/machine/models.hh"
+using namespace ilp;
+int main() {
+    for (const auto& w : allWorkloads()) {
+        CompileOptions o = defaultCompileOptions(w);
+        RunOutcome ref = runWorkload(w, idealSuperscalar(4), o);
+        CompileOptions careful = o;
+        careful.unroll.factor = 4;
+        careful.unroll.careful = true;
+        careful.alias = AliasLevel::Heroic;
+        careful.layout.numTemp = 40;
+        RunOutcome out = runWorkload(w, idealSuperscalar(4), careful);
+        double denom = std::max(1.0, std::fabs(ref.fpChecksum));
+        std::printf("%-10s ref=%.12g careful=%.12g rel=%.3g\n",
+            w.name.c_str(), ref.fpChecksum, out.fpChecksum,
+            std::fabs(out.fpChecksum - ref.fpChecksum)/denom);
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,35 @@
+#include <cstdio>
+#include "core/study/driver.hh"
+#include "core/machine/models.hh"
+#include "ir/printer.hh"
+using namespace ilp;
+int main() {
+    const char* src = R"(
+var real a[4096];
+func main() : int {
+    var int rep;
+    var int i;
+    var real t;
+    t = 1.5;
+    for (rep = 0; rep < 200; rep = rep + 1) {
+        for (i = 0; i < 100; i = i + 1) {
+            a[2000 + i] = a[2000 + i] + t * a[1000 + i];
+        }
+    }
+    return int(a[2050]);
+})";
+    Workload w{"daxpy", "", src, 0, false, 4};
+    for (int unroll : {1, 4}) {
+        CompileOptions o = defaultCompileOptions(w);
+        o.unroll.factor = unroll;
+        RunOutcome out = runWorkload(w, idealSuperscalar(8), o);
+        std::printf("unroll=%d instr=%llu cyc=%.0f ipc=%.2f\n", unroll,
+            (unsigned long long)out.instructions, out.cycles, out.ipc());
+    }
+    // dump the scheduled inner block at unroll 4
+    CompileOptions o = defaultCompileOptions(w);
+    o.unroll.factor = 4;
+    Module m = compileWorkload(w.source, idealSuperscalar(8), o);
+    std::printf("%s\n", toString(m.function(m.findFunction("main"))).c_str());
+    return 0;
+}

@@ -1,0 +1,65 @@
+#include <cstdio>
+#include "core/study/driver.hh"
+#include "core/machine/models.hh"
+using namespace ilp;
+
+void measure(const char* name, const std::string& src, int unroll = 4) {
+    Workload w{name, "", src, 0, false, unroll};
+    CompileOptions o = defaultCompileOptions(w);
+    RunOutcome out = runWorkload(w, idealSuperscalar(8), o);
+    std::printf("%-12s instr=%8llu ipc=%.2f\n", name,
+        (unsigned long long)out.instructions, out.ipc());
+}
+
+int main() {
+    std::string prelude = R"(
+var real a[4096];
+var int seed;
+func rndf() : real {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    return real(seed % 20000) / 10000.0 - 1.0;
+}
+func daxpy(int lo, int hi, real t, int xoff, int yoff) {
+    var int i;
+    for (i = lo; i < hi; i = i + 1) {
+        a[yoff + i] = a[yoff + i] + t * a[xoff + i];
+    }
+}
+)";
+    measure("init-only", prelude + R"(
+func main() : int {
+    var int i; var int rep; var real s;
+    s = 0.0;
+    for (rep = 0; rep < 30; rep = rep + 1) {
+        for (i = 0; i < 4096; i = i + 1) { a[i] = rndf(); }
+    }
+    return int(a[5] * 100.0);
+})");
+    measure("daxpy-calls", prelude + R"(
+func main() : int {
+    var int rep; var int j;
+    for (j = 0; j < 4096; j = j + 1) { a[j] = 1.0; }
+    for (rep = 0; rep < 500; rep = rep + 1) {
+        for (j = 0; j < 30; j = j + 1) {
+            daxpy(j, 64, 0.001, 1024, 2048);
+        }
+    }
+    return int(a[2060]);
+})");
+    measure("idamax-ish", prelude + R"(
+func main() : int {
+    var int rep; var int i; var int im; var real vm; var real v;
+    for (i = 0; i < 4096; i = i + 1) { a[i] = rndf(); }
+    im = 0;
+    for (rep = 0; rep < 300; rep = rep + 1) {
+        vm = 0.0;
+        for (i = 0; i < 4096; i = i + 1) {
+            v = a[i];
+            if (v < 0.0) { v = -v; }
+            if (v > vm) { vm = v; im = i; }
+        }
+    }
+    return im;
+})");
+    return 0;
+}

@@ -1,0 +1,46 @@
+#include <cstdio>
+#include "frontend/compile.hh"
+#include "opt/passes.hh"
+#include "core/machine/models.hh"
+#include "ir/printer.hh"
+using namespace ilp;
+int main() {
+    const char* src = R"(
+var real a[4096];
+func main() : int {
+    var int i;
+    var real t;
+    t = 1.5;
+    for (i = 0; i < 100; i = i + 1) {
+        a[2000 + i] = a[2000 + i] + t * a[1000 + i];
+    }
+    return int(a[2050]);
+})";
+    UnrollOptions u; u.factor = 4;
+    Module m = compileToIr(src, u);
+    Function& f = m.function(m.findFunction("main"));
+    for (int r = 0; r < 8; ++r) {
+        int c = foldConstants(f) + localValueNumbering(f) + eliminateDeadCode(f);
+        if (!c) break;
+    }
+    hoistLoopInvariants(m, f);
+    for (int r = 0; r < 8; ++r) {
+        int c = foldConstants(f) + localValueNumbering(f) + eliminateDeadCode(f);
+        if (!c) break;
+    }
+    RegFileLayout lay;
+    allocateHomeRegisters(f, lay);
+    for (int r = 0; r < 8; ++r) {
+        int c = foldConstants(f) + localValueNumbering(f) + eliminateDeadCode(f);
+        if (!c) break;
+    }
+    std::printf("BEFORE SR:\n%s\n", toString(f).c_str());
+    int n = strengthReduceLoops(f);
+    std::printf("SR fired: %d\n", n);
+    for (int r = 0; r < 8; ++r) {
+        int c = foldConstants(f) + localValueNumbering(f) + eliminateDeadCode(f);
+        if (!c) break;
+    }
+    std::printf("AFTER SR+cleanup:\n%s\n", toString(f).c_str());
+    return 0;
+}

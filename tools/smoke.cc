@@ -1,0 +1,22 @@
+#include <cstdio>
+#include "core/study/driver.hh"
+#include "core/machine/models.hh"
+
+using namespace ilp;
+
+int main(int argc, char** argv) {
+    const char* only = argc > 1 ? argv[1] : nullptr;
+    for (const auto& w : allWorkloads()) {
+        if (only && w.name != only) continue;
+        for (int lv = 0; lv <= 4; ++lv) {
+            CompileOptions o = defaultCompileOptions(w);
+            o.level = static_cast<OptLevel>(lv);
+            RunOutcome out = runWorkload(w, idealSuperscalar(8), o);
+            std::printf("%-10s lvl=%d checksum=%lld fp=%.10g instr=%llu cyc=%.0f ipc=%.2f\n",
+                w.name.c_str(), lv, (long long)out.checksum, out.fpChecksum,
+                (unsigned long long)out.instructions, out.cycles, out.ipc());
+            std::fflush(stdout);
+        }
+    }
+    return 0;
+}

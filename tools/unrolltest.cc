@@ -1,0 +1,27 @@
+#include <cstdio>
+#include "core/study/experiment.hh"
+#include "core/machine/models.hh"
+using namespace ilp;
+int main() {
+    Study study;
+    for (const char* name : {"linpack", "livermore"}) {
+        const Workload& w = workloadByName(name);
+        for (int factor : {1, 2, 4, 10}) {
+            for (int careful = 0; careful <= 1; ++careful) {
+                CompileOptions o = defaultCompileOptions(w);
+                o.unroll.factor = factor;
+                o.unroll.careful = careful;
+                o.alias = careful ? AliasLevel::Heroic
+                                  : AliasLevel::Conservative;
+                o.layout.numTemp = 40; // Fig 4-6 setting
+                RunOutcome out = runWorkload(w, idealSuperscalar(8), o);
+                double par = study.availableParallelism(w, o, 8);
+                std::printf("%-10s u=%2d careful=%d  chk=%lld fp=%.9g par=%.2f\n",
+                    name, factor, careful, (long long)out.checksum,
+                    out.fpChecksum, par);
+                std::fflush(stdout);
+            }
+        }
+    }
+    return 0;
+}
