@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_2_taxonomy.dir/figure_2_taxonomy.cc.o"
+  "CMakeFiles/figure_2_taxonomy.dir/figure_2_taxonomy.cc.o.d"
+  "figure_2_taxonomy"
+  "figure_2_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_2_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

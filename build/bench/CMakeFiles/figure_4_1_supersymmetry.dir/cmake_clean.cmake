@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_4_1_supersymmetry.dir/figure_4_1_supersymmetry.cc.o"
+  "CMakeFiles/figure_4_1_supersymmetry.dir/figure_4_1_supersymmetry.cc.o.d"
+  "figure_4_1_supersymmetry"
+  "figure_4_1_supersymmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_4_1_supersymmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

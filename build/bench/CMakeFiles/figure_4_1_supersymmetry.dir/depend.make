@@ -1,0 +1,2 @@
+# Empty dependencies file for figure_4_1_supersymmetry.
+# This may be replaced when dependencies are built.

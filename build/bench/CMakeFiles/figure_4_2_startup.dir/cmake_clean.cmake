@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_4_2_startup.dir/figure_4_2_startup.cc.o"
+  "CMakeFiles/figure_4_2_startup.dir/figure_4_2_startup.cc.o.d"
+  "figure_4_2_startup"
+  "figure_4_2_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_4_2_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

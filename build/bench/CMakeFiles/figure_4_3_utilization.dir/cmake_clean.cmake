@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_4_3_utilization.dir/figure_4_3_utilization.cc.o"
+  "CMakeFiles/figure_4_3_utilization.dir/figure_4_3_utilization.cc.o.d"
+  "figure_4_3_utilization"
+  "figure_4_3_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_4_3_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

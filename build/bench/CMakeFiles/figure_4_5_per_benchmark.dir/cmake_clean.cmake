@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_4_5_per_benchmark.dir/figure_4_5_per_benchmark.cc.o"
+  "CMakeFiles/figure_4_5_per_benchmark.dir/figure_4_5_per_benchmark.cc.o.d"
+  "figure_4_5_per_benchmark"
+  "figure_4_5_per_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_4_5_per_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for figure_4_5_per_benchmark.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_4_6_unrolling.dir/figure_4_6_unrolling.cc.o"
+  "CMakeFiles/figure_4_6_unrolling.dir/figure_4_6_unrolling.cc.o.d"
+  "figure_4_6_unrolling"
+  "figure_4_6_unrolling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_4_6_unrolling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

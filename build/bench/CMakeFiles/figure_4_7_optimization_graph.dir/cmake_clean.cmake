@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_4_7_optimization_graph.dir/figure_4_7_optimization_graph.cc.o"
+  "CMakeFiles/figure_4_7_optimization_graph.dir/figure_4_7_optimization_graph.cc.o.d"
+  "figure_4_7_optimization_graph"
+  "figure_4_7_optimization_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_4_7_optimization_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figure_4_7_optimization_graph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_4_8_optimization_levels.dir/figure_4_8_optimization_levels.cc.o"
+  "CMakeFiles/figure_4_8_optimization_levels.dir/figure_4_8_optimization_levels.cc.o.d"
+  "figure_4_8_optimization_levels"
+  "figure_4_8_optimization_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_4_8_optimization_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figure_4_8_optimization_levels.
+# This may be replaced when dependencies are built.

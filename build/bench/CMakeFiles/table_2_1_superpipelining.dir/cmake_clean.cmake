@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_2_1_superpipelining.dir/table_2_1_superpipelining.cc.o"
+  "CMakeFiles/table_2_1_superpipelining.dir/table_2_1_superpipelining.cc.o.d"
+  "table_2_1_superpipelining"
+  "table_2_1_superpipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_2_1_superpipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_5_1_cache_miss_cost.dir/table_5_1_cache_miss_cost.cc.o"
+  "CMakeFiles/table_5_1_cache_miss_cost.dir/table_5_1_cache_miss_cost.cc.o.d"
+  "table_5_1_cache_miss_cost"
+  "table_5_1_cache_miss_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_5_1_cache_miss_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pass_pipeline.dir/pass_pipeline.cpp.o"
+  "CMakeFiles/pass_pipeline.dir/pass_pipeline.cpp.o.d"
+  "pass_pipeline"
+  "pass_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pass_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

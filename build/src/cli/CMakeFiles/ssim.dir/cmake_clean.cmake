@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssim.dir/ssim.cc.o"
+  "CMakeFiles/ssim.dir/ssim.cc.o.d"
+  "ssim"
+  "ssim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

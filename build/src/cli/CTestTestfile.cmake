@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/cli
+# Build directory: /root/repo/build/src/cli
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(ssim_machines "/root/repo/build/src/cli/ssim" "machines")
+set_tests_properties(ssim_machines PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;5;add_test;/root/repo/src/cli/CMakeLists.txt;0;")
+add_test(ssim_run_fib "/root/repo/build/src/cli/ssim" "run" "/root/repo/examples/mt/fib.mt" "--machine" "ss2x2")
+set_tests_properties(ssim_run_fib PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;6;add_test;/root/repo/src/cli/CMakeLists.txt;0;")
+add_test(ssim_ilp_dotprod "/root/repo/build/src/cli/ssim" "ilp" "/root/repo/examples/mt/dotprod.mt" "--unroll" "4" "--careful" "--temps" "40")
+set_tests_properties(ssim_ilp_dotprod PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;8;add_test;/root/repo/src/cli/CMakeLists.txt;0;")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/machine/machine.cc" "src/core/CMakeFiles/ss_core.dir/machine/machine.cc.o" "gcc" "src/core/CMakeFiles/ss_core.dir/machine/machine.cc.o.d"
+  "/root/repo/src/core/machine/models.cc" "src/core/CMakeFiles/ss_core.dir/machine/models.cc.o" "gcc" "src/core/CMakeFiles/ss_core.dir/machine/models.cc.o.d"
+  "/root/repo/src/core/metrics/metrics.cc" "src/core/CMakeFiles/ss_core.dir/metrics/metrics.cc.o" "gcc" "src/core/CMakeFiles/ss_core.dir/metrics/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ss_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_core.dir/machine/machine.cc.o"
+  "CMakeFiles/ss_core.dir/machine/machine.cc.o.d"
+  "CMakeFiles/ss_core.dir/machine/models.cc.o"
+  "CMakeFiles/ss_core.dir/machine/models.cc.o.d"
+  "CMakeFiles/ss_core.dir/metrics/metrics.cc.o"
+  "CMakeFiles/ss_core.dir/metrics/metrics.cc.o.d"
+  "libss_core.a"
+  "libss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

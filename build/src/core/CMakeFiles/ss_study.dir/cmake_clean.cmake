@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_study.dir/study/driver.cc.o"
+  "CMakeFiles/ss_study.dir/study/driver.cc.o.d"
+  "CMakeFiles/ss_study.dir/study/experiment.cc.o"
+  "CMakeFiles/ss_study.dir/study/experiment.cc.o.d"
+  "libss_study.a"
+  "libss_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_frontend.dir/ast.cc.o"
+  "CMakeFiles/ss_frontend.dir/ast.cc.o.d"
+  "CMakeFiles/ss_frontend.dir/codegen.cc.o"
+  "CMakeFiles/ss_frontend.dir/codegen.cc.o.d"
+  "CMakeFiles/ss_frontend.dir/compile.cc.o"
+  "CMakeFiles/ss_frontend.dir/compile.cc.o.d"
+  "CMakeFiles/ss_frontend.dir/lexer.cc.o"
+  "CMakeFiles/ss_frontend.dir/lexer.cc.o.d"
+  "CMakeFiles/ss_frontend.dir/parser.cc.o"
+  "CMakeFiles/ss_frontend.dir/parser.cc.o.d"
+  "CMakeFiles/ss_frontend.dir/unroll.cc.o"
+  "CMakeFiles/ss_frontend.dir/unroll.cc.o.d"
+  "libss_frontend.a"
+  "libss_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/alias.cc" "src/ir/CMakeFiles/ss_ir.dir/alias.cc.o" "gcc" "src/ir/CMakeFiles/ss_ir.dir/alias.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/ss_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/ss_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/dominators.cc" "src/ir/CMakeFiles/ss_ir.dir/dominators.cc.o" "gcc" "src/ir/CMakeFiles/ss_ir.dir/dominators.cc.o.d"
+  "/root/repo/src/ir/function.cc" "src/ir/CMakeFiles/ss_ir.dir/function.cc.o" "gcc" "src/ir/CMakeFiles/ss_ir.dir/function.cc.o.d"
+  "/root/repo/src/ir/instr.cc" "src/ir/CMakeFiles/ss_ir.dir/instr.cc.o" "gcc" "src/ir/CMakeFiles/ss_ir.dir/instr.cc.o.d"
+  "/root/repo/src/ir/liveness.cc" "src/ir/CMakeFiles/ss_ir.dir/liveness.cc.o" "gcc" "src/ir/CMakeFiles/ss_ir.dir/liveness.cc.o.d"
+  "/root/repo/src/ir/module.cc" "src/ir/CMakeFiles/ss_ir.dir/module.cc.o" "gcc" "src/ir/CMakeFiles/ss_ir.dir/module.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/ir/CMakeFiles/ss_ir.dir/printer.cc.o" "gcc" "src/ir/CMakeFiles/ss_ir.dir/printer.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/ir/CMakeFiles/ss_ir.dir/verifier.cc.o" "gcc" "src/ir/CMakeFiles/ss_ir.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ss_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

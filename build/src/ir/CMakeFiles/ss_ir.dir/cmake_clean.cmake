@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_ir.dir/alias.cc.o"
+  "CMakeFiles/ss_ir.dir/alias.cc.o.d"
+  "CMakeFiles/ss_ir.dir/builder.cc.o"
+  "CMakeFiles/ss_ir.dir/builder.cc.o.d"
+  "CMakeFiles/ss_ir.dir/dominators.cc.o"
+  "CMakeFiles/ss_ir.dir/dominators.cc.o.d"
+  "CMakeFiles/ss_ir.dir/function.cc.o"
+  "CMakeFiles/ss_ir.dir/function.cc.o.d"
+  "CMakeFiles/ss_ir.dir/instr.cc.o"
+  "CMakeFiles/ss_ir.dir/instr.cc.o.d"
+  "CMakeFiles/ss_ir.dir/liveness.cc.o"
+  "CMakeFiles/ss_ir.dir/liveness.cc.o.d"
+  "CMakeFiles/ss_ir.dir/module.cc.o"
+  "CMakeFiles/ss_ir.dir/module.cc.o.d"
+  "CMakeFiles/ss_ir.dir/printer.cc.o"
+  "CMakeFiles/ss_ir.dir/printer.cc.o.d"
+  "CMakeFiles/ss_ir.dir/verifier.cc.o"
+  "CMakeFiles/ss_ir.dir/verifier.cc.o.d"
+  "libss_ir.a"
+  "libss_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_isa.dir/isa.cc.o"
+  "CMakeFiles/ss_isa.dir/isa.cc.o.d"
+  "libss_isa.a"
+  "libss_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/constfold.cc" "src/opt/CMakeFiles/ss_opt.dir/constfold.cc.o" "gcc" "src/opt/CMakeFiles/ss_opt.dir/constfold.cc.o.d"
+  "/root/repo/src/opt/dce.cc" "src/opt/CMakeFiles/ss_opt.dir/dce.cc.o" "gcc" "src/opt/CMakeFiles/ss_opt.dir/dce.cc.o.d"
+  "/root/repo/src/opt/licm.cc" "src/opt/CMakeFiles/ss_opt.dir/licm.cc.o" "gcc" "src/opt/CMakeFiles/ss_opt.dir/licm.cc.o.d"
+  "/root/repo/src/opt/localcse.cc" "src/opt/CMakeFiles/ss_opt.dir/localcse.cc.o" "gcc" "src/opt/CMakeFiles/ss_opt.dir/localcse.cc.o.d"
+  "/root/repo/src/opt/pipeline.cc" "src/opt/CMakeFiles/ss_opt.dir/pipeline.cc.o" "gcc" "src/opt/CMakeFiles/ss_opt.dir/pipeline.cc.o.d"
+  "/root/repo/src/opt/reassociate.cc" "src/opt/CMakeFiles/ss_opt.dir/reassociate.cc.o" "gcc" "src/opt/CMakeFiles/ss_opt.dir/reassociate.cc.o.d"
+  "/root/repo/src/opt/regalloc.cc" "src/opt/CMakeFiles/ss_opt.dir/regalloc.cc.o" "gcc" "src/opt/CMakeFiles/ss_opt.dir/regalloc.cc.o.d"
+  "/root/repo/src/opt/schedule.cc" "src/opt/CMakeFiles/ss_opt.dir/schedule.cc.o" "gcc" "src/opt/CMakeFiles/ss_opt.dir/schedule.cc.o.d"
+  "/root/repo/src/opt/strength.cc" "src/opt/CMakeFiles/ss_opt.dir/strength.cc.o" "gcc" "src/opt/CMakeFiles/ss_opt.dir/strength.cc.o.d"
+  "/root/repo/src/opt/tempalloc.cc" "src/opt/CMakeFiles/ss_opt.dir/tempalloc.cc.o" "gcc" "src/opt/CMakeFiles/ss_opt.dir/tempalloc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ss_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ss_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_opt.dir/constfold.cc.o"
+  "CMakeFiles/ss_opt.dir/constfold.cc.o.d"
+  "CMakeFiles/ss_opt.dir/dce.cc.o"
+  "CMakeFiles/ss_opt.dir/dce.cc.o.d"
+  "CMakeFiles/ss_opt.dir/licm.cc.o"
+  "CMakeFiles/ss_opt.dir/licm.cc.o.d"
+  "CMakeFiles/ss_opt.dir/localcse.cc.o"
+  "CMakeFiles/ss_opt.dir/localcse.cc.o.d"
+  "CMakeFiles/ss_opt.dir/pipeline.cc.o"
+  "CMakeFiles/ss_opt.dir/pipeline.cc.o.d"
+  "CMakeFiles/ss_opt.dir/reassociate.cc.o"
+  "CMakeFiles/ss_opt.dir/reassociate.cc.o.d"
+  "CMakeFiles/ss_opt.dir/regalloc.cc.o"
+  "CMakeFiles/ss_opt.dir/regalloc.cc.o.d"
+  "CMakeFiles/ss_opt.dir/schedule.cc.o"
+  "CMakeFiles/ss_opt.dir/schedule.cc.o.d"
+  "CMakeFiles/ss_opt.dir/strength.cc.o"
+  "CMakeFiles/ss_opt.dir/strength.cc.o.d"
+  "CMakeFiles/ss_opt.dir/tempalloc.cc.o"
+  "CMakeFiles/ss_opt.dir/tempalloc.cc.o.d"
+  "libss_opt.a"
+  "libss_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/ss_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/ss_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/interp.cc" "src/sim/CMakeFiles/ss_sim.dir/interp.cc.o" "gcc" "src/sim/CMakeFiles/ss_sim.dir/interp.cc.o.d"
+  "/root/repo/src/sim/issue.cc" "src/sim/CMakeFiles/ss_sim.dir/issue.cc.o" "gcc" "src/sim/CMakeFiles/ss_sim.dir/issue.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/ss_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/ss_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/ss_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/ss_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ss_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ss_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

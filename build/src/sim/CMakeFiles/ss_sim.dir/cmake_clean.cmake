@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_sim.dir/cache.cc.o"
+  "CMakeFiles/ss_sim.dir/cache.cc.o.d"
+  "CMakeFiles/ss_sim.dir/interp.cc.o"
+  "CMakeFiles/ss_sim.dir/interp.cc.o.d"
+  "CMakeFiles/ss_sim.dir/issue.cc.o"
+  "CMakeFiles/ss_sim.dir/issue.cc.o.d"
+  "CMakeFiles/ss_sim.dir/memory.cc.o"
+  "CMakeFiles/ss_sim.dir/memory.cc.o.d"
+  "CMakeFiles/ss_sim.dir/trace.cc.o"
+  "CMakeFiles/ss_sim.dir/trace.cc.o.d"
+  "libss_sim.a"
+  "libss_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_support.dir/logging.cc.o"
+  "CMakeFiles/ss_support.dir/logging.cc.o.d"
+  "CMakeFiles/ss_support.dir/statistics.cc.o"
+  "CMakeFiles/ss_support.dir/statistics.cc.o.d"
+  "CMakeFiles/ss_support.dir/table.cc.o"
+  "CMakeFiles/ss_support.dir/table.cc.o.d"
+  "libss_support.a"
+  "libss_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/ccom.cc" "src/workloads/CMakeFiles/ss_workloads.dir/ccom.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/ccom.cc.o.d"
+  "/root/repo/src/workloads/grr.cc" "src/workloads/CMakeFiles/ss_workloads.dir/grr.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/grr.cc.o.d"
+  "/root/repo/src/workloads/linpack.cc" "src/workloads/CMakeFiles/ss_workloads.dir/linpack.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/linpack.cc.o.d"
+  "/root/repo/src/workloads/livermore.cc" "src/workloads/CMakeFiles/ss_workloads.dir/livermore.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/livermore.cc.o.d"
+  "/root/repo/src/workloads/met.cc" "src/workloads/CMakeFiles/ss_workloads.dir/met.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/met.cc.o.d"
+  "/root/repo/src/workloads/stanford.cc" "src/workloads/CMakeFiles/ss_workloads.dir/stanford.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/stanford.cc.o.d"
+  "/root/repo/src/workloads/whet.cc" "src/workloads/CMakeFiles/ss_workloads.dir/whet.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/whet.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/ss_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/workloads.cc.o.d"
+  "/root/repo/src/workloads/yacc.cc" "src/workloads/CMakeFiles/ss_workloads.dir/yacc.cc.o" "gcc" "src/workloads/CMakeFiles/ss_workloads.dir/yacc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/ss_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ss_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ss_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_workloads.dir/ccom.cc.o"
+  "CMakeFiles/ss_workloads.dir/ccom.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/grr.cc.o"
+  "CMakeFiles/ss_workloads.dir/grr.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/linpack.cc.o"
+  "CMakeFiles/ss_workloads.dir/linpack.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/livermore.cc.o"
+  "CMakeFiles/ss_workloads.dir/livermore.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/met.cc.o"
+  "CMakeFiles/ss_workloads.dir/met.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/stanford.cc.o"
+  "CMakeFiles/ss_workloads.dir/stanford.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/whet.cc.o"
+  "CMakeFiles/ss_workloads.dir/whet.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/workloads.cc.o"
+  "CMakeFiles/ss_workloads.dir/workloads.cc.o.d"
+  "CMakeFiles/ss_workloads.dir/yacc.cc.o"
+  "CMakeFiles/ss_workloads.dir/yacc.cc.o.d"
+  "libss_workloads.a"
+  "libss_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

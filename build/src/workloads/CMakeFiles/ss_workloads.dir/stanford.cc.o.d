@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/ss_workloads.dir/stanford.cc.o: \
+ /root/repo/src/workloads/stanford.cc /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/../workloads/sources.hh

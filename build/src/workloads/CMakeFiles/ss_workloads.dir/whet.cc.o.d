@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/ss_workloads.dir/whet.cc.o: \
+ /root/repo/src/workloads/whet.cc /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/../workloads/sources.hh

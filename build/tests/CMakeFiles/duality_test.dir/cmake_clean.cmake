@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duality_test.dir/duality_test.cc.o"
+  "CMakeFiles/duality_test.dir/duality_test.cc.o.d"
+  "duality_test"
+  "duality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

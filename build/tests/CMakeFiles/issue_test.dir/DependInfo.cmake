@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/issue_test.cc" "tests/CMakeFiles/issue_test.dir/issue_test.cc.o" "gcc" "tests/CMakeFiles/issue_test.dir/issue_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ss_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ss_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ss_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ss_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ss_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ss_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

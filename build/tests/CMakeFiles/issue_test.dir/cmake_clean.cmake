@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issue_test.dir/issue_test.cc.o"
+  "CMakeFiles/issue_test.dir/issue_test.cc.o.d"
+  "issue_test"
+  "issue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

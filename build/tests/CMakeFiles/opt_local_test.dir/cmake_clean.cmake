@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_local_test.dir/opt_local_test.cc.o"
+  "CMakeFiles/opt_local_test.dir/opt_local_test.cc.o.d"
+  "opt_local_test"
+  "opt_local_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_local_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

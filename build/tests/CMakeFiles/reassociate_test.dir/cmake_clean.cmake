@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reassociate_test.dir/reassociate_test.cc.o"
+  "CMakeFiles/reassociate_test.dir/reassociate_test.cc.o.d"
+  "reassociate_test"
+  "reassociate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reassociate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
