@@ -10,10 +10,15 @@
 #define SUPERSYM_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "core/machine/models.hh"
 #include "core/study/experiment.hh"
+#include "support/json.hh"
+#include "support/stats.hh"
 #include "support/table.hh"
 
 namespace ilp::bench {
@@ -26,6 +31,64 @@ banner(const std::string &artifact, const std::string &caption)
                 caption.c_str());
     std::printf("(Jouppi & Wall, ASPLOS 1989; reproduced by supersym."
                 " Shapes, not absolute values, are the target.)\n\n");
+}
+
+// ------------------------------------------- stats trajectory (opt-in)
+//
+// When SSIM_BENCH_STATS names a file, bench binaries append stats
+// snapshots of their runs to it as a JSON array of
+// {artifact, label, stats} entries (the BENCH_*.json trajectory).
+// Future perf PRs diff these entries to prove where cycles went.
+// Unset, everything below is a no-op and runs collect nothing.
+
+/** Path of the trajectory file, or nullptr when disabled. */
+inline const char *
+statsTrajectoryPath()
+{
+    const char *path = std::getenv("SSIM_BENCH_STATS");
+    return (path && *path) ? path : nullptr;
+}
+
+/** Run telemetry for bench runs: stats only when the trajectory is
+ *  enabled, so the default bench cost is unchanged. */
+inline RunTelemetryOptions
+benchTelemetry()
+{
+    RunTelemetryOptions t;
+    t.collectStats = statsTrajectoryPath() != nullptr;
+    return t;
+}
+
+/** Append one snapshot to the trajectory (no-op when disabled). */
+inline void
+appendStatsTrajectory(const std::string &artifact,
+                      const std::string &label,
+                      const stats::StatsSnapshot &snapshot)
+{
+    const char *path = statsTrajectoryPath();
+    if (!path)
+        return;
+
+    Json doc = Json::array();
+    std::ifstream in(path);
+    if (in) {
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        if (!ss.str().empty())
+            doc = Json::parse(ss.str());
+    }
+    if (!doc.isArray())
+        doc = Json::array();
+
+    Json entry = Json::object();
+    entry.set("artifact", Json(artifact));
+    entry.set("label", Json(label));
+    entry.set("stats", snapshot.root);
+    doc.push(std::move(entry));
+
+    std::ofstream out(path);
+    if (out)
+        out << doc.dump(2) << "\n";
 }
 
 } // namespace ilp::bench

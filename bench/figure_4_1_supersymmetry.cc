@@ -34,5 +34,18 @@ main()
                 "superpipelined machine trails by <10%%\nand "
                 "converges towards the superscalar one as the degree "
                 "grows.\n");
+
+    // With SSIM_BENCH_STATS set, record one full snapshot per
+    // benchmark on the headline ss4 machine so perf PRs can diff
+    // stall attribution across revisions.
+    if (bench::statsTrajectoryPath()) {
+        for (const auto &w : allWorkloads()) {
+            CompileOptions o = defaultCompileOptions(w);
+            RunOutcome out = runWorkload(w, idealSuperscalar(4), o,
+                                         bench::benchTelemetry());
+            bench::appendStatsTrajectory("Figure 4-1",
+                                         w.name + "@ss4", out.stats);
+        }
+    }
     return 0;
 }

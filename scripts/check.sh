@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Tier-1 gate: configure, build, run the test suite, then smoke the
+# observability surface (a suite run with --stats-json whose output
+# must parse).  Exits non-zero on the first failure.
+#
+#   scripts/check.sh [build-dir]     default build dir: build
+set -eu
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S .
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+echo "== stats smoke =="
+STATS_JSON="$BUILD_DIR/check_stats.json"
+TRACE_JSON="$BUILD_DIR/check_trace.json"
+"$BUILD_DIR/src/cli/ssim" suite --machine ss4 \
+    --stats-json "$STATS_JSON" > /dev/null
+"$BUILD_DIR/src/cli/ssim" check-json "$STATS_JSON"
+"$BUILD_DIR/src/cli/ssim" run examples/mt/dotprod.mt --machine ss2x2 \
+    --stats-json "$STATS_JSON" --trace-events "$TRACE_JSON" \
+    > /dev/null
+"$BUILD_DIR/src/cli/ssim" check-json "$STATS_JSON"
+"$BUILD_DIR/src/cli/ssim" check-json "$TRACE_JSON"
+
+echo "== OK =="

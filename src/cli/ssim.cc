@@ -8,6 +8,7 @@
  *   ssim dump FILE.mt [options]    print the optimized, scheduled IR
  *   ssim suite [options]           run the built-in 8-benchmark suite
  *   ssim machines                  list predefined machine models
+ *   ssim check-json FILE           validate a JSON file (exit status)
  *
  * Options:
  *   --machine NAME   base | ssN | spM | ssNxM | multititan | cray1 |
@@ -18,6 +19,12 @@
  *   --alias LEVEL    conservative|arrays|symbols|careful|heroic
  *   --temps N        expression temp registers      (default 16)
  *   --homes N        home registers                 (default 26)
+ *
+ * Observability (run/suite; see docs/observability.md):
+ *   --stats            print the full stats tree after the run
+ *   --stats-json FILE  write the stats tree as JSON
+ *   --trace-events FILE  write Chrome tracing JSON (run only)
+ *   --trace-limit N    cap recorded issue events  (default 100000)
  */
 
 #include <cstdio>
@@ -30,7 +37,9 @@
 
 #include "core/machine/models.hh"
 #include "core/study/experiment.hh"
+#include "core/study/telemetry.hh"
 #include "ir/printer.hh"
+#include "support/json.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 
@@ -46,9 +55,12 @@ usage()
         "usage: ssim run|ilp|profile|dump FILE.mt [options]\n"
         "       ssim suite [options]\n"
         "       ssim machines\n"
+        "       ssim check-json FILE\n"
         "options: --machine NAME --level 0..4 --unroll N --careful\n"
         "         --alias conservative|arrays|symbols|careful|heroic\n"
-        "         --temps N --homes N\n");
+        "         --temps N --homes N\n"
+        "         --stats --stats-json FILE --trace-events FILE\n"
+        "         --trace-limit N\n");
     std::exit(2);
 }
 
@@ -113,6 +125,23 @@ struct Cli
     std::string file;
     MachineConfig machine = idealSuperscalar(4);
     CompileOptions options;
+
+    bool stats = false;
+    std::string statsJsonPath;
+    std::string traceEventsPath;
+    std::size_t traceLimit = 100000;
+
+    /** Telemetry derived from the flags above. */
+    RunTelemetryOptions
+    telemetry() const
+    {
+        RunTelemetryOptions t;
+        t.collectStats = stats || !statsJsonPath.empty() ||
+                         !traceEventsPath.empty();
+        if (!traceEventsPath.empty())
+            t.timelineLimit = traceLimit;
+        return t;
+    }
 };
 
 Cli
@@ -127,7 +156,8 @@ parseArgs(int argc, char **argv)
 
     int i = 2;
     if (cli.command == "run" || cli.command == "ilp" ||
-        cli.command == "profile" || cli.command == "dump") {
+        cli.command == "profile" || cli.command == "dump" ||
+        cli.command == "check-json") {
         if (argc < 3)
             usage();
         cli.file = argv[2];
@@ -162,10 +192,53 @@ parseArgs(int argc, char **argv)
         else if (arg == "--homes")
             cli.options.layout.numHome = static_cast<std::uint32_t>(
                 std::max(0, std::atoi(next().c_str())));
+        else if (arg == "--stats")
+            cli.stats = true;
+        else if (arg == "--stats-json")
+            cli.statsJsonPath = next();
+        else if (arg == "--trace-events")
+            cli.traceEventsPath = next();
+        else if (arg == "--trace-limit") {
+            const std::string value = next();
+            char *end = nullptr;
+            const unsigned long long parsed =
+                std::strtoull(value.c_str(), &end, 10);
+            if (value.empty() || end == nullptr || *end != '\0')
+                usage();
+            cli.traceLimit = static_cast<std::size_t>(parsed);
+        }
         else
             usage();
     }
     return cli;
+}
+
+/** Recursive "path  value" rendering of a stats JSON tree. */
+void
+printStatsTree(const Json &node, const std::string &prefix)
+{
+    for (const auto &[key, value] : node.asObject()) {
+        std::string path = prefix.empty() ? key : prefix + "." + key;
+        if (value.isObject())
+            printStatsTree(value, path);
+        else
+            std::printf("%-48s %s\n", path.c_str(),
+                        value.dump().c_str());
+    }
+}
+
+/** The stats document written by --stats-json: run context plus the
+ *  full snapshot. */
+Json
+statsDocument(const Cli &cli, const std::string &program,
+              const RunOutcome &out)
+{
+    Json doc = Json::object();
+    doc.set("program", Json(program));
+    doc.set("machine", Json(cli.machine.name));
+    doc.set("opt_level", Json(optLevelName(cli.options.level)));
+    doc.set("stats", out.stats.root);
+    return doc;
 }
 
 int
@@ -174,7 +247,8 @@ cmdRun(const Cli &cli)
     Workload w{cli.file, "user program", readFile(cli.file), 0, false,
                1};
     RunOutcome base = runWorkload(w, baseMachine(), cli.options);
-    RunOutcome out = runWorkload(w, cli.machine, cli.options);
+    RunOutcome out =
+        runWorkload(w, cli.machine, cli.options, cli.telemetry());
     std::printf("program      : %s\n", cli.file.c_str());
     std::printf("machine      : %s\n", cli.machine.name.c_str());
     std::printf("opt level    : %s\n",
@@ -187,6 +261,16 @@ cmdRun(const Cli &cli)
     std::printf("instr/cycle  : %.3f\n", out.ipc());
     std::printf("speedup      : %.3f over the base machine\n",
                 base.cycles / out.cycles);
+    if (cli.stats) {
+        std::printf("\n");
+        printStatsTree(out.stats.root, "");
+    }
+    if (!cli.statsJsonPath.empty())
+        writeJsonFile(cli.statsJsonPath,
+                      statsDocument(cli, cli.file, out));
+    if (!cli.traceEventsPath.empty())
+        writeJsonFile(cli.traceEventsPath,
+                      buildTraceEvents(out, cli.machine));
     return 0;
 }
 
@@ -243,24 +327,59 @@ cmdDump(const Cli &cli)
 int
 cmdSuite(const Cli &cli)
 {
-    Study study;
     Table t("Built-in suite on " + cli.machine.name + ":");
     t.setHeader({"benchmark", "instructions", "cycles", "instr/cycle",
                  "speedup"});
+    Json benchmarks = Json::array();
+    const bool want_json = !cli.statsJsonPath.empty();
+    RunTelemetryOptions telemetry = cli.telemetry();
     for (const auto &w : allWorkloads()) {
         CompileOptions o = cli.options;
         o.unroll.factor =
             std::max(o.unroll.factor, w.defaultUnroll);
         RunOutcome base = runWorkload(w, baseMachine(), o);
-        RunOutcome out = runWorkload(w, cli.machine, o);
+        RunOutcome out = runWorkload(w, cli.machine, o, telemetry);
         t.row()
             .cell(w.name)
             .cell(static_cast<long long>(out.instructions))
             .cell(out.cycles, 0)
             .cell(out.ipc(), 2)
             .cell(base.cycles / out.cycles, 2);
+        if (cli.stats) {
+            std::printf("--- %s ---\n", w.name.c_str());
+            printStatsTree(out.stats.root, "");
+        }
+        if (want_json) {
+            Json entry = Json::object();
+            entry.set("name", Json(w.name));
+            entry.set("stats", out.stats.root);
+            benchmarks.push(std::move(entry));
+        }
     }
     t.print();
+    if (want_json) {
+        Json doc = Json::object();
+        doc.set("machine", Json(cli.machine.name));
+        doc.set("opt_level", Json(optLevelName(cli.options.level)));
+        doc.set("benchmarks", std::move(benchmarks));
+        writeJsonFile(cli.statsJsonPath, doc);
+    }
+    return 0;
+}
+
+int
+cmdCheckJson(const Cli &cli)
+{
+    // Json::parse is fatal on malformed input, so reaching the print
+    // means the document is well-formed.
+    Json doc = Json::parse(readFile(cli.file));
+    std::printf("%s: valid JSON (%s, %zu top-level %s)\n",
+                cli.file.c_str(),
+                doc.isObject()  ? "object"
+                : doc.isArray() ? "array"
+                                : "value",
+                doc.size(),
+                doc.isObject() ? "keys" : "elements");
     return 0;
 }
 
@@ -307,5 +426,7 @@ main(int argc, char **argv)
         return cmdSuite(cli);
     if (cli.command == "machines")
         return cmdMachines();
+    if (cli.command == "check-json")
+        return cmdCheckJson(cli);
     usage();
 }

@@ -1,6 +1,7 @@
 #include "core/study/driver.hh"
 
 #include <bit>
+#include <chrono>
 
 #include "support/logging.hh"
 
@@ -21,24 +22,53 @@ defaultCompileOptions(const Workload &workload)
 
 Module
 compileWorkload(const std::string &source, const MachineConfig &machine,
-                const CompileOptions &options)
+                const CompileOptions &options,
+                CompileTelemetry *telemetry)
 {
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point t0 = Clock::now();
     Module module = compileToIr(source, options.unroll);
+    const Clock::time_point t1 = Clock::now();
+    if (telemetry) {
+        PhaseStat &fe = telemetry->phase("frontend");
+        fe.wallMs +=
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        fe.runs += 1;
+        for (const auto &func : module.functions()) {
+            fe.instrsAfter += func.instrCount();
+            fe.blocksAfter += func.blocks.size();
+        }
+        telemetry->addSpan("frontend", t0, t1);
+    }
     OptimizeOptions oo;
     oo.level = options.level;
     oo.layout = options.layout;
     oo.alias = options.alias;
     oo.reassociate = options.unroll.careful;
-    optimizeModule(module, machine, oo);
+    optimizeModule(module, machine, oo, telemetry);
     return module;
 }
 
 RunOutcome
-runOnMachine(const Module &module, const MachineConfig &machine)
+runOnMachine(const Module &module, const MachineConfig &machine,
+             const RunTelemetryOptions &telemetry,
+             const CompileTelemetry *compile)
 {
     Interpreter interp(module);
     IssueEngine engine(machine);
-    RunResult r = interp.run("main", &engine);
+    if (telemetry.timelineLimit > 0)
+        engine.recordTimeline(telemetry.timelineLimit);
+
+    CacheSink dcache(telemetry.cache);
+    RunResult r;
+    if (telemetry.collectStats) {
+        TeeSink tee;
+        tee.addSink(&engine);
+        tee.addSink(&dcache);
+        r = interp.run("main", &tee);
+    } else {
+        r = interp.run("main", &engine);
+    }
 
     RunOutcome out;
     out.checksum = static_cast<std::int64_t>(r.returnValue);
@@ -48,16 +78,54 @@ runOnMachine(const Module &module, const MachineConfig &machine)
         out.fpChecksum = std::bit_cast<double>(
             interp.memory().readGlobal(module, "result_fp"));
     }
+
+    if (telemetry.timelineLimit > 0) {
+        out.issueTimeline = engine.timeline();
+        out.timelineDropped = engine.timelineDropped();
+    }
+    if (compile)
+        out.compile = *compile;
+
+    if (telemetry.collectStats) {
+        stats::Registry registry;
+        stats::Group &run = registry.group("run", "headline numbers");
+        run.counter("instructions", "dynamic instructions")
+            .inc(out.instructions);
+        run.scalar("base_cycles", "elapsed base cycles")
+            .set(out.cycles);
+        run.scalar("ipc", "instructions per base cycle")
+            .set(out.ipc());
+        run.scalar("checksum", "main()'s return value")
+            .set(static_cast<double>(out.checksum));
+
+        engine.exportStats(
+            registry.group("issue", "in-order issue engine"));
+        dcache.exportStats(
+            registry.group("cache", "data-cache model"));
+        exportClassMix(
+            registry.group("mix", "dynamic instruction mix"),
+            r.classCounts);
+        if (compile) {
+            compile->exportStats(
+                registry.group("compile", "compile pipeline"));
+        }
+        out.stats = registry.snapshot();
+    }
     return out;
 }
 
 RunOutcome
 runWorkload(const Workload &workload, const MachineConfig &machine,
-            const CompileOptions &options)
+            const CompileOptions &options,
+            const RunTelemetryOptions &telemetry)
 {
-    Module module =
-        compileWorkload(workload.source, machine, options);
-    return runOnMachine(module, machine);
+    const bool want = telemetry.collectStats ||
+                      telemetry.timelineLimit > 0;
+    CompileTelemetry compile;
+    Module module = compileWorkload(workload.source, machine, options,
+                                    want ? &compile : nullptr);
+    return runOnMachine(module, machine, telemetry,
+                        want ? &compile : nullptr);
 }
 
 ClassFrequencies

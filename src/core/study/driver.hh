@@ -21,8 +21,10 @@
 #include "core/machine/machine.hh"
 #include "frontend/compile.hh"
 #include "opt/pipeline.hh"
+#include "sim/cache.hh"
 #include "sim/interp.hh"
 #include "sim/issue.hh"
+#include "support/stats.hh"
 #include "workloads/workloads.hh"
 
 namespace ilp {
@@ -41,10 +43,25 @@ struct CompileOptions
 CompileOptions defaultCompileOptions(const Workload &workload);
 
 /** Compile MT source for a machine (parses, unrolls, optimizes,
- *  allocates, schedules). */
+ *  allocates, schedules).  `telemetry`, when non-null, records the
+ *  frontend phase plus every optimizer phase. */
 Module compileWorkload(const std::string &source,
                        const MachineConfig &machine,
-                       const CompileOptions &options);
+                       const CompileOptions &options,
+                       CompileTelemetry *telemetry = nullptr);
+
+/** What a run should observe about itself, beyond the headline
+ *  numbers.  The default collects nothing and costs nothing. */
+struct RunTelemetryOptions
+{
+    /** Build a full StatsSnapshot (issue, cache, mix, compile). */
+    bool collectStats = false;
+    /** Max issue-timeline events captured for --trace-events
+     *  (0 disables capture). */
+    std::size_t timelineLimit = 0;
+    /** Data-cache model attached when collecting stats. */
+    CacheConfig cache;
+};
 
 /** Everything a timing run produces. */
 struct RunOutcome
@@ -59,18 +76,30 @@ struct RunOutcome
     /** Elapsed time in base cycles on the machine. */
     double cycles = 0.0;
 
+    /** Full stats tree (empty unless collectStats). */
+    stats::StatsSnapshot stats;
+    /** Issue timeline (empty unless timelineLimit > 0). */
+    std::vector<IssueEvent> issueTimeline;
+    std::uint64_t timelineDropped = 0;
+    /** Compile telemetry (filled by runWorkload with collectStats). */
+    CompileTelemetry compile;
+
     /** Instructions per base cycle (the exploited parallelism). */
     double ipc() const { return instructions / cycles; }
 };
 
-/** Execute an already-compiled module against a machine. */
+/** Execute an already-compiled module against a machine.  `compile`
+ *  telemetry, when given, is folded into the snapshot and outcome. */
 RunOutcome runOnMachine(const Module &module,
-                        const MachineConfig &machine);
+                        const MachineConfig &machine,
+                        const RunTelemetryOptions &telemetry = {},
+                        const CompileTelemetry *compile = nullptr);
 
 /** compileWorkload + runOnMachine in one step. */
 RunOutcome runWorkload(const Workload &workload,
                        const MachineConfig &machine,
-                       const CompileOptions &options);
+                       const CompileOptions &options,
+                       const RunTelemetryOptions &telemetry = {});
 
 /** Dynamic class frequencies of a workload (for Table 2-1). */
 ClassFrequencies profileWorkload(const Workload &workload,

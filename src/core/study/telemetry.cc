@@ -1,0 +1,106 @@
+#include "core/study/telemetry.hh"
+
+#include <fstream>
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+namespace {
+
+Json
+completeEvent(const std::string &name, const std::string &cat,
+              double ts_us, double dur_us, int pid, int tid)
+{
+    Json e = Json::object();
+    e.set("name", Json(name));
+    e.set("cat", Json(cat));
+    e.set("ph", Json("X"));
+    e.set("ts", Json(ts_us));
+    e.set("dur", Json(dur_us));
+    e.set("pid", Json(pid));
+    e.set("tid", Json(tid));
+    return e;
+}
+
+Json
+metadataEvent(const std::string &name, int pid, const std::string &label)
+{
+    Json args = Json::object();
+    args.set("name", Json(label));
+    Json e = Json::object();
+    e.set("name", Json(name));
+    e.set("ph", Json("M"));
+    e.set("pid", Json(pid));
+    e.set("tid", Json(0));
+    e.set("args", std::move(args));
+    return e;
+}
+
+} // namespace
+
+Json
+buildTraceEvents(const RunOutcome &outcome,
+                 const MachineConfig &machine)
+{
+    constexpr int kCompilePid = 1;
+    constexpr int kIssuePid = 2;
+
+    Json events = Json::array();
+    events.push(
+        metadataEvent("process_name", kCompilePid, "compile"));
+    events.push(metadataEvent("process_name", kIssuePid, "issue"));
+
+    // Compile spans: one tid per distinct phase prefix (the part
+    // before ':'), so each optimizer phase gets its own track.
+    std::vector<std::string> tracks;
+    for (const auto &span : outcome.compile.spans) {
+        std::string track = span.name.substr(0, span.name.find(':'));
+        int tid = -1;
+        for (std::size_t i = 0; i < tracks.size(); ++i) {
+            if (tracks[i] == track)
+                tid = static_cast<int>(i);
+        }
+        if (tid < 0) {
+            tid = static_cast<int>(tracks.size());
+            tracks.push_back(track);
+        }
+        events.push(completeEvent(span.name, "compile",
+                                  span.startMs * 1000.0,
+                                  span.durMs * 1000.0, kCompilePid,
+                                  tid));
+    }
+
+    // Issue timeline: one tid per issue slot; one simulated minor
+    // cycle = 1us of trace time, duration = operation latency.
+    for (const auto &ev : outcome.issueTimeline) {
+        events.push(completeEvent(
+            std::string(instrClassName(ev.cls)), "issue",
+            static_cast<double>(ev.cycle),
+            static_cast<double>(ev.latencyMinor), kIssuePid,
+            static_cast<int>(ev.slot)));
+    }
+
+    Json doc = Json::object();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", Json("ms"));
+    Json meta = Json::object();
+    meta.set("issueWidth", Json(machine.issueWidth));
+    meta.set("pipelineDegree", Json(machine.pipelineDegree));
+    meta.set("timelineDropped", Json(outcome.timelineDropped));
+    doc.set("otherData", std::move(meta));
+    return doc;
+}
+
+void
+writeJsonFile(const std::string &path, const Json &doc)
+{
+    std::ofstream out(path);
+    if (!out)
+        SS_FATAL("cannot open '", path, "' for writing");
+    out << doc.dump(2) << "\n";
+    if (!out)
+        SS_FATAL("write to '", path, "' failed");
+}
+
+} // namespace ilp

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Structured run telemetry writers: Chrome tracing JSON from compile
+ * spans and the issue timeline, and helpers for landing a
+ * StatsSnapshot on disk.  Load --trace-events output in
+ * chrome://tracing or https://ui.perfetto.dev.
+ */
+
+#ifndef SUPERSYM_CORE_STUDY_TELEMETRY_HH
+#define SUPERSYM_CORE_STUDY_TELEMETRY_HH
+
+#include <string>
+
+#include "core/study/driver.hh"
+#include "support/json.hh"
+
+namespace ilp {
+
+/**
+ * Build a Chrome tracing document ({"traceEvents": [...]}) from one
+ * run.  Compile spans become complete ("ph":"X") events on pid 1,
+ * one tid per phase name; issue events become per-slot events on
+ * pid 2, one tid per issue slot, with one simulated minor cycle
+ * mapped to one microsecond of trace time.
+ */
+Json buildTraceEvents(const RunOutcome &outcome,
+                      const MachineConfig &machine);
+
+/** Write a JSON document to `path` (SS_FATAL on I/O failure). */
+void writeJsonFile(const std::string &path, const Json &doc);
+
+} // namespace ilp
+
+#endif // SUPERSYM_CORE_STUDY_TELEMETRY_HH

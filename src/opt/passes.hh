@@ -123,20 +123,48 @@ int allocateHomeRegisters(Function &func, const RegFileLayout &layout);
  * allocateHomeRegisters), by linear scan over live intervals,
  * spilling to fresh frame slots when the temps run out.  Afterwards
  * `func.allocated` is true and all operands are physical.
+ * @return number of virtual registers demoted to memory (spills).
  */
-void assignRegisters(Function &func, const RegFileLayout &layout);
+int assignRegisters(Function &func, const RegFileLayout &layout);
 
 // ----------------------------------------------------------- schedule
+
+/**
+ * Static issue-slot accounting for one scheduling run: how densely
+ * the list scheduler packed the machine's issue slots over the blocks
+ * it actually reordered (blocks too small to schedule are skipped).
+ */
+struct ScheduleStats
+{
+    /** Instructions placed by the scheduler. */
+    std::uint64_t slotsFilled = 0;
+    /** issueWidth * static schedule length, summed over blocks. */
+    std::uint64_t slotsTotal = 0;
+    /** Blocks actually list-scheduled / skipped as too small. */
+    std::uint64_t blocksScheduled = 0;
+    std::uint64_t blocksSkipped = 0;
+
+    /** slotsFilled / slotsTotal (1.0 when nothing was scheduled). */
+    double fillRate() const
+    {
+        return slotsTotal
+                   ? static_cast<double>(slotsFilled) /
+                         static_cast<double>(slotsTotal)
+                   : 1.0;
+    }
+};
 
 /**
  * Pipeline instruction scheduling (§3): list-schedules every basic
  * block for the given machine, honoring register RAW/WAR/WAW, memory
  * dependencies at the given alias level, and functional-unit issue
  * constraints, minimizing expected stalls.  Requires allocated code.
+ * `stats`, when non-null, accumulates static fill-rate accounting.
  */
 void scheduleFunction(const Module &module, Function &func,
                       const MachineConfig &machine,
-                      AliasLevel alias = AliasLevel::Conservative);
+                      AliasLevel alias = AliasLevel::Conservative,
+                      ScheduleStats *stats = nullptr);
 
 } // namespace ilp
 

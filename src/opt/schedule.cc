@@ -42,15 +42,19 @@ class BlockScheduler
     }
 
     void
-    run()
+    run(ScheduleStats *stats)
     {
         const std::size_t n = bb_.instrs.size();
-        if (n < 3)
-            return; // nothing to reorder around the terminator
+        if (n < 3) {
+            // Nothing to reorder around the terminator.
+            if (stats)
+                ++stats->blocksSkipped;
+            return;
+        }
 
         buildEdges();
         computePriorities();
-        listSchedule();
+        listSchedule(stats);
     }
 
   private:
@@ -157,7 +161,7 @@ class BlockScheduler
     }
 
     void
-    listSchedule()
+    listSchedule(ScheduleStats *stats)
     {
         const std::size_t n = bb_.instrs.size();
         std::vector<std::size_t> order;
@@ -175,6 +179,7 @@ class BlockScheduler
         }
 
         std::uint64_t cycle = 0;
+        std::uint64_t sched_len = 0;
         int slots_used = 0;
         while (order.size() < n) {
             // Candidates ready by data at the current cycle.
@@ -201,6 +206,7 @@ class BlockScheduler
             }
 
             order.push_back(pick);
+            sched_len = cycle + 1;
             scheduled[pick] = 1;
             ready.erase(std::find(ready.begin(), ready.end(), pick));
             for (std::size_t s : succs_[pick]) {
@@ -215,6 +221,14 @@ class BlockScheduler
                 ++cycle;
                 slots_used = 0;
             }
+        }
+
+        if (stats) {
+            ++stats->blocksScheduled;
+            stats->slotsFilled += n;
+            stats->slotsTotal +=
+                sched_len *
+                static_cast<std::uint64_t>(machine_.issueWidth);
         }
 
         std::vector<Instr> out;
@@ -238,13 +252,14 @@ class BlockScheduler
 
 void
 scheduleFunction(const Module &module, Function &func,
-                 const MachineConfig &machine, AliasLevel alias)
+                 const MachineConfig &machine, AliasLevel alias,
+                 ScheduleStats *stats)
 {
     SS_ASSERT(func.allocated,
               "scheduleFunction runs after register assignment");
     for (auto &bb : func.blocks) {
         BlockScheduler sched(module, func, bb, machine, alias);
-        sched.run();
+        sched.run(stats);
     }
 }
 

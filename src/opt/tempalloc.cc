@@ -174,10 +174,11 @@ demoteToMemory(Function &func, Reg victim, bool is_float,
 
 } // namespace
 
-void
+int
 assignRegisters(Function &func, const RegFileLayout &layout)
 {
     SS_ASSERT(!func.allocated, "assignRegisters: already allocated");
+    int spills = 0;
 
     // Pin the frame pointer.
     if (func.fpReg != kNoReg)
@@ -223,6 +224,7 @@ assignRegisters(Function &func, const RegFileLayout &layout)
             victims.resize(need);
         for (Reg v : victims)
             demoteToMemory(func, v, iv[v].isFloat, is_param(v));
+        spills += static_cast<int>(victims.size());
         SS_ASSERT(++guard < 10000, "spill loop diverged in ",
                   func.name);
     }
@@ -292,6 +294,7 @@ assignRegisters(Function &func, const RegFileLayout &layout)
     func.pinnedRegs.clear();
     func.layout = layout;
     func.allocated = true;
+    return spills;
 }
 
 } // namespace ilp

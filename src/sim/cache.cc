@@ -73,6 +73,38 @@ Cache::missRatio() const
 }
 
 double
+Cache::missCycles() const
+{
+    return static_cast<double>(misses_) * config_.missPenaltyCycles;
+}
+
+void
+Cache::exportStats(stats::Group &g) const
+{
+    g.counter("accesses", "data references seen").inc(accesses_);
+    g.counter("hits", "references that hit").inc(hits());
+    g.counter("misses", "references that missed").inc(misses_);
+    g.scalar("miss_ratio", "misses / accesses")
+        .set(accesses_ > 0 ? missRatio() : 0.0);
+    g.scalar("miss_cycles",
+             "misses * configured miss penalty (base cycles)")
+        .set(missCycles());
+    SS_DEBUG("cache", accesses_, " accesses, ", misses_,
+             " misses (", config_.sizeBytes, "B, ",
+             config_.associativity, "-way)");
+}
+
+void
+CacheSink::exportStats(stats::Group &g) const
+{
+    cache_.exportStats(g);
+    g.counter("instructions", "instructions over the trace")
+        .inc(instructions_);
+    g.scalar("misses_per_instr", "data-cache misses per instruction")
+        .set(instructions_ > 0 ? missesPerInstr() : 0.0);
+}
+
+double
 CacheSink::missesPerInstr() const
 {
     SS_ASSERT(instructions_ > 0, "missesPerInstr with no instructions");

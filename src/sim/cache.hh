@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/trace.hh"
+#include "support/stats.hh"
 
 namespace ilp {
 
@@ -26,6 +27,12 @@ struct CacheConfig
     std::int64_t sizeBytes = 64 * 1024;
     std::int64_t lineBytes = 32;
     int associativity = 1;
+    /**
+     * Miss cost in base cycles, used only for the miss-cycles
+     * statistic (Table 5-1 arithmetic); 0 leaves the cost unmodelled.
+     * The timing engine itself does not consume this — see §5.1.
+     */
+    double missPenaltyCycles = 0.0;
 };
 
 class Cache
@@ -37,8 +44,17 @@ class Cache
     bool access(std::int64_t addr);
 
     std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t hits() const { return accesses_ - misses_; }
     std::uint64_t misses() const { return misses_; }
     double missRatio() const;
+
+    /** Modelled miss burden: misses * missPenaltyCycles. */
+    double missCycles() const;
+
+    const CacheConfig &config() const { return config_; }
+
+    /** Export accesses/hits/misses/ratios into a stats group. */
+    void exportStats(stats::Group &g) const;
 
   private:
     struct Line
@@ -74,6 +90,9 @@ class CacheSink : public TraceSink
 
     /** Data-cache misses per instruction. */
     double missesPerInstr() const;
+
+    /** Cache stats plus the per-instruction burden. */
+    void exportStats(stats::Group &g) const;
 
   private:
     Cache cache_;

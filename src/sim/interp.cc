@@ -62,6 +62,7 @@ Interpreter::run(const std::string &entry, TraceSink *sink)
 
     sink_ = sink;
     executed_ = 0;
+    class_counts_.fill(0);
     stack_top_ = mem_.stackBase();
     call_depth_ = 0;
     arena_.clear();
@@ -69,8 +70,29 @@ Interpreter::run(const std::string &entry, TraceSink *sink)
     RunResult result;
     result.returnValue = callFunction(func, {});
     result.instructions = executed_;
+    result.classCounts = class_counts_;
     sink_ = nullptr;
     return result;
+}
+
+void
+exportClassMix(stats::Group &g, const ClassCounts &counts)
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counts)
+        total += c;
+    g.counter("total", "dynamic instructions").inc(total);
+    stats::Group &cg = g.group("counts", "per-class dynamic counts");
+    stats::Group &fg = g.group("fractions", "per-class fractions");
+    for (std::size_t c = 0; c < kNumInstrClasses; ++c) {
+        if (counts[c] == 0)
+            continue;
+        std::string name(
+            instrClassName(static_cast<InstrClass>(c)));
+        cg.counter(name).inc(counts[c]);
+        fg.scalar(name).set(static_cast<double>(counts[c]) /
+                            static_cast<double>(total));
+    }
 }
 
 std::uint64_t
@@ -121,6 +143,7 @@ Interpreter::callFunction(const Function &func,
 
         if (++executed_ > opts_.fuel)
             outOfFuel();
+        ++class_counts_[static_cast<std::size_t>(opcodeClass(in.op))];
 
         DynInstr di;
         if (sink_) {
@@ -296,6 +319,8 @@ Interpreter::callFunction(const Function &func,
                     sink_->emit(mv);
                 }
                 executed_ += in.args.size();
+                class_counts_[static_cast<std::size_t>(
+                    InstrClass::Move)] += in.args.size();
             }
             std::vector<std::uint64_t> call_args;
             call_args.reserve(in.args.size());
@@ -313,6 +338,8 @@ Interpreter::callFunction(const Function &func,
                     mv.addSrc(last_ret_reg_);
                     sink_->emit(mv);
                     ++executed_;
+                    ++class_counts_[static_cast<std::size_t>(
+                        InstrClass::Move)];
                 }
             }
             ++ip;

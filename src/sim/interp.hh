@@ -26,6 +26,7 @@
 #include "ir/module.hh"
 #include "sim/memory.hh"
 #include "sim/trace.hh"
+#include "support/stats.hh"
 
 namespace ilp {
 
@@ -42,7 +43,13 @@ struct RunResult
     std::uint64_t returnValue = 0;
     /** Dynamic instructions executed. */
     std::uint64_t instructions = 0;
+    /** Dynamic instruction mix (same stream the trace sink sees). */
+    ClassCounts classCounts{};
 };
+
+/** Export a dynamic class mix into a stats group (counts plus
+ *  fractions), skipping classes that never occur. */
+void exportClassMix(stats::Group &g, const ClassCounts &counts);
 
 class Interpreter
 {
@@ -71,6 +78,7 @@ class Interpreter
     Memory mem_;
     TraceSink *sink_ = nullptr;
     std::uint64_t executed_ = 0;
+    ClassCounts class_counts_{};
     std::int64_t stack_top_ = 0;
     int call_depth_ = 0;
     /** Register-file arena: one zero-initialized frame per active

@@ -6,6 +6,27 @@
 
 namespace ilp {
 
+const char *
+stallCauseName(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::RawLatency: return "raw_latency";
+      case StallCause::UnitConflict: return "unit_conflict";
+      case StallCause::BranchFence: return "branch_fence";
+      case StallCause::FrontendDrain: return "frontend_drain";
+    }
+    SS_PANIC("bad StallCause ", static_cast<int>(cause));
+}
+
+std::uint64_t
+StallBreakdown::total() const
+{
+    std::uint64_t t = 0;
+    for (std::uint64_t s : slots)
+        t += s;
+    return t;
+}
+
 IssueEngine::IssueEngine(const MachineConfig &config)
     : config_(config)
 {
@@ -15,6 +36,8 @@ IssueEngine::IssueEngine(const MachineConfig &config)
         unit_free_[u].assign(
             static_cast<std::size_t>(config_.units[u].multiplicity), 0);
     counts_.assign(static_cast<std::size_t>(config_.issueWidth) + 1, 0);
+    SS_DEBUG("issue", "engine for ", config_.name, ": width ",
+             config_.issueWidth, ", degree ", config_.pipelineDegree);
 }
 
 std::uint64_t
@@ -35,24 +58,28 @@ void
 IssueEngine::emit(const DynInstr &di)
 {
     const InstrClass cls = di.cls();
+    const std::uint64_t width =
+        static_cast<std::uint64_t>(config_.issueWidth);
 
-    // Earliest issue: in order, and after any branch fence.
-    std::uint64_t t = std::max(cur_cycle_, fence_);
+    // Component earliest-issue times, kept separate so a stall can be
+    // charged to the binding constraint.
+    std::uint64_t t_data = 0;
 
     // Register RAW.
     for (std::uint8_t i = 0; i < di.numSrcs; ++i)
-        t = std::max(t, regReady(di.srcs[i]));
+        t_data = std::max(t_data, regReady(di.srcs[i]));
 
     // Memory RAW / WAW through the actual word address.
     if (di.addr >= 0) {
         auto it = store_ready_.find(di.addr);
         if (it != store_ready_.end())
-            t = std::max(t, it->second);
+            t_data = std::max(t_data, it->second);
     }
 
     // Functional-unit availability (class conflicts).
     int unit = config_.unitFor(cls);
     std::size_t copy = 0;
+    std::uint64_t t_unit = 0;
     if (unit >= 0) {
         auto &copies = unit_free_[static_cast<std::size_t>(unit)];
         copy = 0;
@@ -60,12 +87,29 @@ IssueEngine::emit(const DynInstr &di)
             if (copies[i] < copies[copy])
                 copy = i;
         }
-        t = std::max(t, copies[copy]);
+        t_unit = copies[copy];
     }
+
+    // Earliest issue: in order, after the branch fence, operands
+    // ready, and a unit copy free.
+    std::uint64_t t = std::max(
+        std::max(cur_cycle_, fence_), std::max(t_data, t_unit));
 
     // Issue-slot availability: if we moved past the cycle being
     // filled, the new cycle starts empty; otherwise check the width.
     if (t > cur_cycle_) {
+        // The cycle being filled closes short, plus (t-cur-1) fully
+        // empty cycles: charge every lost slot to the binding
+        // constraint (latency beats unit beats fence on ties — the
+        // paper's headline cause wins ambiguous slots).
+        StallCause cause = StallCause::BranchFence;
+        if (t_data >= t)
+            cause = StallCause::RawLatency;
+        else if (t_unit >= t)
+            cause = StallCause::UnitConflict;
+        stalls_[cause] +=
+            (width - static_cast<std::uint64_t>(cur_count_)) +
+            (t - cur_cycle_ - 1) * width;
         ++counts_[static_cast<std::size_t>(cur_count_)];
         empty_cycles_ += t - cur_cycle_ - 1;
         cur_cycle_ = t;
@@ -80,12 +124,28 @@ IssueEngine::emit(const DynInstr &di)
             t = std::max(
                 t, unit_free_[static_cast<std::size_t>(unit)][copy]);
         if (t > cur_cycle_) {
+            stalls_[StallCause::UnitConflict] +=
+                (t - cur_cycle_) * width;
             empty_cycles_ += t - cur_cycle_;
             cur_cycle_ = t;
         }
     }
 
     // --- Issue at minor cycle t. ---
+    if (timeline_enabled_) {
+        if (timeline_.size() < timeline_limit_) {
+            IssueEvent ev;
+            ev.cycle = t;
+            ev.slot = static_cast<std::uint16_t>(cur_count_);
+            ev.latencyMinor = static_cast<std::uint32_t>(
+                config_.latencyMinor(cls));
+            ev.cls = cls;
+            timeline_.push_back(ev);
+        } else {
+            ++timeline_dropped_;
+        }
+    }
+    ++class_issued_[static_cast<std::size_t>(cls)];
     ++cur_count_;
     ++instructions_;
 
@@ -138,6 +198,99 @@ IssueEngine::instrPerBaseCycle() const
 {
     SS_ASSERT(last_complete_ > 0, "no instructions simulated");
     return static_cast<double>(instructions_) / baseCycles();
+}
+
+std::uint64_t
+IssueEngine::issuePeriodMinorCycles() const
+{
+    return instructions_ > 0 ? cur_cycle_ + 1 : 0;
+}
+
+std::uint64_t
+IssueEngine::lostIssueSlots() const
+{
+    return issuePeriodMinorCycles() *
+               static_cast<std::uint64_t>(config_.issueWidth) -
+           instructions_;
+}
+
+StallBreakdown
+IssueEngine::stallBreakdown() const
+{
+    StallBreakdown bd = stalls_;
+    // The final, still-open cycle: slots past the last issue had no
+    // instruction left to claim them.
+    if (instructions_ > 0 && cur_count_ < config_.issueWidth)
+        bd[StallCause::FrontendDrain] +=
+            static_cast<std::uint64_t>(config_.issueWidth -
+                                       cur_count_);
+    return bd;
+}
+
+std::uint64_t
+IssueEngine::completionTailMinorCycles() const
+{
+    return last_complete_ - issuePeriodMinorCycles();
+}
+
+void
+IssueEngine::recordTimeline(std::size_t limit)
+{
+    timeline_enabled_ = limit > 0;
+    timeline_limit_ = limit;
+    timeline_.reserve(std::min<std::size_t>(limit, 1 << 16));
+}
+
+void
+IssueEngine::exportStats(stats::Group &g) const
+{
+    const std::uint64_t period = issuePeriodMinorCycles();
+    const std::uint64_t width =
+        static_cast<std::uint64_t>(config_.issueWidth);
+
+    g.counter("instructions", "dynamic instructions issued")
+        .inc(instructions_);
+    g.counter("minor_cycles", "elapsed minor cycles to last completion")
+        .inc(minorCycles());
+    g.scalar("base_cycles", "elapsed base cycles (minor / m)")
+        .set(baseCycles());
+    g.scalar("ipc", "instructions per base cycle")
+        .set(last_complete_ > 0 ? instrPerBaseCycle() : 0.0);
+    g.counter("issue_period_minor_cycles",
+              "minor cycles from first to last issue")
+        .inc(period);
+    g.counter("issue_slots_total",
+              "issue slots offered during the issue period")
+        .inc(period * width);
+    g.counter("lost_issue_slots", "slots that issued nothing")
+        .inc(lostIssueSlots());
+    g.counter("completion_tail_minor_cycles",
+              "latency drain after the last issue")
+        .inc(completionTailMinorCycles());
+
+    stats::Group &stall =
+        g.group("stall", "lost issue slots by cause");
+    StallBreakdown bd = stallBreakdown();
+    for (std::size_t c = 0; c < kNumStallCauses; ++c)
+        stall.counter(stallCauseName(static_cast<StallCause>(c)))
+            .inc(bd.slots[c]);
+
+    stats::Distribution &hist = g.distribution(
+        "issued_per_cycle",
+        "instructions issued per minor cycle of the issue period");
+    std::vector<std::uint64_t> counts = issueCounts();
+    for (std::size_t k = 0; k < counts.size(); ++k)
+        hist.sample(static_cast<std::int64_t>(k), counts[k]);
+
+    stats::Group &cls_g =
+        g.group("class_issued", "dynamic instructions per class");
+    for (std::size_t c = 0; c < kNumInstrClasses; ++c) {
+        if (class_issued_[c] > 0)
+            cls_g
+                .counter(std::string(
+                    instrClassName(static_cast<InstrClass>(c))))
+                .inc(class_issued_[c]);
+    }
 }
 
 double

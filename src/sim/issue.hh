@@ -30,6 +30,7 @@
 #ifndef SUPERSYM_SIM_ISSUE_HH
 #define SUPERSYM_SIM_ISSUE_HH
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -37,8 +38,66 @@
 #include "core/machine/machine.hh"
 #include "sim/trace.hh"
 #include "support/statistics.hh"
+#include "support/stats.hh"
 
 namespace ilp {
+
+/**
+ * Why an issue slot went unused (the paper's lost-parallelism
+ * taxonomy, §4): every minor cycle of the issue period offers
+ * `issueWidth` slots; each slot either issues an instruction or is
+ * charged to exactly one cause.
+ */
+enum class StallCause : int
+{
+    /** A register or memory (same-word) operand was not yet ready —
+     *  operation-latency interlock. */
+    RawLatency = 0,
+    /** Every functional-unit copy serving the class was busy
+     *  (§2.3.2 class conflicts / issue latency). */
+    UnitConflict,
+    /** The machine does not issue across branch boundaries and a
+     *  branch closed the cycle. */
+    BranchFence,
+    /** No instruction arrived to claim the slot: the partially filled
+     *  final cycle when the trace drains. */
+    FrontendDrain,
+};
+
+constexpr std::size_t kNumStallCauses = 4;
+
+const char *stallCauseName(StallCause cause);
+
+/** Lost issue slots per cause, in minor-cycle issue slots. */
+struct StallBreakdown
+{
+    std::array<std::uint64_t, kNumStallCauses> slots{};
+
+    std::uint64_t &operator[](StallCause c)
+    {
+        return slots[static_cast<std::size_t>(c)];
+    }
+    std::uint64_t operator[](StallCause c) const
+    {
+        return slots[static_cast<std::size_t>(c)];
+    }
+    std::uint64_t total() const;
+};
+
+/**
+ * One issued instruction on the simulated timeline (recorded only
+ * when timeline capture is enabled; feeds --trace-events).
+ */
+struct IssueEvent
+{
+    /** Issue minor cycle. */
+    std::uint64_t cycle = 0;
+    /** Issue slot within the cycle (0..issueWidth-1). */
+    std::uint16_t slot = 0;
+    /** Operation latency in minor cycles. */
+    std::uint32_t latencyMinor = 1;
+    InstrClass cls = InstrClass::IntAdd;
+};
 
 class IssueEngine : public TraceSink
 {
@@ -69,6 +128,51 @@ class IssueEngine : public TraceSink
      */
     std::vector<std::uint64_t> issueCounts() const;
 
+    // ------------------------------------------------- observability
+
+    /**
+     * Minor cycles of the issue period: cycle 0 through the cycle of
+     * the last issue, inclusive (0 before anything issues).  Differs
+     * from minorCycles() by the completion tail of in-flight latency.
+     */
+    std::uint64_t issuePeriodMinorCycles() const;
+
+    /**
+     * Issue slots that went unused during the issue period:
+     * issueWidth * issuePeriodMinorCycles() - instructions().
+     */
+    std::uint64_t lostIssueSlots() const;
+
+    /**
+     * Per-cause attribution of every lost slot.  Invariant (asserted
+     * by tests): stallBreakdown().total() == lostIssueSlots().
+     */
+    StallBreakdown stallBreakdown() const;
+
+    /** Minor cycles between the last issue and the last completion
+     *  (latency drain; not issue slots, reported separately). */
+    std::uint64_t completionTailMinorCycles() const;
+
+    /** Dynamic instructions issued per class. */
+    const ClassCounts &classIssued() const { return class_issued_; }
+
+    /**
+     * Record the issue timeline (for --trace-events).  At most `limit`
+     * events are kept; later issues only bump timelineDropped().
+     */
+    void recordTimeline(std::size_t limit);
+    const std::vector<IssueEvent> &timeline() const
+    {
+        return timeline_;
+    }
+    std::uint64_t timelineDropped() const { return timeline_dropped_; }
+
+    /**
+     * Export everything above into a stats group ("issue"): totals,
+     * stall attribution, per-width issue histogram, per-class counts.
+     */
+    void exportStats(stats::Group &g) const;
+
     const MachineConfig &config() const { return config_; }
 
   private:
@@ -96,6 +200,17 @@ class IssueEngine : public TraceSink
     std::vector<std::uint64_t> counts_;
     /** Fully-empty cycles skipped during stalls. */
     std::uint64_t empty_cycles_ = 0;
+
+    /** Lost-slot attribution (FrontendDrain added at snapshot time). */
+    StallBreakdown stalls_;
+    /** Dynamic instructions per class. */
+    ClassCounts class_issued_{};
+
+    /** Issue timeline capture (off unless recordTimeline()). */
+    bool timeline_enabled_ = false;
+    std::size_t timeline_limit_ = 0;
+    std::uint64_t timeline_dropped_ = 0;
+    std::vector<IssueEvent> timeline_;
 };
 
 /**

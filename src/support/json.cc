@@ -1,0 +1,493 @@
+#include "support/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+bool
+Json::asBool() const
+{
+    SS_ASSERT(kind_ == Kind::Bool, "Json: not a bool");
+    return bool_;
+}
+
+double
+Json::asNumber() const
+{
+    SS_ASSERT(kind_ == Kind::Number, "Json: not a number");
+    return num_;
+}
+
+const std::string &
+Json::asString() const
+{
+    SS_ASSERT(kind_ == Kind::String, "Json: not a string");
+    return str_;
+}
+
+const Json::Array &
+Json::asArray() const
+{
+    SS_ASSERT(kind_ == Kind::Array, "Json: not an array");
+    return arr_;
+}
+
+const Json::Object &
+Json::asObject() const
+{
+    SS_ASSERT(kind_ == Kind::Object, "Json: not an object");
+    return obj_;
+}
+
+Json &
+Json::push(Json v)
+{
+    SS_ASSERT(kind_ == Kind::Array, "Json::push on a non-array");
+    arr_.push_back(std::move(v));
+    return *this;
+}
+
+Json &
+Json::set(const std::string &key, Json v)
+{
+    SS_ASSERT(kind_ == Kind::Object, "Json::set on a non-object");
+    for (auto &[k, old] : obj_) {
+        if (k == key) {
+            old = std::move(v);
+            return *this;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+    return *this;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const Json *
+Json::at(const std::string &dotted) const
+{
+    const Json *cur = this;
+    std::size_t pos = 0;
+    while (pos <= dotted.size()) {
+        std::size_t dot = dotted.find('.', pos);
+        std::string key = dotted.substr(
+            pos, dot == std::string::npos ? std::string::npos
+                                          : dot - pos);
+        cur = cur->find(key);
+        if (!cur)
+            return nullptr;
+        if (dot == std::string::npos)
+            return cur;
+        pos = dot + 1;
+    }
+    return nullptr;
+}
+
+std::size_t
+Json::size() const
+{
+    if (kind_ == Kind::Array)
+        return arr_.size();
+    if (kind_ == Kind::Object)
+        return obj_.size();
+    return 0;
+}
+
+namespace {
+
+void
+writeString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+writeNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        // JSON has no Infinity/NaN; null is the conventional stand-in.
+        out += "null";
+        return;
+    }
+    double r = std::floor(v);
+    if (r == v && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        out += buf;
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+void
+newlineIndent(std::string &out, int indent, int depth)
+{
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) *
+                   static_cast<std::size_t>(depth),
+               ' ');
+}
+
+} // namespace
+
+void
+Json::write(std::string &out, int indent, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Number:
+        writeNumber(out, num_);
+        break;
+      case Kind::String:
+        writeString(out, str_);
+        break;
+      case Kind::Array: {
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                out += ',';
+            if (indent >= 0)
+                newlineIndent(out, indent, depth + 1);
+            arr_[i].write(out, indent, depth + 1);
+        }
+        if (indent >= 0)
+            newlineIndent(out, indent, depth);
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                out += ',';
+            if (indent >= 0)
+                newlineIndent(out, indent, depth + 1);
+            writeString(out, obj_[i].first);
+            out += indent >= 0 ? ": " : ":";
+            obj_[i].second.write(out, indent, depth + 1);
+        }
+        if (indent >= 0)
+            newlineIndent(out, indent, depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    write(out, indent, 0);
+    return out;
+}
+
+// ------------------------------------------------------------- parser
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Json
+    document()
+    {
+        Json v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing data after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        SS_FATAL("JSON parse error at offset ", pos_, ": ", what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consume(const char *lit)
+    {
+        std::size_t n = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Json
+    value()
+    {
+        skipWs();
+        char c = peek();
+        switch (c) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return Json(string());
+          case 't':
+            if (!consume("true"))
+                fail("bad literal");
+            return Json(true);
+          case 'f':
+            if (!consume("false"))
+                fail("bad literal");
+            return Json(false);
+          case 'n':
+            if (!consume("null"))
+                fail("bad literal");
+            return Json(nullptr);
+          default:
+            return number();
+        }
+    }
+
+    Json
+    object()
+    {
+        expect('{');
+        Json out = Json::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return out;
+        }
+        while (true) {
+            skipWs();
+            if (peek() != '"')
+                fail("object key must be a string");
+            std::string key = string();
+            skipWs();
+            expect(':');
+            out.set(key, value());
+            skipWs();
+            char c = peek();
+            ++pos_;
+            if (c == '}')
+                return out;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    Json
+    array()
+    {
+        expect('[');
+        Json out = Json::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return out;
+        }
+        while (true) {
+            out.push(value());
+            skipWs();
+            char c = peek();
+            ++pos_;
+            if (c == ']')
+                return out;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs
+                // are passed through as two separate 3-byte units —
+                // our telemetry never emits them).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    Json
+    number()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (pos_ >= text_.size() || !std::isdigit(
+                static_cast<unsigned char>(text_[pos_])))
+            fail("malformed number");
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        std::size_t used = 0;
+        double v = 0.0;
+        const std::string tok = text_.substr(start, pos_ - start);
+        try {
+            v = std::stod(tok, &used);
+        } catch (...) {
+            fail("malformed number");
+        }
+        if (used != tok.size())
+            fail("malformed number");
+        return Json(v);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    Parser p(text);
+    return p.document();
+}
+
+bool
+Json::operator==(const Json &other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null: return true;
+      case Kind::Bool: return bool_ == other.bool_;
+      case Kind::Number: return num_ == other.num_;
+      case Kind::String: return str_ == other.str_;
+      case Kind::Array: return arr_ == other.arr_;
+      case Kind::Object: return obj_ == other.obj_;
+    }
+    return false;
+}
+
+} // namespace ilp

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <unordered_set>
 
 namespace ilp {
 
@@ -11,7 +13,64 @@ namespace {
 std::atomic<bool> throws{false};
 std::atomic<std::size_t> warnings{0};
 
+/** Active SS_DEBUG channels; `debug_any` short-circuits the common
+ *  all-disabled case to one atomic load per query. */
+std::mutex debug_mutex;
+std::unordered_set<std::string> debug_flags;
+bool debug_all = false;
+std::atomic<bool> debug_any{false};
+std::atomic<bool> debug_initialized{false};
+
+void
+parseDebugFlags(const std::string &csv)
+{
+    debug_flags.clear();
+    debug_all = false;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        std::string flag = csv.substr(
+            pos,
+            comma == std::string::npos ? std::string::npos
+                                       : comma - pos);
+        if (!flag.empty()) {
+            if (flag == "all")
+                debug_all = true;
+            debug_flags.insert(flag);
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    debug_any.store(debug_all || !debug_flags.empty());
+}
+
 } // namespace
+
+void
+setDebugFlags(const std::string &csv)
+{
+    std::lock_guard<std::mutex> lock(debug_mutex);
+    parseDebugFlags(csv);
+    debug_initialized.store(true);
+}
+
+bool
+debugFlagEnabled(const char *flag)
+{
+    if (!debug_initialized.load()) {
+        std::lock_guard<std::mutex> lock(debug_mutex);
+        if (!debug_initialized.load()) {
+            const char *env = std::getenv("SSIM_DEBUG");
+            parseDebugFlags(env ? env : "");
+            debug_initialized.store(true);
+        }
+    }
+    if (!debug_any.load())
+        return false;
+    std::lock_guard<std::mutex> lock(debug_mutex);
+    return debug_all || debug_flags.count(flag) > 0;
+}
 
 void
 setLoggingThrows(bool enable)
@@ -64,6 +123,12 @@ void
 informImpl(const std::string &msg)
 {
     std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+debugImpl(const char *flag, const std::string &msg)
+{
+    std::fprintf(stderr, "debug[%s]: %s\n", flag, msg.c_str());
 }
 
 } // namespace detail

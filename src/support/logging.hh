@@ -8,6 +8,10 @@
  *            (bad machine description, malformed source).  Exits(1).
  * warn()   — something is modelled approximately; keep going.
  * inform() — plain status output.
+ * SS_DEBUG(flag, ...) — developer tracing on a named channel, enabled
+ *            at runtime via the SSIM_DEBUG environment variable
+ *            (comma-separated channels, e.g. SSIM_DEBUG=issue,cache;
+ *            "all" enables everything) or setDebugFlags().
  *
  * All of them accept printf-free, iostream-free formatting via a small
  * variadic string builder so call sites stay terse.
@@ -40,6 +44,7 @@ concat(Args &&...args)
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+void debugImpl(const char *flag, const std::string &msg);
 
 } // namespace detail
 
@@ -63,6 +68,16 @@ bool loggingThrows();
 /** Count of warnings emitted so far (tests assert on deltas). */
 std::size_t warnCount();
 
+/**
+ * Replace the active debug-channel set ("issue,cache", "all", or ""
+ * for none).  The set is otherwise initialized lazily from the
+ * SSIM_DEBUG environment variable on first query.
+ */
+void setDebugFlags(const std::string &csv);
+
+/** Is the named SS_DEBUG channel enabled? */
+bool debugFlagEnabled(const char *flag);
+
 } // namespace ilp
 
 #define SS_PANIC(...) \
@@ -78,6 +93,19 @@ std::size_t warnCount();
 
 #define SS_INFORM(...) \
     ::ilp::detail::informImpl(::ilp::detail::concat(__VA_ARGS__))
+
+/**
+ * Developer tracing on channel `flag` (a string literal).  The message
+ * is built only when the channel is enabled, so disabled channels cost
+ * one predicate call.
+ */
+#define SS_DEBUG(flag, ...) \
+    do { \
+        if (::ilp::debugFlagEnabled(flag)) { \
+            ::ilp::detail::debugImpl( \
+                flag, ::ilp::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
 
 /** Assert an internal invariant; compiled in all build types. */
 #define SS_ASSERT(cond, ...) \
