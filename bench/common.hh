@@ -4,6 +4,11 @@
  * Each binary regenerates one table or figure of the paper as an
  * aligned text table (absolute values are ours; the *shape* is what
  * reproduces — see EXPERIMENTS.md).
+ *
+ * Sweep cells fan out across bench::sweeper() (job count from
+ * SSIM_JOBS, default all cores); results are merged in cell order
+ * after the barrier, so parallel output is byte-identical to a
+ * serial run (see docs/parallel-sweeps.md).
  */
 
 #ifndef SUPERSYM_BENCH_COMMON_HH
@@ -12,11 +17,19 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
+
 #include "core/machine/models.hh"
 #include "core/study/experiment.hh"
+#include "core/study/sweep.hh"
 #include "support/json.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
@@ -33,6 +46,14 @@ banner(const std::string &artifact, const std::string &caption)
                 " Shapes, not absolute values, are the target.)\n\n");
 }
 
+/** The bench-wide worker pool (SSIM_JOBS, default all cores). */
+inline const SweepRunner &
+sweeper()
+{
+    static const SweepRunner runner;
+    return runner;
+}
+
 // ------------------------------------------- stats trajectory (opt-in)
 //
 // When SSIM_BENCH_STATS names a file, bench binaries append stats
@@ -40,6 +61,13 @@ banner(const std::string &artifact, const std::string &caption)
 // {artifact, label, stats} entries (the BENCH_*.json trajectory).
 // Future perf PRs diff these entries to prove where cycles went.
 // Unset, everything below is a no-op and runs collect nothing.
+//
+// Appends are safe under concurrency: a process-local mutex covers
+// bench worker threads, an advisory flock() covers parallel bench
+// *processes*, and the file is replaced via temp-file + atomic rename
+// so readers never observe a half-written array.  A corrupt or
+// truncated trajectory (e.g. from a killed run) is preserved under
+// `.bak` and the trajectory restarts rather than aborting the bench.
 
 /** Path of the trajectory file, or nullptr when disabled. */
 inline const char *
@@ -69,16 +97,46 @@ appendStatsTrajectory(const std::string &artifact,
     if (!path)
         return;
 
+    static std::mutex mu;
+    std::lock_guard<std::mutex> lock(mu);
+
+    int lock_fd = -1;
+#if defined(__unix__) || defined(__APPLE__)
+    const std::string lock_path = std::string(path) + ".lock";
+    lock_fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                     0644);
+    if (lock_fd >= 0)
+        ::flock(lock_fd, LOCK_EX);
+#endif
+
     Json doc = Json::array();
-    std::ifstream in(path);
-    if (in) {
-        std::ostringstream ss;
-        ss << in.rdbuf();
-        if (!ss.str().empty())
-            doc = Json::parse(ss.str());
+    {
+        std::ifstream in(path);
+        if (in) {
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            const std::string text = ss.str();
+            Json parsed;
+            std::string error;
+            if (text.empty()) {
+                // fresh file: start a new array
+            } else if (Json::tryParse(text, parsed, &error) &&
+                       parsed.isArray()) {
+                doc = std::move(parsed);
+            } else {
+                const std::string bak = std::string(path) + ".bak";
+                std::rename(path, bak.c_str());
+                std::fprintf(stderr,
+                             "warning: stats trajectory %s unreadable"
+                             " (%s); preserved as %s, starting "
+                             "fresh\n",
+                             path,
+                             error.empty() ? "not a JSON array"
+                                           : error.c_str(),
+                             bak.c_str());
+            }
+        }
     }
-    if (!doc.isArray())
-        doc = Json::array();
 
     Json entry = Json::object();
     entry.set("artifact", Json(artifact));
@@ -86,9 +144,32 @@ appendStatsTrajectory(const std::string &artifact,
     entry.set("stats", snapshot.root);
     doc.push(std::move(entry));
 
-    std::ofstream out(path);
-    if (out)
+    const std::string tmp = std::string(path) + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr,
+                         "warning: cannot write stats trajectory "
+                         "%s\n",
+                         tmp.c_str());
+#if defined(__unix__) || defined(__APPLE__)
+            if (lock_fd >= 0) {
+                ::flock(lock_fd, LOCK_UN);
+                ::close(lock_fd);
+            }
+#endif
+            return;
+        }
         out << doc.dump(2) << "\n";
+    }
+    std::rename(tmp.c_str(), path);
+
+#if defined(__unix__) || defined(__APPLE__)
+    if (lock_fd >= 0) {
+        ::flock(lock_fd, LOCK_UN);
+        ::close(lock_fd);
+    }
+#endif
 }
 
 } // namespace ilp::bench

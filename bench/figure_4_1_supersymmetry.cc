@@ -16,6 +16,9 @@ main()
     bench::banner("Figure 4-1",
                   "speedup vs degree, superscalar vs superpipelined");
 
+    // harmonicSpeedup fans the eight benchmarks out across the
+    // study's own worker pool, so the degree loop stays serial here
+    // (nesting pools would oversubscribe).
     Study study;
     Table t;
     t.setHeader({"degree", "superscalar", "superpipelined",
@@ -37,15 +40,21 @@ main()
 
     // With SSIM_BENCH_STATS set, record one full snapshot per
     // benchmark on the headline ss4 machine so perf PRs can diff
-    // stall attribution across revisions.
+    // stall attribution across revisions.  The runs fan out across
+    // the pool; appends follow serially in suite order so the
+    // trajectory is deterministic under any job count.
     if (bench::statsTrajectoryPath()) {
-        for (const auto &w : allWorkloads()) {
-            CompileOptions o = defaultCompileOptions(w);
-            RunOutcome out = runWorkload(w, idealSuperscalar(4), o,
-                                         bench::benchTelemetry());
-            bench::appendStatsTrajectory("Figure 4-1",
-                                         w.name + "@ss4", out.stats);
-        }
+        const auto &suite = allWorkloads();
+        std::vector<RunOutcome> outs =
+            bench::sweeper().map<RunOutcome>(
+                suite.size(), [&](std::size_t i) {
+                    return runWorkload(suite[i], idealSuperscalar(4),
+                                       defaultCompileOptions(suite[i]),
+                                       bench::benchTelemetry());
+                });
+        for (std::size_t i = 0; i < suite.size(); ++i)
+            bench::appendStatsTrajectory(
+                "Figure 4-1", suite[i].name + "@ss4", outs[i].stats);
     }
     return 0;
 }

@@ -18,13 +18,27 @@ main()
                   "per-benchmark parallelism vs issue multiplicity");
 
     Study study;
+    const auto &suite = allWorkloads();
+
+    // Every (benchmark, degree) cell fans out across the pool; the
+    // table is filled from the index-ordered results, so output is
+    // byte-identical at any SSIM_JOBS.
+    const std::size_t cells = suite.size() * kMaxDegree;
+    std::vector<double> speedup = bench::sweeper().map<double>(
+        cells, [&](std::size_t i) {
+            const Workload &w = suite[i / kMaxDegree];
+            const int d = static_cast<int>(i % kMaxDegree) + 1;
+            return study.speedup(w, idealSuperscalar(d));
+        });
+
     Table t;
     std::vector<std::string> header{"benchmark"};
     for (int d = 1; d <= kMaxDegree; ++d)
         header.push_back("n=" + std::to_string(d));
     t.setHeader(header);
 
-    for (const auto &w : allWorkloads()) {
+    for (std::size_t wi = 0; wi < suite.size(); ++wi) {
+        const Workload &w = suite[wi];
         auto &row = t.row();
         row.cell(w.name + (w.defaultUnroll > 1
                                ? ".unroll" +
@@ -32,7 +46,9 @@ main()
                                      "x"
                                : ""));
         for (int d = 1; d <= kMaxDegree; ++d)
-            row.cell(study.speedup(w, idealSuperscalar(d)), 2);
+            row.cell(speedup[wi * kMaxDegree +
+                             static_cast<std::size_t>(d - 1)],
+                     2);
     }
     t.print();
     std::printf("\npaper: yacc has the least parallelism (1.6); ccom, "
@@ -40,5 +56,22 @@ main()
                 "approaches 2.5 and linpack.unroll4x reaches 3.2 —\n"
                 "\"a factor of two difference ... but the ceiling is "
                 "still quite low\" (§4.3).\n");
+
+    // With SSIM_BENCH_STATS set, record one full snapshot per
+    // benchmark on the headline ss4 machine.  The runs fan out; the
+    // appends happen serially afterwards so the trajectory order is
+    // deterministic.
+    if (bench::statsTrajectoryPath()) {
+        std::vector<RunOutcome> outs =
+            bench::sweeper().map<RunOutcome>(
+                suite.size(), [&](std::size_t i) {
+                    return runWorkload(suite[i], idealSuperscalar(4),
+                                       defaultCompileOptions(suite[i]),
+                                       bench::benchTelemetry());
+                });
+        for (std::size_t i = 0; i < suite.size(); ++i)
+            bench::appendStatsTrajectory(
+                "Figure 4-5", suite[i].name + "@ss4", outs[i].stats);
+    }
     return 0;
 }

@@ -34,19 +34,30 @@ main()
     bench::banner("Figure 4-6", "parallelism vs loop unrolling");
 
     Study study;
+    const Workload &linpack = workloadByName("linpack");
+    const Workload &livermore = workloadByName("livermore");
+    const std::vector<int> factors{1, 2, 4, 6, 8, 10};
+
+    // 6 factors x 4 (benchmark, mode) columns = 24 independent cells.
+    std::vector<double> cells = bench::sweeper().map<double>(
+        factors.size() * 4, [&](std::size_t i) {
+            const int u = factors[i / 4];
+            const Workload &w = (i % 4 < 2) ? linpack : livermore;
+            const bool careful = (i % 2) == 1;
+            return parallelism(study, w, u, careful);
+        });
+
     Table t;
     t.setHeader({"iterations unrolled", "linpack naive",
                  "linpack careful", "livermore naive",
                  "livermore careful"});
-    const Workload &linpack = workloadByName("linpack");
-    const Workload &livermore = workloadByName("livermore");
-    for (int u : {1, 2, 4, 6, 8, 10}) {
+    for (std::size_t fi = 0; fi < factors.size(); ++fi) {
         t.row()
-            .cell(static_cast<long long>(u))
-            .cell(parallelism(study, linpack, u, false), 2)
-            .cell(parallelism(study, linpack, u, true), 2)
-            .cell(parallelism(study, livermore, u, false), 2)
-            .cell(parallelism(study, livermore, u, true), 2);
+            .cell(static_cast<long long>(factors[fi]))
+            .cell(cells[fi * 4 + 0], 2)
+            .cell(cells[fi * 4 + 1], 2)
+            .cell(cells[fi * 4 + 2], 2)
+            .cell(cells[fi * 4 + 3], 2);
     }
     t.print();
     std::printf(

@@ -18,19 +18,30 @@ main()
     bench::banner("Figure 4-8", "parallelism vs optimization level");
 
     Study study;
+    const auto &suite = allWorkloads();
+    constexpr int kLevels = 5;
+
+    // 8 benchmarks x 5 cumulative levels = 40 independent cells.
+    std::vector<double> cells = bench::sweeper().map<double>(
+        suite.size() * kLevels, [&](std::size_t i) {
+            const Workload &w = suite[i / kLevels];
+            CompileOptions o = defaultCompileOptions(w);
+            o.level = static_cast<OptLevel>(i % kLevels);
+            o.layout.numTemp = 16;
+            o.layout.numHome = 26;
+            return study.availableParallelism(w, o, 8);
+        });
+
     Table t;
     t.setHeader({"benchmark", "none", "+sched", "+local", "+global",
                  "+regalloc"});
-    for (const auto &w : allWorkloads()) {
+    for (std::size_t wi = 0; wi < suite.size(); ++wi) {
         auto &row = t.row();
-        row.cell(w.name);
-        for (int level = 0; level <= 4; ++level) {
-            CompileOptions o = defaultCompileOptions(w);
-            o.level = static_cast<OptLevel>(level);
-            o.layout.numTemp = 16;
-            o.layout.numHome = 26;
-            row.cell(study.availableParallelism(w, o, 8), 2);
-        }
+        row.cell(suite[wi].name);
+        for (int level = 0; level < kLevels; ++level)
+            row.cell(cells[wi * kLevels +
+                           static_cast<std::size_t>(level)],
+                     2);
     }
     t.print();
     std::printf(

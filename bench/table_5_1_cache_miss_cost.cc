@@ -56,37 +56,56 @@ main()
     meas.setHeader({"benchmark", "data refs/instr", "miss ratio",
                     "miss cpi", "ideal 3-issue speedup",
                     "with miss burden"});
-    for (const auto &w : allWorkloads()) {
-        CompileOptions o = defaultCompileOptions(w);
-        Module m = compileWorkload(w.source, idealSuperscalar(3), o);
+    struct MeasuredRow
+    {
+        double refsPerInstr = 0.0;
+        double missRatio = 0.0;
+        double missCpi = 0.0;
+        double issueCpiWide = 0.0;
+        double diluted = 0.0;
+    };
+    const auto &suite = allWorkloads();
+    // Each benchmark's compile + traced cache/issue run is an
+    // independent cell; rows are emitted in suite order afterwards.
+    std::vector<MeasuredRow> rows = bench::sweeper().map<MeasuredRow>(
+        suite.size(), [&](std::size_t i) {
+            const Workload &w = suite[i];
+            CompileOptions o = defaultCompileOptions(w);
+            Module m =
+                compileWorkload(w.source, idealSuperscalar(3), o);
 
-        CacheConfig cc;
-        cc.sizeBytes = 64 * 1024;
-        cc.lineBytes = 32;
-        cc.associativity = 1;
-        CacheSink cache(cc);
-        IssueEngine engine(idealSuperscalar(3));
-        TeeSink tee;
-        tee.addSink(&cache);
-        tee.addSink(&engine);
-        Interpreter interp(m);
-        RunResult r = interp.run("main", &tee);
+            CacheConfig cc;
+            cc.sizeBytes = 64 * 1024;
+            cc.lineBytes = 32;
+            cc.associativity = 1;
+            CacheSink cache(cc);
+            IssueEngine engine(idealSuperscalar(3));
+            TeeSink tee;
+            tee.addSink(&cache);
+            tee.addSink(&engine);
+            Interpreter interp(m);
+            RunResult r = interp.run("main", &tee);
 
-        double refs_per_instr =
-            static_cast<double>(cache.cache().accesses()) /
-            static_cast<double>(r.instructions);
-        double miss_cpi = cache.missesPerInstr() * 12.0;
-        double issue_cpi_wide =
-            engine.baseCycles() / static_cast<double>(r.instructions);
-        double diluted =
-            speedupWithMissBurden(1.0, issue_cpi_wide, miss_cpi);
+            MeasuredRow row;
+            row.refsPerInstr =
+                static_cast<double>(cache.cache().accesses()) /
+                static_cast<double>(r.instructions);
+            row.missRatio = cache.cache().missRatio();
+            row.missCpi = cache.missesPerInstr() * 12.0;
+            row.issueCpiWide = engine.baseCycles() /
+                               static_cast<double>(r.instructions);
+            row.diluted = speedupWithMissBurden(1.0, row.issueCpiWide,
+                                                row.missCpi);
+            return row;
+        });
+    for (std::size_t i = 0; i < suite.size(); ++i) {
         meas.row()
-            .cell(w.name)
-            .cell(refs_per_instr, 2)
-            .cell(cache.cache().missRatio(), 4)
-            .cell(miss_cpi, 3)
-            .cell(1.0 / issue_cpi_wide, 2)
-            .cell(diluted, 2);
+            .cell(suite[i].name)
+            .cell(rows[i].refsPerInstr, 2)
+            .cell(rows[i].missRatio, 4)
+            .cell(rows[i].missCpi, 3)
+            .cell(1.0 / rows[i].issueCpiWide, 2)
+            .cell(rows[i].diluted, 2);
     }
     meas.print();
     std::printf(

@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include "core/study/driver.hh"
+#include "core/study/experiment.hh"
+#include "core/study/sweep.hh"
 #include "core/machine/models.hh"
 #include "sim/interp.hh"
 #include "sim/issue.hh"
@@ -72,6 +74,54 @@ BM_TimingSimulation(benchmark::State &state)
         static_cast<double>(instrs), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_TimingSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_CompileCacheHit(benchmark::State &state)
+{
+    // Steady-state cost of a shared compilation lookup (one compile,
+    // then all hits).
+    const Workload &w = wl();
+    CompileOptions o = defaultCompileOptions(w);
+    CompileCache cache;
+    cache.compile(w, idealSuperscalar(4), o);
+    for (auto _ : state) {
+        std::shared_ptr<const Module> m =
+            cache.compile(w, idealSuperscalar(4), o);
+        benchmark::DoNotOptimize(m.get());
+    }
+    state.counters["hit_rate"] =
+        static_cast<double>(cache.hits()) /
+        static_cast<double>(cache.hits() + cache.misses());
+}
+BENCHMARK(BM_CompileCacheHit);
+
+void
+BM_ParallelSweep(benchmark::State &state)
+{
+    // A figure-4-5-shaped sweep slice (2 workloads x degrees 1..4) at
+    // Arg jobs (0 = all cores).  A fresh Study per iteration keeps
+    // the compile cache cold, so this measures the full
+    // compile+simulate pipeline under the worker pool.
+    const std::vector<const Workload *> wls{
+        &workloadByName("yacc"), &workloadByName("whet")};
+    for (auto _ : state) {
+        Study study(static_cast<int>(state.range(0)));
+        std::vector<double> cells =
+            study.runner().map<double>(wls.size() * 4,
+                                       [&](std::size_t i) {
+                return study.speedup(
+                    *wls[i / 4],
+                    idealSuperscalar(static_cast<int>(i % 4) + 1));
+            });
+        benchmark::DoNotOptimize(cells.data());
+    }
+    state.counters["jobs"] = static_cast<double>(
+        SweepRunner(static_cast<int>(state.range(0))).jobs());
+}
+BENCHMARK(BM_ParallelSweep)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_ListScheduler(benchmark::State &state)

@@ -30,4 +30,21 @@ TRACE_JSON="$BUILD_DIR/check_trace.json"
 "$BUILD_DIR/src/cli/ssim" check-json "$STATS_JSON"
 "$BUILD_DIR/src/cli/ssim" check-json "$TRACE_JSON"
 
+echo "== parallel sweep smoke =="
+# A bench sweep must be byte-identical serial vs parallel, and the
+# stats trajectory written under SSIM_JOBS>1 must stay valid JSON.
+SWEEP_SERIAL="$BUILD_DIR/check_sweep_serial.txt"
+SWEEP_PAR="$BUILD_DIR/check_sweep_parallel.txt"
+TRAJ_JSON="$BUILD_DIR/check_trajectory.json"
+rm -f "$TRAJ_JSON" "$TRAJ_JSON.bak" "$TRAJ_JSON.lock"
+SSIM_JOBS=1 "$BUILD_DIR/bench/figure_4_5_per_benchmark" \
+    > "$SWEEP_SERIAL"
+SSIM_JOBS="$JOBS" SSIM_BENCH_STATS="$TRAJ_JSON" \
+    "$BUILD_DIR/bench/figure_4_5_per_benchmark" > "$SWEEP_PAR"
+cmp "$SWEEP_SERIAL" "$SWEEP_PAR"
+"$BUILD_DIR/src/cli/ssim" check-json "$TRAJ_JSON"
+SSIM_JOBS=2 "$BUILD_DIR/src/cli/ssim" suite --machine ss4 \
+    --stats-json "$STATS_JSON" > /dev/null
+"$BUILD_DIR/src/cli/ssim" check-json "$STATS_JSON"
+
 echo "== OK =="

@@ -19,6 +19,8 @@
  *   --alias LEVEL    conservative|arrays|symbols|careful|heroic
  *   --temps N        expression temp registers      (default 16)
  *   --homes N        home registers                 (default 26)
+ *   --jobs N         sweep worker threads for ilp/suite
+ *                    (default: SSIM_JOBS, then all cores)
  *
  * Observability (run/suite; see docs/observability.md):
  *   --stats            print the full stats tree after the run
@@ -27,6 +29,8 @@
  *   --trace-limit N    cap recorded issue events  (default 100000)
  */
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +41,7 @@
 
 #include "core/machine/models.hh"
 #include "core/study/experiment.hh"
+#include "core/study/sweep.hh"
 #include "core/study/telemetry.hh"
 #include "ir/printer.hh"
 #include "support/json.hh"
@@ -58,10 +63,50 @@ usage()
         "       ssim check-json FILE\n"
         "options: --machine NAME --level 0..4 --unroll N --careful\n"
         "         --alias conservative|arrays|symbols|careful|heroic\n"
-        "         --temps N --homes N\n"
+        "         --temps N --homes N --jobs N\n"
         "         --stats --stats-json FILE --trace-events FILE\n"
         "         --trace-limit N\n");
     std::exit(2);
+}
+
+/**
+ * Checked integer parsing for CLI values: the whole token must be a
+ * decimal integer in [lo, hi].  Anything else names the offending
+ * flag and value on stderr and exits nonzero — no silent atoi()
+ * clamping of garbage to a default.
+ */
+long
+parseIntOption(const char *flag, const std::string &value, long lo,
+               long hi)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (value.empty() || end == value.c_str() || *end != '\0' ||
+        errno == ERANGE || parsed < lo || parsed > hi) {
+        std::fprintf(stderr,
+                     "ssim: invalid value '%s' for %s (expected an "
+                     "integer in [%ld, %ld])\n",
+                     value.c_str(), flag, lo, hi);
+        std::exit(2);
+    }
+    return parsed;
+}
+
+/** Checked parse of the numeric part of a machine spec (ssN, spM,
+ *  ssNxM, conflictsN). */
+int
+parseMachineNumber(const std::string &machine, const std::string &num)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(num.c_str(), &end, 10);
+    if (num.empty() || end == num.c_str() || *end != '\0' ||
+        errno == ERANGE || parsed < 1 || parsed > 64) {
+        SS_FATAL("bad machine spec '", machine, "': '", num,
+                 "' is not an integer in [1, 64]");
+    }
+    return static_cast<int>(parsed);
 }
 
 std::string
@@ -86,19 +131,18 @@ parseMachine(const std::string &name)
         return cray1();
     if (name.rfind("conflicts", 0) == 0)
         return superscalarWithClassConflicts(
-            std::max(1, std::atoi(name.c_str() + 9)));
+            parseMachineNumber(name, name.substr(9)));
     if (name.rfind("ss", 0) == 0) {
         std::size_t x = name.find('x');
         if (x != std::string::npos) {
-            int n = std::atoi(name.substr(2, x - 2).c_str());
-            int m = std::atoi(name.substr(x + 1).c_str());
-            return superpipelinedSuperscalar(std::max(1, n),
-                                             std::max(1, m));
+            int n = parseMachineNumber(name, name.substr(2, x - 2));
+            int m = parseMachineNumber(name, name.substr(x + 1));
+            return superpipelinedSuperscalar(n, m);
         }
-        return idealSuperscalar(std::max(1, std::atoi(name.c_str() + 2)));
+        return idealSuperscalar(parseMachineNumber(name, name.substr(2)));
     }
     if (name.rfind("sp", 0) == 0)
-        return superpipelined(std::max(1, std::atoi(name.c_str() + 2)));
+        return superpipelined(parseMachineNumber(name, name.substr(2)));
     SS_FATAL("unknown machine '", name,
              "' (try: base ss4 sp4 ss2x2 multititan cray1 conflicts4)");
 }
@@ -130,6 +174,8 @@ struct Cli
     std::string statsJsonPath;
     std::string traceEventsPath;
     std::size_t traceLimit = 100000;
+    /** Sweep workers for ilp/suite; 0 = SSIM_JOBS, then all cores. */
+    int jobs = 0;
 
     /** Telemetry derived from the flags above. */
     RunTelemetryOptions
@@ -177,10 +223,10 @@ parseArgs(int argc, char **argv)
             cli.machine = parseMachine(next());
         else if (arg == "--level")
             cli.options.level = static_cast<OptLevel>(
-                std::max(0, std::min(4, std::atoi(next().c_str()))));
+                parseIntOption("--level", next(), 0, 4));
         else if (arg == "--unroll")
-            cli.options.unroll.factor =
-                std::max(1, std::atoi(next().c_str()));
+            cli.options.unroll.factor = static_cast<int>(
+                parseIntOption("--unroll", next(), 1, 64));
         else if (arg == "--careful") {
             cli.options.unroll.careful = true;
             cli.options.alias = AliasLevel::Heroic;
@@ -188,25 +234,22 @@ parseArgs(int argc, char **argv)
             cli.options.alias = parseAlias(next());
         else if (arg == "--temps")
             cli.options.layout.numTemp = static_cast<std::uint32_t>(
-                std::max(2, std::atoi(next().c_str())));
+                parseIntOption("--temps", next(), 2, 4096));
         else if (arg == "--homes")
             cli.options.layout.numHome = static_cast<std::uint32_t>(
-                std::max(0, std::atoi(next().c_str())));
+                parseIntOption("--homes", next(), 0, 4096));
+        else if (arg == "--jobs")
+            cli.jobs = static_cast<int>(
+                parseIntOption("--jobs", next(), 1, 4096));
         else if (arg == "--stats")
             cli.stats = true;
         else if (arg == "--stats-json")
             cli.statsJsonPath = next();
         else if (arg == "--trace-events")
             cli.traceEventsPath = next();
-        else if (arg == "--trace-limit") {
-            const std::string value = next();
-            char *end = nullptr;
-            const unsigned long long parsed =
-                std::strtoull(value.c_str(), &end, 10);
-            if (value.empty() || end == nullptr || *end != '\0')
-                usage();
-            cli.traceLimit = static_cast<std::size_t>(parsed);
-        }
+        else if (arg == "--trace-limit")
+            cli.traceLimit = static_cast<std::size_t>(parseIntOption(
+                "--trace-limit", next(), 0, LONG_MAX));
         else
             usage();
     }
@@ -279,14 +322,21 @@ cmdIlp(const Cli &cli)
 {
     Workload w{cli.file, "user program", readFile(cli.file), 0, false,
                1};
-    Study study;
+    // One cell per degree; the study's compile cache shares the base
+    // compile and its future-based memo keeps the sweep race-free.
+    Study study(cli.jobs);
+    std::vector<double> speedups = study.runner().map<double>(
+        8, [&](std::size_t i) {
+            return study.speedup(
+                w, idealSuperscalar(static_cast<int>(i) + 1),
+                cli.options);
+        });
     Table t("Available parallelism (ideal superscalar sweep):");
     t.setHeader({"degree", "speedup"});
     for (int d = 1; d <= 8; ++d)
         t.row()
             .cell(static_cast<long long>(d))
-            .cell(study.speedup(w, idealSuperscalar(d), cli.options),
-                  3);
+            .cell(speedups[static_cast<std::size_t>(d - 1)], 3);
     t.print();
     return 0;
 }
@@ -333,18 +383,39 @@ cmdSuite(const Cli &cli)
     Json benchmarks = Json::array();
     const bool want_json = !cli.statsJsonPath.empty();
     RunTelemetryOptions telemetry = cli.telemetry();
-    for (const auto &w : allWorkloads()) {
-        CompileOptions o = cli.options;
-        o.unroll.factor =
-            std::max(o.unroll.factor, w.defaultUnroll);
-        RunOutcome base = runWorkload(w, baseMachine(), o);
-        RunOutcome out = runWorkload(w, cli.machine, o, telemetry);
+
+    // One cell per benchmark (base run + machine run); table rows,
+    // stats dumps, and the JSON document are assembled serially from
+    // the index-ordered results after the barrier, so the output is
+    // byte-identical at any --jobs.
+    struct SuiteCell
+    {
+        RunOutcome base;
+        RunOutcome out;
+    };
+    const auto &suite = allWorkloads();
+    SweepRunner runner(cli.jobs);
+    std::vector<SuiteCell> cells = runner.map<SuiteCell>(
+        suite.size(), [&](std::size_t i) {
+            const Workload &w = suite[i];
+            CompileOptions o = cli.options;
+            o.unroll.factor =
+                std::max(o.unroll.factor, w.defaultUnroll);
+            SuiteCell c;
+            c.base = runWorkload(w, baseMachine(), o);
+            c.out = runWorkload(w, cli.machine, o, telemetry);
+            return c;
+        });
+
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const Workload &w = suite[i];
+        const RunOutcome &out = cells[i].out;
         t.row()
             .cell(w.name)
             .cell(static_cast<long long>(out.instructions))
             .cell(out.cycles, 0)
             .cell(out.ipc(), 2)
-            .cell(base.cycles / out.cycles, 2);
+            .cell(cells[i].base.cycles / out.cycles, 2);
         if (cli.stats) {
             std::printf("--- %s ---\n", w.name.c_str());
             printStatsTree(out.stats.root, "");

@@ -84,8 +84,13 @@ struct RunOutcome
     /** Compile telemetry (filled by runWorkload with collectStats). */
     CompileTelemetry compile;
 
-    /** Instructions per base cycle (the exploited parallelism). */
-    double ipc() const { return instructions / cycles; }
+    /** Instructions per base cycle (the exploited parallelism).
+     *  A run that never advanced the clock (cycles == 0) reports 0
+     *  rather than inf/NaN, so downstream JSON stays finite. */
+    double ipc() const
+    {
+        return cycles > 0.0 ? instructions / cycles : 0.0;
+    }
 };
 
 /** Execute an already-compiled module against a machine.  `compile`

@@ -22,13 +22,35 @@ double
 Study::baseCycles(const Workload &workload,
                   const CompileOptions &options)
 {
-    std::string key = fingerprint(workload, options);
-    auto it = base_cycles_.find(key);
-    if (it != base_cycles_.end())
-        return it->second;
-    RunOutcome out = runWorkload(workload, baseMachine(), options);
-    base_cycles_[key] = out.cycles;
-    return out.cycles;
+    const std::string key = fingerprint(workload, options);
+
+    // One producer per key: the first caller inserts a future and
+    // runs the base machine; concurrent callers block on the result
+    // instead of re-running it.
+    std::shared_future<double> future;
+    std::shared_ptr<std::promise<double>> fill;
+    {
+        std::lock_guard<std::mutex> lock(base_mu_);
+        auto it = base_cycles_.find(key);
+        if (it == base_cycles_.end()) {
+            fill = std::make_shared<std::promise<double>>();
+            future = fill->get_future().share();
+            base_cycles_.emplace(key, future);
+        } else {
+            future = it->second;
+        }
+    }
+    if (fill) {
+        try {
+            std::shared_ptr<const Module> module =
+                cache_.compile(workload, baseMachine(), options);
+            fill->set_value(
+                runOnMachine(*module, baseMachine()).cycles);
+        } catch (...) {
+            fill->set_exception(std::current_exception());
+        }
+    }
+    return future.get();
 }
 
 double
@@ -36,7 +58,9 @@ Study::speedup(const Workload &workload, const MachineConfig &machine,
                const CompileOptions &options)
 {
     double base = baseCycles(workload, options);
-    RunOutcome out = runWorkload(workload, machine, options);
+    std::shared_ptr<const Module> module =
+        cache_.compile(workload, machine, options);
+    RunOutcome out = runOnMachine(*module, machine);
     return base / out.cycles;
 }
 
@@ -49,9 +73,10 @@ Study::speedup(const Workload &workload, const MachineConfig &machine)
 double
 Study::harmonicSpeedup(const MachineConfig &machine)
 {
-    std::vector<double> values;
-    for (const auto &w : allWorkloads())
-        values.push_back(speedup(w, machine));
+    const auto &suite = allWorkloads();
+    std::vector<double> values = runner_.map<double>(
+        suite.size(),
+        [&](std::size_t i) { return speedup(suite[i], machine); });
     return harmonicMean(values);
 }
 

@@ -5,25 +5,40 @@
  * aggregation (§4.3 plots "the harmonic mean of all eight
  * benchmarks").
  *
- * Every point recompiles the workload *for the machine being
- * evaluated* (the paper's system reschedules per machine
- * specification) and re-runs the functional simulator; base-machine
+ * Every point reschedules the workload *for the machine being
+ * evaluated* (the paper's system recompiles per machine
+ * specification) and re-runs the functional simulator — but
+ * compilations are shared through a CompileCache, so two machines
+ * the compiler cannot tell apart reuse one Module, and base-machine
  * reference cycles are memoized per compile configuration.
+ *
+ * A Study is safe to use from many threads at once: the compile
+ * cache and the base-cycle memo are both future-based (one producer
+ * per key, everyone else blocks on the result), and each speedup
+ * evaluation runs in its own Interpreter/IssueEngine over the shared
+ * immutable Module.  harmonicSpeedup fans the eight benchmarks out
+ * across the study's own SweepRunner.
  */
 
 #ifndef SUPERSYM_CORE_STUDY_EXPERIMENT_HH
 #define SUPERSYM_CORE_STUDY_EXPERIMENT_HH
 
+#include <future>
 #include <map>
+#include <mutex>
 #include <string>
 
-#include "core/study/driver.hh"
+#include "core/study/sweep.hh"
 
 namespace ilp {
 
 class Study
 {
   public:
+    /** @param jobs Worker count for suite-level fan-out; <= 0
+     *  resolves via defaultSweepJobs() (SSIM_JOBS, then hardware). */
+    explicit Study(int jobs = 0) : runner_(jobs) {}
+
     /**
      * Base-machine elapsed cycles for a workload under a compile
      * configuration (memoized).  With unit latencies this equals the
@@ -45,7 +60,8 @@ class Study
     double speedup(const Workload &workload,
                    const MachineConfig &machine);
 
-    /** Harmonic mean of speedup() across the whole suite. */
+    /** Harmonic mean of speedup() across the whole suite, evaluated
+     *  benchmark-parallel on the study's worker pool. */
     double harmonicSpeedup(const MachineConfig &machine);
 
     /**
@@ -59,11 +75,21 @@ class Study
                                 const CompileOptions &options,
                                 int degree = 8);
 
+    /** The worker pool (for callers fanning out their own cells). */
+    const SweepRunner &runner() const { return runner_; }
+
+    /** Shared compilations (for hit accounting and stats export). */
+    CompileCache &compileCache() { return cache_; }
+    const CompileCache &compileCache() const { return cache_; }
+
   private:
     static std::string fingerprint(const Workload &workload,
                                    const CompileOptions &options);
 
-    std::map<std::string, double> base_cycles_;
+    SweepRunner runner_;
+    CompileCache cache_;
+    std::mutex base_mu_;
+    std::map<std::string, std::shared_future<double>> base_cycles_;
 };
 
 } // namespace ilp

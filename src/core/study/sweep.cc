@@ -1,0 +1,194 @@
+#include "core/study/sweep.hh"
+
+#include <cstdlib>
+#include <thread>
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+int
+defaultSweepJobs()
+{
+    if (const char *env = std::getenv("SSIM_JOBS"); env && *env) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end && *end == '\0' && v >= 1 && v <= 4096)
+            return static_cast<int>(v);
+        SS_WARN("SSIM_JOBS='", env,
+                "' is not a job count in [1, 4096]; using hardware "
+                "concurrency");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+SweepRunner::SweepRunner(int jobs)
+    : jobs_(jobs > 0 ? jobs : defaultSweepJobs())
+{
+}
+
+void
+SweepRunner::run(std::size_t count,
+                 const std::function<void(std::size_t)> &fn) const
+{
+    if (count == 0)
+        return;
+    const std::size_t workers =
+        std::min(static_cast<std::size_t>(jobs_), count);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+
+    auto body = [&]() {
+        while (!failed.load(std::memory_order_relaxed)) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(error_mu);
+                    if (!error)
+                        error = std::current_exception();
+                }
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t t = 1; t < workers; ++t)
+        pool.emplace_back(body);
+    body(); // the calling thread is worker 0
+    for (auto &th : pool)
+        th.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+// ------------------------------------------------------- CompileCache
+
+std::string
+CompileCache::key(const Workload &workload, const MachineConfig &machine,
+                  const CompileOptions &options)
+{
+    std::string k = workload.name;
+    k += '#';
+    k += std::to_string(workload.source.size());
+    k += '.';
+    k += std::to_string(std::hash<std::string>{}(workload.source));
+
+    k += "|o";
+    k += std::to_string(static_cast<int>(options.level));
+    k += '.';
+    k += std::to_string(options.unroll.factor);
+    k += options.unroll.careful ? 'c' : 'n';
+    k += std::to_string(static_cast<int>(options.alias));
+    k += '.';
+    k += std::to_string(options.layout.numTemp);
+    k += '.';
+    k += std::to_string(options.layout.numHome);
+
+    // Everything the compiler/scheduler can observe about the
+    // machine; deliberately not its name, so re-labelled variants of
+    // one specification share a compilation.
+    k += "|w";
+    k += std::to_string(machine.issueWidth);
+    k += 'm';
+    k += std::to_string(machine.pipelineDegree);
+    k += machine.issueAcrossBranches ? "b1" : "b0";
+    k += 'r';
+    k += std::to_string(machine.regs.numTemp);
+    k += '.';
+    k += std::to_string(machine.regs.numHome);
+    k += "|L";
+    for (int l : machine.latency) {
+        k += std::to_string(l);
+        k += ',';
+    }
+    k += "|U";
+    for (const FuncUnit &u : machine.units) {
+        k += 'x';
+        k += std::to_string(u.multiplicity);
+        k += 'i';
+        k += std::to_string(u.issueLatency);
+        k += 'c';
+        for (InstrClass c : u.classes) {
+            k += std::to_string(static_cast<int>(c));
+            k += '.';
+        }
+        k += ';';
+    }
+    return k;
+}
+
+std::shared_ptr<const Module>
+CompileCache::compile(const Workload &workload,
+                      const MachineConfig &machine,
+                      const CompileOptions &options,
+                      CompileTelemetry *telemetry)
+{
+    const std::string k = key(workload, machine, options);
+
+    std::shared_future<Compiled> future;
+    std::shared_ptr<std::promise<Compiled>> fill;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(k);
+        if (it == entries_.end()) {
+            fill = std::make_shared<std::promise<Compiled>>();
+            future = fill->get_future().share();
+            entries_.emplace(k, future);
+        } else {
+            future = it->second;
+        }
+    }
+
+    if (fill) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        try {
+            Compiled c;
+            c.module = std::make_shared<const Module>(compileWorkload(
+                workload.source, machine, options, &c.telemetry));
+            fill->set_value(std::move(c));
+        } catch (...) {
+            fill->set_exception(std::current_exception());
+        }
+    } else {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    const Compiled &c = future.get(); // rethrows a failed compile
+    if (telemetry)
+        *telemetry = c.telemetry;
+    return c.module;
+}
+
+std::size_t
+CompileCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+void
+CompileCache::exportStats(stats::Group &g) const
+{
+    g.counter("hits", "lookups served from the cache").inc(hits());
+    g.counter("misses", "lookups that compiled").inc(misses());
+    g.counter("entries", "distinct compilations held").inc(size());
+}
+
+} // namespace ilp

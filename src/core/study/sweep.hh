@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The parallel sweep engine.
+ *
+ * The paper's whole method is evaluating one (workload, compile
+ * options) pair across many machine specifications (§3–§4).  Every
+ * such sweep is embarrassingly parallel — cells share nothing but
+ * immutable inputs — and highly cache-friendly: cells that differ
+ * only in parameters the compiler cannot see (e.g. operation
+ * latencies with identical scheduling behaviour do differ, but two
+ * machines differing only in *name*) share a compilation.
+ *
+ * SweepRunner fans cell evaluations out over a fixed pool of
+ * std::thread workers pulling indices off an atomic queue; results
+ * land in an index-ordered vector, so consumers that fill tables or
+ * append trajectories after the barrier produce byte-identical
+ * output regardless of the job count.
+ *
+ * CompileCache shares compiled Modules between cells: one compilation
+ * per distinct (workload, compile options, scheduling-relevant
+ * machine parameters) key, concurrency-safe via per-entry futures so
+ * two workers never duplicate a compile.  Modules are immutable after
+ * compilation and each cell gets its own Interpreter/IssueEngine, so
+ * sharing them across threads is safe by construction.
+ *
+ * Job-count resolution (see defaultSweepJobs): explicit argument >
+ * SSIM_JOBS environment variable > std::thread::hardware_concurrency.
+ */
+
+#ifndef SUPERSYM_CORE_STUDY_SWEEP_HH
+#define SUPERSYM_CORE_STUDY_SWEEP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/study/driver.hh"
+
+namespace ilp {
+
+/**
+ * Worker count used when a SweepRunner is built without an explicit
+ * job count: SSIM_JOBS when set to a positive integer, otherwise the
+ * hardware concurrency (at least 1).  A malformed SSIM_JOBS warns and
+ * falls through.
+ */
+int defaultSweepJobs();
+
+/**
+ * A fixed worker pool over an atomic-index work queue.  Stateless
+ * between run() calls; cheap to construct.  jobs == 1 degenerates to
+ * a plain serial loop on the calling thread, which is the reference
+ * behaviour parallel runs must reproduce bit-for-bit.
+ */
+class SweepRunner
+{
+  public:
+    /** @param jobs Worker count; <= 0 resolves via defaultSweepJobs. */
+    explicit SweepRunner(int jobs = 0);
+
+    int jobs() const { return jobs_; }
+
+    /**
+     * Evaluate fn(0) .. fn(count-1), each exactly once, across the
+     * pool (the calling thread participates).  The first exception
+     * thrown by any cell stops the sweep and is rethrown here after
+     * all workers have joined.
+     */
+    void run(std::size_t count,
+             const std::function<void(std::size_t)> &fn) const;
+
+    /**
+     * run() collecting fn(i) into slot i of the result vector — the
+     * deterministic merge point: results are index-ordered no matter
+     * which worker computed them, so downstream table/trajectory
+     * assembly is independent of the job count.
+     */
+    template <typename T, typename Fn>
+    std::vector<T>
+    map(std::size_t count, Fn &&fn) const
+    {
+        std::vector<T> out(count);
+        run(count, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+  private:
+    int jobs_;
+};
+
+/**
+ * A concurrency-safe cache of compiled workloads.
+ *
+ * Keyed by the workload identity (name + source hash), the compile
+ * options, and every machine parameter the compiler can observe
+ * (issue width, pipeline degree, latency table, functional units,
+ * branch-issue policy, register layout) — but *not* the machine's
+ * name, so renamed or re-labelled variants of one specification share
+ * a compilation.  The first requester compiles; concurrent
+ * requesters for the same key block on the entry's future instead of
+ * recompiling.  Compile telemetry is captured once on the miss and
+ * handed to every requester, so stats snapshots do not depend on who
+ * hit the cache.
+ */
+class CompileCache
+{
+  public:
+    /**
+     * Compiled module for (workload, machine, options), compiling on
+     * first use.  `telemetry`, when non-null, receives the telemetry
+     * recorded by the (single) compilation of this key.
+     */
+    std::shared_ptr<const Module>
+    compile(const Workload &workload, const MachineConfig &machine,
+            const CompileOptions &options,
+            CompileTelemetry *telemetry = nullptr);
+
+    /** The cache key; exposed for tests and diagnostics. */
+    static std::string key(const Workload &workload,
+                           const MachineConfig &machine,
+                           const CompileOptions &options);
+
+    /** Lookups served from an existing entry. */
+    std::uint64_t hits() const { return hits_.load(); }
+    /** Lookups that had to compile. */
+    std::uint64_t misses() const { return misses_.load(); }
+    /** Distinct compilations held. */
+    std::size_t size() const;
+
+    /** Export hit/miss/size counters into a stats group. */
+    void exportStats(stats::Group &g) const;
+
+  private:
+    struct Compiled
+    {
+        std::shared_ptr<const Module> module;
+        CompileTelemetry telemetry;
+    };
+
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_future<Compiled>> entries_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace ilp
+
+#endif // SUPERSYM_CORE_STUDY_SWEEP_HH

@@ -234,6 +234,13 @@ Json::dump(int indent) const
 
 namespace {
 
+/** Internal parse failure; surfaced as fatal() by parse() and as a
+ *  false return by tryParse(). */
+struct ParseError
+{
+    std::string message;
+};
+
 class Parser
 {
   public:
@@ -253,7 +260,8 @@ class Parser
     [[noreturn]] void
     fail(const char *what)
     {
-        SS_FATAL("JSON parse error at offset ", pos_, ": ", what);
+        throw ParseError{detail::concat("JSON parse error at offset ",
+                                        pos_, ": ", what)};
     }
 
     void
@@ -470,8 +478,26 @@ class Parser
 Json
 Json::parse(const std::string &text)
 {
-    Parser p(text);
-    return p.document();
+    try {
+        Parser p(text);
+        return p.document();
+    } catch (const ParseError &e) {
+        SS_FATAL(e.message);
+    }
+}
+
+bool
+Json::tryParse(const std::string &text, Json &out, std::string *error)
+{
+    try {
+        Parser p(text);
+        out = p.document();
+        return true;
+    } catch (const ParseError &e) {
+        if (error)
+            *error = e.message;
+        return false;
+    }
 }
 
 bool

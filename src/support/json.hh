@@ -11,12 +11,16 @@
  *
  * Numbers are stored as doubles; integral values round-trip exactly up
  * to 2^53, which covers every counter the simulator produces in
- * practice (the fuel limit caps runs at 2e9 instructions).
+ * practice (the fuel limit caps runs at 2e9 instructions).  RFC 8259
+ * has no representation for inf/NaN, so a non-finite double becomes
+ * JSON null at construction time — the in-memory document always
+ * matches what dump() will emit, and equality/round-trip behave.
  */
 
 #ifndef SUPERSYM_SUPPORT_JSON_HH
 #define SUPERSYM_SUPPORT_JSON_HH
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -44,7 +48,12 @@ class Json
     Json() = default;
     Json(std::nullptr_t) {}
     Json(bool b) : kind_(Kind::Bool), bool_(b) {}
-    Json(double d) : kind_(Kind::Number), num_(d) {}
+    /** A non-finite double has no JSON form; it becomes null. */
+    Json(double d)
+        : kind_(std::isfinite(d) ? Kind::Number : Kind::Null),
+          num_(std::isfinite(d) ? d : 0.0)
+    {
+    }
     Json(int v) : kind_(Kind::Number), num_(v) {}
     Json(std::int64_t v)
         : kind_(Kind::Number), num_(static_cast<double>(v)) {}
@@ -97,6 +106,15 @@ class Json
 
     /** Parse a complete JSON document; fatal() on malformed input. */
     static Json parse(const std::string &text);
+
+    /**
+     * Non-fatal parse: true and fill `out` on success; false on
+     * malformed input, leaving `out` untouched and describing the
+     * problem in `error` when given.  For callers (trajectory
+     * readers, validators) that must survive corrupt files.
+     */
+    static bool tryParse(const std::string &text, Json &out,
+                         std::string *error = nullptr);
 
     /** Structural equality (number comparison is exact). */
     bool operator==(const Json &other) const;
