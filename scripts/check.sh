@@ -30,6 +30,25 @@ TRACE_JSON="$BUILD_DIR/check_trace.json"
 "$BUILD_DIR/src/cli/ssim" check-json "$STATS_JSON"
 "$BUILD_DIR/src/cli/ssim" check-json "$TRACE_JSON"
 
+echo "== fault containment smoke =="
+# A malformed program must produce structured diagnostics and exit 1
+# (not 0, not a signal); a bad flag must exit 2.
+BAD_MT="$BUILD_DIR/check_bad.mt"
+printf 'func main( { return 0; }\n' > "$BAD_MT"
+rc=0
+"$BUILD_DIR/src/cli/ssim" run "$BAD_MT" 2> "$BUILD_DIR/check_bad.err" \
+    || rc=$?
+[ "$rc" -eq 1 ]
+grep -q 'error\[E0' "$BUILD_DIR/check_bad.err"
+rc=0
+"$BUILD_DIR/src/cli/ssim" run "$BAD_MT" --machine nope 2>/dev/null \
+    || rc=$?
+[ "$rc" -eq 2 ]
+
+echo "== fuzz corpus replay =="
+"$BUILD_DIR/tools/fuzz/fuzz_mt_parser_replay" tools/fuzz/corpus/mt/*
+"$BUILD_DIR/tools/fuzz/fuzz_json_replay" tools/fuzz/corpus/json/*
+
 echo "== parallel sweep smoke =="
 # A bench sweep must be byte-identical serial vs parallel, and the
 # stats trajectory written under SSIM_JOBS>1 must stay valid JSON.

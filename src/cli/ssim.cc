@@ -21,12 +21,21 @@
  *   --homes N        home registers                 (default 26)
  *   --jobs N         sweep worker threads for ilp/suite
  *                    (default: SSIM_JOBS, then all cores)
+ *   --keep-going     ilp/suite: a failing sweep cell is reported in
+ *                    place (error code + text) while the remaining
+ *                    cells still run; exit stays nonzero
  *
  * Observability (run/suite; see docs/observability.md):
  *   --stats            print the full stats tree after the run
  *   --stats-json FILE  write the stats tree as JSON
  *   --trace-events FILE  write Chrome tracing JSON (run only)
  *   --trace-limit N    cap recorded issue events  (default 100000)
+ *
+ * Exit status (see docs/robustness.md):
+ *   0  success
+ *   1  compile or simulation error (malformed program, trap,
+ *      failed sweep cell — even under --keep-going)
+ *   2  usage error (bad flags, unknown machine, bad option value)
  */
 
 #include <cerrno>
@@ -44,6 +53,8 @@
 #include "core/study/sweep.hh"
 #include "core/study/telemetry.hh"
 #include "ir/printer.hh"
+#include "sim/trap.hh"
+#include "support/diag.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
@@ -63,9 +74,18 @@ usage()
         "       ssim check-json FILE\n"
         "options: --machine NAME --level 0..4 --unroll N --careful\n"
         "         --alias conservative|arrays|symbols|careful|heroic\n"
-        "         --temps N --homes N --jobs N\n"
+        "         --temps N --homes N --jobs N --keep-going\n"
         "         --stats --stats-json FILE --trace-events FILE\n"
-        "         --trace-limit N\n");
+        "         --trace-limit N\n"
+        "exit status: 0 ok, 1 compile/sim error, 2 usage error\n");
+    std::exit(2);
+}
+
+/** A bad flag or option value: report and exit with the usage code. */
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::fprintf(stderr, "ssim: %s\n", message.c_str());
     std::exit(2);
 }
 
@@ -103,8 +123,8 @@ parseMachineNumber(const std::string &machine, const std::string &num)
     const long parsed = std::strtol(num.c_str(), &end, 10);
     if (num.empty() || end == num.c_str() || *end != '\0' ||
         errno == ERANGE || parsed < 1 || parsed > 64) {
-        SS_FATAL("bad machine spec '", machine, "': '", num,
-                 "' is not an integer in [1, 64]");
+        usageError("bad machine spec '" + machine + "': '" + num +
+                   "' is not an integer in [1, 64]");
     }
     return static_cast<int>(parsed);
 }
@@ -113,8 +133,11 @@ std::string
 readFile(const std::string &path)
 {
     std::ifstream in(path);
-    if (!in)
-        SS_FATAL("cannot open '", path, "'");
+    if (!in) {
+        std::fprintf(stderr, "ssim: error[%s]: cannot open '%s'\n",
+                     errCodeId(ErrCode::IoError), path.c_str());
+        std::exit(1);
+    }
     std::ostringstream ss;
     ss << in.rdbuf();
     return ss.str();
@@ -143,8 +166,9 @@ parseMachine(const std::string &name)
     }
     if (name.rfind("sp", 0) == 0)
         return superpipelined(parseMachineNumber(name, name.substr(2)));
-    SS_FATAL("unknown machine '", name,
-             "' (try: base ss4 sp4 ss2x2 multititan cray1 conflicts4)");
+    usageError("unknown machine '" + name +
+               "' (try: base ss4 sp4 ss2x2 multititan cray1 "
+               "conflicts4)");
 }
 
 AliasLevel
@@ -160,7 +184,7 @@ parseAlias(const std::string &name)
         return AliasLevel::Careful;
     if (name == "heroic")
         return AliasLevel::Heroic;
-    SS_FATAL("unknown alias level '", name, "'");
+    usageError("unknown alias level '" + name + "'");
 }
 
 struct Cli
@@ -176,6 +200,8 @@ struct Cli
     std::size_t traceLimit = 100000;
     /** Sweep workers for ilp/suite; 0 = SSIM_JOBS, then all cores. */
     int jobs = 0;
+    /** Fault-isolated sweeps: report failing cells, run the rest. */
+    bool keepGoing = false;
 
     /** Telemetry derived from the flags above. */
     RunTelemetryOptions
@@ -241,6 +267,8 @@ parseArgs(int argc, char **argv)
         else if (arg == "--jobs")
             cli.jobs = static_cast<int>(
                 parseIntOption("--jobs", next(), 1, 4096));
+        else if (arg == "--keep-going")
+            cli.keepGoing = true;
         else if (arg == "--stats")
             cli.stats = true;
         else if (arg == "--stats-json")
@@ -254,6 +282,14 @@ parseArgs(int argc, char **argv)
             usage();
     }
     return cli;
+}
+
+/** Report a compile-or-simulation failure; returns exit code 1. */
+int
+fail(const std::string &message)
+{
+    std::fprintf(stderr, "ssim: %s\n", message.c_str());
+    return 1;
 }
 
 /** Recursive "path  value" rendering of a stats JSON tree. */
@@ -289,9 +325,30 @@ cmdRun(const Cli &cli)
 {
     Workload w{cli.file, "user program", readFile(cli.file), 0, false,
                1};
-    RunOutcome base = runWorkload(w, baseMachine(), cli.options);
-    RunOutcome out =
-        runWorkload(w, cli.machine, cli.options, cli.telemetry());
+    RunTelemetryOptions telemetry = cli.telemetry();
+    const bool want = telemetry.collectStats ||
+                      telemetry.timelineLimit > 0;
+
+    // Checked compiles: a malformed program reports every diagnostic
+    // (file:line:col, stable code) and exits 1 — no fatal() abort.
+    Result<Module> base_mod = compileWorkloadChecked(
+        w.source, baseMachine(), cli.options, nullptr, cli.file);
+    if (!base_mod.ok())
+        return fail(base_mod.formatErrors());
+    CompileTelemetry compile;
+    Result<Module> mod = compileWorkloadChecked(
+        w.source, cli.machine, cli.options, want ? &compile : nullptr,
+        cli.file);
+    if (!mod.ok())
+        return fail(mod.formatErrors());
+
+    RunOutcome base = runOnMachine(base_mod.value(), baseMachine());
+    if (base.trapped())
+        return fail(base.trap.format());
+    RunOutcome out = runOnMachine(mod.value(), cli.machine, telemetry,
+                                  want ? &compile : nullptr);
+    if (out.trapped())
+        return fail(out.trap.format());
     std::printf("program      : %s\n", cli.file.c_str());
     std::printf("machine      : %s\n", cli.machine.name.c_str());
     std::printf("opt level    : %s\n",
@@ -325,20 +382,51 @@ cmdIlp(const Cli &cli)
     // One cell per degree; the study's compile cache shares the base
     // compile and its future-based memo keeps the sweep race-free.
     Study study(cli.jobs);
-    std::vector<double> speedups = study.runner().map<double>(
-        8, [&](std::size_t i) {
-            return study.speedup(
-                w, idealSuperscalar(static_cast<int>(i) + 1),
-                cli.options);
-        });
+    auto cell = [&](std::size_t i) {
+        return study.speedup(
+            w, idealSuperscalar(static_cast<int>(i) + 1), cli.options);
+    };
+
+    std::vector<CellOutcome<double>> cells;
+    if (cli.keepGoing) {
+        // Fault-isolated sweep: a failing degree is recorded as a
+        // structured CellError while the other degrees still run.
+        cells = study.runner().mapChecked<double>(8, cell);
+    } else {
+        try {
+            std::vector<double> speedups =
+                study.runner().map<double>(8, cell);
+            cells.resize(speedups.size());
+            for (std::size_t i = 0; i < speedups.size(); ++i)
+                cells[i].value = speedups[i];
+        } catch (...) {
+            return fail(currentCellError().message);
+        }
+    }
+
     Table t("Available parallelism (ideal superscalar sweep):");
     t.setHeader({"degree", "speedup"});
-    for (int d = 1; d <= 8; ++d)
-        t.row()
-            .cell(static_cast<long long>(d))
-            .cell(speedups[static_cast<std::size_t>(d - 1)], 3);
+    for (int d = 1; d <= 8; ++d) {
+        const CellOutcome<double> &c =
+            cells[static_cast<std::size_t>(d - 1)];
+        t.row().cell(static_cast<long long>(d));
+        if (c.ok())
+            t.cell(c.value, 3);
+        else
+            t.cell("error[" + std::string(errCodeId(c.error.code)) +
+                   "]");
+    }
     t.print();
-    return 0;
+
+    int status = 0;
+    for (int d = 1; d <= 8; ++d) {
+        const CellOutcome<double> &c =
+            cells[static_cast<std::size_t>(d - 1)];
+        if (!c.ok())
+            status = fail("degree " + std::to_string(d) + ": " +
+                          c.error.message);
+    }
+    return status;
 }
 
 int
@@ -368,9 +456,12 @@ cmdProfile(const Cli &cli)
 int
 cmdDump(const Cli &cli)
 {
-    Module m = compileWorkload(readFile(cli.file), cli.machine,
-                               cli.options);
-    std::printf("%s", toString(m).c_str());
+    Result<Module> m = compileWorkloadChecked(
+        readFile(cli.file), cli.machine, cli.options, nullptr,
+        cli.file);
+    if (!m.ok())
+        return fail(m.formatErrors());
+    std::printf("%s", toString(m.value()).c_str());
     return 0;
 }
 
@@ -395,27 +486,67 @@ cmdSuite(const Cli &cli)
     };
     const auto &suite = allWorkloads();
     SweepRunner runner(cli.jobs);
-    std::vector<SuiteCell> cells = runner.map<SuiteCell>(
-        suite.size(), [&](std::size_t i) {
-            const Workload &w = suite[i];
-            CompileOptions o = cli.options;
-            o.unroll.factor =
-                std::max(o.unroll.factor, w.defaultUnroll);
-            SuiteCell c;
-            c.base = runWorkload(w, baseMachine(), o);
-            c.out = runWorkload(w, cli.machine, o, telemetry);
-            return c;
-        });
+    auto cell = [&](std::size_t i) {
+        const Workload &w = suite[i];
+        CompileOptions o = cli.options;
+        o.unroll.factor = std::max(o.unroll.factor, w.defaultUnroll);
+        SuiteCell c;
+        c.base = runWorkload(w, baseMachine(), o);
+        c.out = runWorkload(w, cli.machine, o, telemetry);
+        if (c.base.trapped())
+            throw TrapException(c.base.trap);
+        if (c.out.trapped())
+            throw TrapException(c.out.trap);
+        return c;
+    };
 
+    std::vector<CellOutcome<SuiteCell>> cells;
+    if (cli.keepGoing) {
+        cells = runner.mapChecked<SuiteCell>(suite.size(), cell);
+    } else {
+        try {
+            std::vector<SuiteCell> values =
+                runner.map<SuiteCell>(suite.size(), cell);
+            cells.resize(values.size());
+            for (std::size_t i = 0; i < values.size(); ++i)
+                cells[i].value = std::move(values[i]);
+        } catch (...) {
+            return fail(currentCellError().message);
+        }
+    }
+
+    int status = 0;
     for (std::size_t i = 0; i < suite.size(); ++i) {
         const Workload &w = suite[i];
-        const RunOutcome &out = cells[i].out;
+        const CellOutcome<SuiteCell> &c = cells[i];
+        if (!c.ok()) {
+            t.row()
+                .cell(w.name)
+                .cell("error[" +
+                      std::string(errCodeId(c.error.code)) + "]")
+                .cell("-")
+                .cell("-")
+                .cell("-");
+            status = fail(w.name + ": " + c.error.message);
+            if (want_json) {
+                Json entry = Json::object();
+                entry.set("name", Json(w.name));
+                Json err = Json::object();
+                err.set("code",
+                        Json(std::string(errCodeId(c.error.code))));
+                err.set("message", Json(c.error.message));
+                entry.set("error", std::move(err));
+                benchmarks.push(std::move(entry));
+            }
+            continue;
+        }
+        const RunOutcome &out = c.value.out;
         t.row()
             .cell(w.name)
             .cell(static_cast<long long>(out.instructions))
             .cell(out.cycles, 0)
             .cell(out.ipc(), 2)
-            .cell(cells[i].base.cycles / out.cycles, 2);
+            .cell(c.value.base.cycles / out.cycles, 2);
         if (cli.stats) {
             std::printf("--- %s ---\n", w.name.c_str());
             printStatsTree(out.stats.root, "");
@@ -435,15 +566,16 @@ cmdSuite(const Cli &cli)
         doc.set("benchmarks", std::move(benchmarks));
         writeJsonFile(cli.statsJsonPath, doc);
     }
-    return 0;
+    return status;
 }
 
 int
 cmdCheckJson(const Cli &cli)
 {
-    // Json::parse is fatal on malformed input, so reaching the print
-    // means the document is well-formed.
-    Json doc = Json::parse(readFile(cli.file));
+    Json doc;
+    std::string error;
+    if (!Json::tryParse(readFile(cli.file), doc, &error))
+        return fail(cli.file + ": " + error);
     std::printf("%s: valid JSON (%s, %zu top-level %s)\n",
                 cli.file.c_str(),
                 doc.isObject()  ? "object"

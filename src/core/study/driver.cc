@@ -20,14 +20,20 @@ defaultCompileOptions(const Workload &workload)
     return o;
 }
 
-Module
-compileWorkload(const std::string &source, const MachineConfig &machine,
-                const CompileOptions &options,
-                CompileTelemetry *telemetry)
+Result<Module>
+compileWorkloadChecked(const std::string &source,
+                       const MachineConfig &machine,
+                       const CompileOptions &options,
+                       CompileTelemetry *telemetry,
+                       const std::string &unit)
 {
     using Clock = std::chrono::steady_clock;
     const Clock::time_point t0 = Clock::now();
-    Module module = compileToIr(source, options.unroll);
+    Result<Module> compiled =
+        compileToIrChecked(source, options.unroll, unit);
+    if (!compiled.ok())
+        return compiled;
+    Module module = compiled.take();
     const Clock::time_point t1 = Clock::now();
     if (telemetry) {
         PhaseStat &fe = telemetry->phase("frontend");
@@ -45,8 +51,26 @@ compileWorkload(const std::string &source, const MachineConfig &machine,
     oo.layout = options.layout;
     oo.alias = options.alias;
     oo.reassociate = options.unroll.careful;
-    optimizeModule(module, machine, oo, telemetry);
-    return module;
+    try {
+        optimizeModule(module, machine, oo, telemetry);
+    } catch (const DiagException &e) {
+        // Machine-configuration limits (e.g. a temp register file
+        // too small for the workload) surface as diagnostics.
+        return Result<Module>::failure(e.diags());
+    }
+    return Result<Module>::success(std::move(module));
+}
+
+Module
+compileWorkload(const std::string &source, const MachineConfig &machine,
+                const CompileOptions &options,
+                CompileTelemetry *telemetry)
+{
+    Result<Module> r =
+        compileWorkloadChecked(source, machine, options, telemetry);
+    if (!r.ok())
+        SS_FATAL(r.formatErrors());
+    return r.take();
 }
 
 RunOutcome
@@ -74,6 +98,7 @@ runOnMachine(const Module &module, const MachineConfig &machine,
     out.checksum = static_cast<std::int64_t>(r.returnValue);
     out.instructions = r.instructions;
     out.cycles = engine.baseCycles();
+    out.trap = r.trap;
     if (module.findGlobal("result_fp")) {
         out.fpChecksum = std::bit_cast<double>(
             interp.memory().readGlobal(module, "result_fp"));
@@ -135,7 +160,9 @@ profileWorkload(const Workload &workload, const CompileOptions &options)
     Module module = compileWorkload(workload.source, base, options);
     Interpreter interp(module);
     ClassProfileSink profile;
-    interp.run("main", &profile);
+    RunResult r = interp.run("main", &profile);
+    if (r.trapped())
+        SS_FATAL(r.trap.format());
     return profile.frequencies();
 }
 

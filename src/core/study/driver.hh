@@ -43,8 +43,20 @@ struct CompileOptions
 CompileOptions defaultCompileOptions(const Workload &workload);
 
 /** Compile MT source for a machine (parses, unrolls, optimizes,
- *  allocates, schedules).  `telemetry`, when non-null, records the
- *  frontend phase plus every optimizer phase. */
+ *  allocates, schedules), reporting user errors (syntax, semantic,
+ *  machine-limit) as diagnostics instead of exiting.  `telemetry`,
+ *  when non-null, records the frontend phase plus every optimizer
+ *  phase. */
+Result<Module> compileWorkloadChecked(const std::string &source,
+                                      const MachineConfig &machine,
+                                      const CompileOptions &options,
+                                      CompileTelemetry *telemetry =
+                                          nullptr,
+                                      const std::string &unit =
+                                          "<input>");
+
+/** Compile MT source for a machine; errors are fatal().  Thin
+ *  wrapper over compileWorkloadChecked() for the CLI edge. */
 Module compileWorkload(const std::string &source,
                        const MachineConfig &machine,
                        const CompileOptions &options,
@@ -83,6 +95,11 @@ struct RunOutcome
     std::uint64_t timelineDropped = 0;
     /** Compile telemetry (filled by runWorkload with collectStats). */
     CompileTelemetry compile;
+    /** Set when the workload faulted mid-run; checksum is then
+     *  meaningless and cycles/instructions count up to the fault. */
+    Trap trap;
+
+    bool trapped() const { return trap.valid(); }
 
     /** Instructions per base cycle (the exploited parallelism).
      *  A run that never advanced the clock (cycles == 0) reports 0

@@ -44,8 +44,10 @@ Study::baseCycles(const Workload &workload,
         try {
             std::shared_ptr<const Module> module =
                 cache_.compile(workload, baseMachine(), options);
-            fill->set_value(
-                runOnMachine(*module, baseMachine()).cycles);
+            RunOutcome out = runOnMachine(*module, baseMachine());
+            if (out.trapped())
+                throw TrapException(out.trap);
+            fill->set_value(out.cycles);
         } catch (...) {
             fill->set_exception(std::current_exception());
         }
@@ -61,6 +63,10 @@ Study::speedup(const Workload &workload, const MachineConfig &machine,
     std::shared_ptr<const Module> module =
         cache_.compile(workload, machine, options);
     RunOutcome out = runOnMachine(*module, machine);
+    if (out.trapped())
+        // Re-raise the trap so sweep cells (mapChecked) record a
+        // structured CellError instead of a bogus speedup.
+        throw TrapException(out.trap);
     return base / out.cycles;
 }
 

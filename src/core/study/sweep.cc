@@ -3,9 +3,26 @@
 #include <cstdlib>
 #include <thread>
 
+#include "sim/trap.hh"
 #include "support/logging.hh"
 
 namespace ilp {
+
+CellError
+currentCellError()
+{
+    try {
+        throw;
+    } catch (const DiagException &e) {
+        return {e.code(), formatDiags(e.diags())};
+    } catch (const TrapException &e) {
+        return {e.trap().code, e.trap().format()};
+    } catch (const std::exception &e) {
+        return {ErrCode::Internal, e.what()};
+    } catch (...) {
+        return {ErrCode::Internal, "unknown error"};
+    }
+}
 
 int
 defaultSweepJobs()
@@ -160,11 +177,22 @@ CompileCache::compile(const Workload &workload,
         misses_.fetch_add(1, std::memory_order_relaxed);
         try {
             Compiled c;
-            c.module = std::make_shared<const Module>(compileWorkload(
-                workload.source, machine, options, &c.telemetry));
+            Result<Module> r = compileWorkloadChecked(
+                workload.source, machine, options, &c.telemetry,
+                workload.name);
+            if (!r.ok())
+                r.raise(); // DiagException with the full list
+            c.module = std::make_shared<const Module>(r.take());
             fill->set_value(std::move(c));
         } catch (...) {
+            // A failed compile must not poison the cache: hand the
+            // exception to the waiters already parked on this entry,
+            // then evict it so later requesters retry instead of
+            // replaying a stale failure forever.
+            failures_.fetch_add(1, std::memory_order_relaxed);
             fill->set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(mu_);
+            entries_.erase(k);
         }
     } else {
         hits_.fetch_add(1, std::memory_order_relaxed);
@@ -188,6 +216,8 @@ CompileCache::exportStats(stats::Group &g) const
 {
     g.counter("hits", "lookups served from the cache").inc(hits());
     g.counter("misses", "lookups that compiled").inc(misses());
+    g.counter("failures", "compilations that failed (evicted)")
+        .inc(failures());
     g.counter("entries", "distinct compilations held").inc(size());
 }
 

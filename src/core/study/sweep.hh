@@ -52,6 +52,32 @@ namespace ilp {
  */
 int defaultSweepJobs();
 
+/** One failed sweep cell: a stable error code plus the formatted
+ *  diagnostic text.  Deterministic for a given cell — the same cell
+ *  fails identically at any job count. */
+struct CellError
+{
+    ErrCode code = ErrCode::None;
+    std::string message;
+
+    bool valid() const { return code != ErrCode::None; }
+};
+
+/** Translate the in-flight exception into a CellError (call from a
+ *  catch handler): DiagException and TrapException keep their stable
+ *  codes and full formatted text; anything else maps to E0999. */
+CellError currentCellError();
+
+/** Value-or-error result of one sweep cell under keep-going mode. */
+template <typename T>
+struct CellOutcome
+{
+    T value{};
+    CellError error;
+
+    bool ok() const { return !error.valid(); }
+};
+
 /**
  * A fixed worker pool over an atomic-index work queue.  Stateless
  * between run() calls; cheap to construct.  jobs == 1 degenerates to
@@ -87,6 +113,28 @@ class SweepRunner
     {
         std::vector<T> out(count);
         run(count, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /**
+     * Fault-isolated map: a throwing cell is captured as a CellError
+     * in its own slot while every other cell still runs to
+     * completion ("keep going").  Because errors are recorded at the
+     * failing index rather than by arrival order, the result —
+     * values and errors both — is deterministic across job counts.
+     */
+    template <typename T, typename Fn>
+    std::vector<CellOutcome<T>>
+    mapChecked(std::size_t count, Fn &&fn) const
+    {
+        std::vector<CellOutcome<T>> out(count);
+        run(count, [&](std::size_t i) {
+            try {
+                out[i].value = fn(i);
+            } catch (...) {
+                out[i].error = currentCellError();
+            }
+        });
         return out;
     }
 
@@ -130,10 +178,13 @@ class CompileCache
     std::uint64_t hits() const { return hits_.load(); }
     /** Lookups that had to compile. */
     std::uint64_t misses() const { return misses_.load(); }
+    /** Compilations that failed.  Failed entries are evicted (never
+     *  cached), so a later request for the same key retries. */
+    std::uint64_t failures() const { return failures_.load(); }
     /** Distinct compilations held. */
     std::size_t size() const;
 
-    /** Export hit/miss/size counters into a stats group. */
+    /** Export hit/miss/failure/size counters into a stats group. */
     void exportStats(stats::Group &g) const;
 
   private:
@@ -147,6 +198,7 @@ class CompileCache
     std::map<std::string, std::shared_future<Compiled>> entries_;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> failures_{0};
 };
 
 } // namespace ilp

@@ -10,6 +10,11 @@ namespace ilp {
 
 namespace {
 
+/** Thrown on a semantic error; aborts codegen for one function. */
+struct CodegenRecovery
+{
+};
+
 struct Value
 {
     Reg reg = kNoReg;
@@ -26,9 +31,10 @@ class FuncCodegen
 {
   public:
     FuncCodegen(Module &module, const Program &program,
-                const FuncDecl &decl, Function &func)
+                const FuncDecl &decl, Function &func,
+                DiagEngine &diags, const std::string &unit)
         : module_(module), program_(program), decl_(decl), func_(func),
-          b_(func)
+          b_(func), diags_(diags), unit_(unit)
     {
     }
 
@@ -70,18 +76,22 @@ class FuncCodegen
 
   private:
     [[noreturn]] void
-    error(int line, const std::string &msg) const
+    error(ErrCode code, int line, const std::string &msg) const
     {
-        SS_FATAL(decl_.name, ":", line, ": ", msg);
+        diags_.error(code, SourceLoc{unit_, line, 0},
+                     "in '" + decl_.name + "': " + msg);
+        throw CodegenRecovery{};
     }
 
     void
     declareLocal(const std::string &name, MtType type, int line)
     {
         if (locals_.count(name))
-            error(line, "redeclaration of '" + name + "'");
+            error(ErrCode::SemaRedeclaration, line,
+                  "redeclaration of '" + name + "'");
         if (module_.findGlobal(name))
-            error(line, "'" + name + "' shadows a global");
+            error(ErrCode::SemaRedeclaration, line,
+                  "'" + name + "' shadows a global");
         LocalInfo info;
         info.type = type;
         info.frameOffset =
@@ -96,8 +106,8 @@ class FuncCodegen
             return v;
         if (v.type == MtType::Int && want == MtType::Real)
             return {b_.unary(Opcode::CvtIF, v.reg), MtType::Real};
-        error(line, "cannot implicitly convert real to int "
-                    "(use int(...))");
+        error(ErrCode::SemaTypeMismatch, line,
+              "cannot implicitly convert real to int (use int(...))");
     }
 
     /** Pick the common type of a binary op and widen both sides. */
@@ -156,9 +166,11 @@ class FuncCodegen
         }
         const GlobalVar *g = module_.findGlobal(e.name);
         if (!g)
-            error(e.line, "undefined variable '" + e.name + "'");
+            error(ErrCode::SemaUndefined, e.line,
+                  "undefined variable '" + e.name + "'");
         if (g->words != 1)
-            error(e.line, "array '" + e.name + "' used as scalar");
+            error(ErrCode::SemaTypeMismatch, e.line,
+                  "array '" + e.name + "' used as scalar");
         Reg addr = b_.li(g->address);
         Opcode op = g->isFloat ? Opcode::LoadF : Opcode::LoadW;
         return {b_.load(op, addr, 0),
@@ -172,12 +184,15 @@ class FuncCodegen
         const GlobalVar *g = module_.findGlobal(e.name);
         if (!g) {
             if (locals_.count(e.name))
-                error(e.line, "scalar '" + e.name + "' is not an array");
-            error(e.line, "undefined array '" + e.name + "'");
+                error(ErrCode::SemaTypeMismatch, e.line,
+                      "scalar '" + e.name + "' is not an array");
+            error(ErrCode::SemaUndefined, e.line,
+                  "undefined array '" + e.name + "'");
         }
         Value idx = genExpr(*e.lhs);
         if (idx.type != MtType::Int)
-            error(e.line, "array index must be int");
+            error(ErrCode::SemaTypeMismatch, e.line,
+                  "array index must be int");
         Reg scaled = b_.binaryImm(Opcode::ShlI, idx.reg, 3);
         Reg addr = b_.binaryImm(Opcode::AddI, scaled, g->address);
         return {addr, g->isFloat ? MtType::Real : MtType::Int};
@@ -198,7 +213,8 @@ class FuncCodegen
         if (e.unOp == UnOp::Not) {
             Value v = genExpr(*e.lhs);
             if (v.type != MtType::Int)
-                error(e.line, "'!' needs an int operand");
+                error(ErrCode::SemaTypeMismatch, e.line,
+                      "'!' needs an int operand");
             return {b_.binaryImm(Opcode::CmpEqI, v.reg, 0), MtType::Int};
         }
         // Negation.
@@ -220,7 +236,8 @@ class FuncCodegen
 
         auto int_only = [&](const char *what) {
             if (l.type != MtType::Int || r.type != MtType::Int)
-                error(e.line, std::string(what) + " needs int operands");
+                error(ErrCode::SemaTypeMismatch, e.line,
+                      std::string(what) + " needs int operands");
         };
 
         switch (e.binOp) {
@@ -307,7 +324,8 @@ class FuncCodegen
 
         Value l = genExpr(*e.lhs);
         if (l.type != MtType::Int)
-            error(e.line, "logical operator needs int operands");
+            error(ErrCode::SemaTypeMismatch, e.line,
+                  "logical operator needs int operands");
         if (e.binOp == BinOp::LogAnd)
             b_.br(l.reg, eval_rhs, short_bb);
         else
@@ -316,7 +334,8 @@ class FuncCodegen
         b_.setBlock(eval_rhs);
         Value r = genExpr(*e.rhs);
         if (r.type != MtType::Int)
-            error(e.line, "logical operator needs int operands");
+            error(ErrCode::SemaTypeMismatch, e.line,
+                  "logical operator needs int operands");
         Reg norm = b_.binaryImm(Opcode::CmpNeI, r.reg, 0);
         b_.emit(Instr::unary(Opcode::MovI, result, norm));
         b_.jmp(join);
@@ -334,7 +353,8 @@ class FuncCodegen
     {
         FuncId callee_id = module_.findFunction(e.name);
         if (callee_id == kNoFunc)
-            error(e.line, "call to undefined function '" + e.name + "'");
+            error(ErrCode::SemaUndefined, e.line,
+                  "call to undefined function '" + e.name + "'");
         const FuncDecl *callee_decl = nullptr;
         for (const auto &f : program_.funcs) {
             if (f.name == e.name) {
@@ -344,13 +364,14 @@ class FuncCodegen
         }
         SS_ASSERT(callee_decl, "function table out of sync");
         if (e.args.size() != callee_decl->params.size())
-            error(e.line, "call to '" + e.name + "' with " +
-                              std::to_string(e.args.size()) +
-                              " args, expected " +
-                              std::to_string(callee_decl->params.size()));
+            error(ErrCode::SemaBadCall, e.line,
+                  "call to '" + e.name + "' with " +
+                      std::to_string(e.args.size()) +
+                      " args, expected " +
+                      std::to_string(callee_decl->params.size()));
         if (wants_value && !callee_decl->hasReturn)
-            error(e.line, "void function '" + e.name +
-                              "' used as a value");
+            error(ErrCode::SemaBadCall, e.line,
+                  "void function '" + e.name + "' used as a value");
 
         std::vector<Reg> args;
         for (std::size_t i = 0; i < e.args.size(); ++i) {
@@ -404,13 +425,15 @@ class FuncCodegen
           case StmtKind::Return: {
             if (decl_.hasReturn) {
                 if (!s.value)
-                    error(s.line, "missing return value");
+                    error(ErrCode::SemaBadReturn, s.line,
+                          "missing return value");
                 Value v = genExpr(*s.value);
                 v = widen(v, decl_.returnType, s.line);
                 b_.ret(v.reg);
             } else {
                 if (s.value)
-                    error(s.line, "void function returns a value");
+                    error(ErrCode::SemaBadReturn, s.line,
+                          "void function returns a value");
                 b_.ret();
             }
             break;
@@ -426,12 +449,14 @@ class FuncCodegen
           }
           case StmtKind::Break:
             if (break_targets_.empty())
-                error(s.line, "'break' outside a loop");
+                error(ErrCode::SemaBreakOutsideLoop, s.line,
+                      "'break' outside a loop");
             b_.jmp(break_targets_.back());
             break;
           case StmtKind::Continue:
             if (continue_targets_.empty())
-                error(s.line, "'continue' outside a loop");
+                error(ErrCode::SemaBreakOutsideLoop, s.line,
+                      "'continue' outside a loop");
             b_.jmp(continue_targets_.back());
             break;
         }
@@ -445,13 +470,15 @@ class FuncCodegen
             // the paper's compiler (stores schedule late anyway).
             const GlobalVar *g = module_.findGlobal(s.name);
             if (!g)
-                error(s.line, "undefined array '" + s.name + "'");
+                error(ErrCode::SemaUndefined, s.line,
+                      "undefined array '" + s.name + "'");
             Value v = genExpr(*s.value);
             v = widen(v, g->isFloat ? MtType::Real : MtType::Int,
                       s.line);
             Value idx = genExpr(*s.indexExpr);
             if (idx.type != MtType::Int)
-                error(s.line, "array index must be int");
+                error(ErrCode::SemaTypeMismatch, s.line,
+                      "array index must be int");
             Reg scaled = b_.binaryImm(Opcode::ShlI, idx.reg, 3);
             Reg addr = b_.binaryImm(Opcode::AddI, scaled, g->address);
             b_.store(g->isFloat ? Opcode::StoreF : Opcode::StoreW,
@@ -471,10 +498,11 @@ class FuncCodegen
         }
         const GlobalVar *g = module_.findGlobal(s.name);
         if (!g)
-            error(s.line, "assignment to undefined variable '" +
-                              s.name + "'");
+            error(ErrCode::SemaUndefined, s.line,
+                  "assignment to undefined variable '" + s.name + "'");
         if (g->words != 1)
-            error(s.line, "array '" + s.name + "' assigned as scalar");
+            error(ErrCode::SemaTypeMismatch, s.line,
+                  "array '" + s.name + "' assigned as scalar");
         Value v = genExpr(*s.value);
         v = widen(v, g->isFloat ? MtType::Real : MtType::Int, s.line);
         Reg addr = b_.li(g->address);
@@ -492,7 +520,8 @@ class FuncCodegen
 
         Value c = genExpr(*s.cond);
         if (c.type != MtType::Int)
-            error(s.line, "condition must be int");
+            error(ErrCode::SemaTypeMismatch, s.line,
+                  "condition must be int");
         b_.br(c.reg, then_bb, s.elseStmt ? else_bb : join);
 
         b_.setBlock(then_bb);
@@ -544,7 +573,8 @@ class FuncCodegen
         // Guard: evaluate the condition once before entering.
         Value c = genExpr(*s.cond);
         if (c.type != MtType::Int)
-            error(s.line, "condition must be int");
+            error(ErrCode::SemaTypeMismatch, s.line,
+                  "condition must be int");
         b_.br(c.reg, body, exit);
 
         bool needs_latch = hasContinue(*s.elseStmt);
@@ -580,10 +610,12 @@ class FuncCodegen
         // Lowered with a dedicated step block so `continue` works.
         auto it = locals_.find(s.name);
         if (it == locals_.end())
-            error(s.line, "loop variable '" + s.name +
-                              "' must be a declared local");
+            error(ErrCode::SemaBadLoopVariable, s.line,
+                  "loop variable '" + s.name +
+                      "' must be a declared local");
         if (it->second.type != MtType::Int)
-            error(s.line, "loop variable must be int");
+            error(ErrCode::SemaBadLoopVariable, s.line,
+                  "loop variable must be int");
 
         Stmt init;
         init.kind = StmtKind::Assign;
@@ -599,7 +631,8 @@ class FuncCodegen
         // carries the induction update (see genWhile).
         Value c = genExpr(*s.cond);
         if (c.type != MtType::Int)
-            error(s.line, "condition must be int");
+            error(ErrCode::SemaTypeMismatch, s.line,
+                  "condition must be int");
         b_.br(c.reg, body, exit);
 
         bool needs_latch = hasContinue(*s.elseStmt);
@@ -641,6 +674,8 @@ class FuncCodegen
     const FuncDecl &decl_;
     Function &func_;
     IrBuilder b_;
+    DiagEngine &diags_;
+    const std::string &unit_;
     std::unordered_map<std::string, LocalInfo> locals_;
     std::vector<BlockId> break_targets_;
     std::vector<BlockId> continue_targets_;
@@ -648,9 +683,10 @@ class FuncCodegen
 
 } // namespace
 
-Module
-generateIr(const Program &program)
+Result<Module>
+generateIrChecked(const Program &program, const std::string &unit)
 {
+    DiagEngine diags;
     Module module;
 
     for (const auto &g : program.globals) {
@@ -679,10 +715,28 @@ generateIr(const Program &program)
 
     for (const auto &f : program.funcs) {
         Function &func = module.function(module.findFunction(f.name));
-        FuncCodegen cg(module, program, f, func);
-        cg.run();
+        FuncCodegen cg(module, program, f, func, diags, unit);
+        try {
+            cg.run();
+        } catch (const CodegenRecovery &) {
+            // This function's IR is abandoned (the failed Result
+            // discards the module); keep checking the others so one
+            // compile reports independent errors across functions.
+        }
     }
-    return module;
+    if (diags.hasErrors())
+        return Result<Module>::failure(diags.takeDiags());
+    return Result<Module>::success(std::move(module),
+                                   diags.takeDiags());
+}
+
+Module
+generateIr(const Program &program)
+{
+    Result<Module> r = generateIrChecked(program);
+    if (!r.ok())
+        SS_FATAL(r.formatErrors());
+    return r.take();
 }
 
 } // namespace ilp

@@ -9,11 +9,15 @@
  * through fresh virtual temporaries.  Global register allocation and
  * temp assignment happen later, in src/opt.
  *
- * Semantic rules enforced here (user errors -> fatal()):
+ * Semantic rules enforced here (user errors -> diagnostics):
  *  - names are unique within a function; no shadowing of globals
  *  - arrays are global-only and indexed by int expressions
  *  - int widens to real implicitly; real -> int needs an explicit cast
  *  - calls match arity; void functions cannot be used as values
+ *
+ * A semantic error aborts code generation for the offending function
+ * but the remaining functions are still checked, so one compile can
+ * report independent errors across functions.
  */
 
 #ifndef SUPERSYM_FRONTEND_CODEGEN_HH
@@ -21,10 +25,20 @@
 
 #include "frontend/ast.hh"
 #include "ir/module.hh"
+#include "support/diag.hh"
 
 namespace ilp {
 
-/** Generate IR for a whole program. */
+/**
+ * Generate IR for a whole program, reporting semantic errors as
+ * diagnostics (one recovery point per function).
+ *
+ * @param unit Name used in diagnostics.
+ */
+Result<Module> generateIrChecked(const Program &program,
+                                 const std::string &unit = "<input>");
+
+/** Generate IR for a whole program; semantic errors are fatal(). */
 Module generateIr(const Program &program);
 
 } // namespace ilp

@@ -3,19 +3,34 @@
 #include "frontend/codegen.hh"
 #include "frontend/parser.hh"
 #include "ir/verifier.hh"
+#include "support/logging.hh"
 
 namespace ilp {
+
+Result<Module>
+compileToIrChecked(const std::string &source,
+                   const UnrollOptions &unroll, const std::string &unit)
+{
+    Result<Program> parsed = parseProgramChecked(source, unit);
+    if (!parsed.ok())
+        return Result<Module>::failure(parsed.takeDiags());
+    Program program = parsed.take();
+    if (unroll.factor > 1)
+        unrollProgram(program, unroll);
+    Result<Module> lowered = generateIrChecked(program, unit);
+    if (lowered.ok())
+        verifyOrDie(lowered.value());
+    return lowered;
+}
 
 Module
 compileToIr(const std::string &source, const UnrollOptions &unroll,
             const std::string &unit)
 {
-    Program program = parseProgram(source, unit);
-    if (unroll.factor > 1)
-        unrollProgram(program, unroll);
-    Module module = generateIr(program);
-    verifyOrDie(module);
-    return module;
+    Result<Module> r = compileToIrChecked(source, unroll, unit);
+    if (!r.ok())
+        SS_FATAL(r.formatErrors());
+    return r.take();
 }
 
 } // namespace ilp

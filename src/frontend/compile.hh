@@ -11,15 +11,27 @@
 
 #include "frontend/unroll.hh"
 #include "ir/module.hh"
+#include "support/diag.hh"
 
 namespace ilp {
 
 /**
- * Parse, optionally unroll, and lower a program.
+ * Parse, optionally unroll, and lower a program, reporting syntax
+ * and semantic errors as diagnostics instead of exiting.  The IR
+ * verifier still panics on a successful compile that produced bad IR
+ * — that is a supersym bug, not a user error.
  *
  * @param source  MT program text.
  * @param unroll  Loop unrolling applied before lowering.
  * @param unit    Name used in diagnostics.
+ */
+Result<Module> compileToIrChecked(const std::string &source,
+                                  const UnrollOptions &unroll = {},
+                                  const std::string &unit = "<input>");
+
+/**
+ * Parse, optionally unroll, and lower a program.  Errors are fatal();
+ * thin wrapper over compileToIrChecked() for the CLI edge and tests.
  */
 Module compileToIr(const std::string &source,
                    const UnrollOptions &unroll = {},

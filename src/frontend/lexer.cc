@@ -1,9 +1,8 @@
 #include "frontend/lexer.hh"
 
 #include <cctype>
+#include <stdexcept>
 #include <unordered_map>
-
-#include "support/logging.hh"
 
 namespace ilp {
 
@@ -59,8 +58,8 @@ tokName(Tok kind)
     return "?";
 }
 
-Lexer::Lexer(std::string source, std::string unit)
-    : src_(std::move(source)), unit_(std::move(unit))
+Lexer::Lexer(std::string source, DiagEngine &diags, std::string unit)
+    : src_(std::move(source)), diags_(diags), unit_(std::move(unit))
 {
 }
 
@@ -105,9 +104,9 @@ Lexer::advance()
 }
 
 void
-Lexer::error(const std::string &what) const
+Lexer::error(ErrCode code, int line, int col, std::string what) const
 {
-    SS_FATAL(unit_, ":", line_, ":", col_, ": ", what);
+    diags_.error(code, SourceLoc{unit_, line, col}, std::move(what));
 }
 
 void
@@ -121,12 +120,18 @@ Lexer::skipWhitespaceAndComments()
             while (!atEnd() && peek() != '\n')
                 advance();
         } else if (c == '/' && peek(1) == '*') {
+            int start_line = line_;
+            int start_col = col_;
             advance();
             advance();
             while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
                 advance();
-            if (atEnd())
-                error("unterminated comment");
+            if (atEnd()) {
+                // Recover by treating the comment as running to EOF.
+                error(ErrCode::LexUnterminatedComment, start_line,
+                      start_col, "unterminated comment");
+                return;
+            }
             advance();
             advance();
         } else {
@@ -147,6 +152,7 @@ Lexer::next()
         {"continue", Tok::KwContinue},
     };
 
+  restart:
     skipWhitespaceAndComments();
 
     Token t;
@@ -204,10 +210,22 @@ Lexer::next()
         }
         if (is_real) {
             t.kind = Tok::RealLit;
-            t.realValue = std::stod(num);
+            try {
+                t.realValue = std::stod(num);
+            } catch (const std::out_of_range &) {
+                error(ErrCode::LexRealLiteralOutOfRange, t.line, t.col,
+                      "real literal '" + num + "' out of range");
+                t.realValue = 0.0;
+            }
         } else {
             t.kind = Tok::IntLit;
-            t.intValue = std::stoll(num);
+            try {
+                t.intValue = std::stoll(num);
+            } catch (const std::out_of_range &) {
+                error(ErrCode::LexIntLiteralOutOfRange, t.line, t.col,
+                      "integer literal '" + num + "' out of range");
+                t.intValue = 0;
+            }
         }
         return t;
     }
@@ -257,8 +275,18 @@ Lexer::next()
         break;
       case '|': two('|', Tok::PipePipe, Tok::Pipe); break;
       case '&': two('&', Tok::AmpAmp, Tok::Amp); break;
+      case '.':
+        // '.' only appears inside a real literal; a lone one is the
+        // classic "5." typo.
+        error(ErrCode::LexStrayDot, t.line, t.col,
+              "stray '.' (real literals need a digit on both sides)");
+        goto restart;
       default:
-        error(std::string("unexpected character '") + c + "'");
+        // Report once, skip the offending character, and keep lexing
+        // so a single stray byte costs one diagnostic.
+        error(ErrCode::LexUnexpectedChar, t.line, t.col,
+              std::string("unexpected character '") + c + "'");
+        goto restart;
     }
     return t;
 }

@@ -1,7 +1,10 @@
 /**
  * @file
  * Hand-written lexer for the MT language.  Supports // and C-style
- * comments; reports malformed input via fatal() with line/column.
+ * comments.  Malformed input is reported to the DiagEngine with
+ * line/column and the lexer recovers (skips the offending character
+ * or treats an unterminated comment as end of input) so one bad byte
+ * yields one diagnostic, not a dead process.
  */
 
 #ifndef SUPERSYM_FRONTEND_LEXER_HH
@@ -11,6 +14,7 @@
 #include <vector>
 
 #include "frontend/token.hh"
+#include "support/diag.hh"
 
 namespace ilp {
 
@@ -18,10 +22,14 @@ class Lexer
 {
   public:
     /** @param source The whole program text.
+     *  @param diags  Sink for lexical errors (recovery continues).
      *  @param unit   Name used in diagnostics. */
-    explicit Lexer(std::string source, std::string unit = "<input>");
+    Lexer(std::string source, DiagEngine &diags,
+          std::string unit = "<input>");
 
-    /** Lex the whole input; the last token is always Eof. */
+    /** Lex the whole input; the last token is always Eof.  Errors
+     *  land in the DiagEngine; the returned stream contains only
+     *  well-formed tokens. */
     std::vector<Token> lexAll();
 
   private:
@@ -30,9 +38,11 @@ class Lexer
     char advance();
     bool atEnd() const;
     void skipWhitespaceAndComments();
-    [[noreturn]] void error(const std::string &what) const;
+    void error(ErrCode code, int line, int col,
+               std::string what) const;
 
     std::string src_;
+    DiagEngine &diags_;
     std::string unit_;
     std::size_t pos_ = 0;
     int line_ = 1;

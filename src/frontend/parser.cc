@@ -9,11 +9,24 @@ namespace ilp {
 
 namespace {
 
+/** Thrown after recording a syntax error; caught at the nearest
+ *  statement or top-level recovery point. */
+struct ParseRecovery
+{
+};
+
+/** Thrown when the error limit is reached; unwinds the whole parse. */
+struct ParseBail
+{
+};
+
 class Parser
 {
   public:
-    Parser(std::vector<Token> tokens, std::string unit)
-        : toks_(std::move(tokens)), unit_(std::move(unit))
+    Parser(std::vector<Token> tokens, DiagEngine &diags,
+           std::string unit)
+        : toks_(std::move(tokens)), diags_(diags),
+          unit_(std::move(unit))
     {
     }
 
@@ -22,12 +35,22 @@ class Parser
     {
         Program prog;
         while (!at(Tok::Eof)) {
-            if (at(Tok::KwVar))
-                prog.globals.push_back(parseGlobal());
-            else if (at(Tok::KwFunc))
-                prog.funcs.push_back(parseFunc());
-            else
-                error("expected 'var' or 'func' at top level");
+            std::size_t before = pos_;
+            try {
+                if (at(Tok::KwVar))
+                    prog.globals.push_back(parseGlobal());
+                else if (at(Tok::KwFunc))
+                    prog.funcs.push_back(parseFunc());
+                else
+                    error(ErrCode::ParseBadTopLevel,
+                          "expected 'var' or 'func' at top level");
+            } catch (const ParseBail &) {
+                break;
+            } catch (const ParseRecovery &) {
+                if (pos_ == before)
+                    advance(); // guarantee progress
+                syncTopLevel();
+            }
         }
         return prog;
     }
@@ -64,15 +87,68 @@ class Parser
     expect(Tok k, const char *what)
     {
         if (!at(k))
-            error(std::string("expected ") + tokName(k) + " (" + what +
-                  "), got " + tokName(peek().kind));
+            error(ErrCode::ParseUnexpectedToken,
+                  std::string("expected ") + tokName(k) + " (" + what +
+                      "), got " + tokName(peek().kind));
         return advance();
     }
 
     [[noreturn]] void
-    error(const std::string &msg) const
+    error(ErrCode code, const std::string &msg)
     {
-        SS_FATAL(unit_, ":", peek().line, ":", peek().col, ": ", msg);
+        SourceLoc loc{unit_, peek().line, peek().col};
+        diags_.error(code, loc, msg);
+        if (diags_.atErrorLimit()) {
+            diags_.report(Diag{Severity::Note,
+                               ErrCode::ParseTooManyErrors,
+                               "too many errors; giving up", loc});
+            throw ParseBail{};
+        }
+        throw ParseRecovery{};
+    }
+
+    /** Skip to the start of the next statement: past the next ';',
+     *  or up to (not past) a '}', EOF, or a statement keyword. */
+    void
+    syncStmt()
+    {
+        while (!at(Tok::Eof)) {
+            switch (peek().kind) {
+              case Tok::Semicolon:
+                advance();
+                return;
+              case Tok::RBrace:
+              case Tok::KwVar:
+              case Tok::KwIf:
+              case Tok::KwWhile:
+              case Tok::KwFor:
+              case Tok::KwReturn:
+              case Tok::KwBreak:
+              case Tok::KwContinue:
+                return;
+              default:
+                advance();
+            }
+        }
+    }
+
+    /** Skip to the next 'var' or 'func' at brace depth zero. */
+    void
+    syncTopLevel()
+    {
+        int depth = 0;
+        while (!at(Tok::Eof)) {
+            Tok k = peek().kind;
+            if (k == Tok::LBrace) {
+                ++depth;
+            } else if (k == Tok::RBrace) {
+                depth = depth > 0 ? depth - 1 : 0;
+            } else if (depth == 0 &&
+                       (k == Tok::KwVar || k == Tok::KwFunc)) {
+                return;
+            }
+            advance();
+        }
     }
 
     MtType
@@ -82,7 +158,8 @@ class Parser
             return MtType::Int;
         if (accept(Tok::KwReal))
             return MtType::Real;
-        error("expected 'int' or 'real'");
+        error(ErrCode::ParseUnexpectedToken,
+              "expected 'int' or 'real'");
     }
 
     GlobalDecl
@@ -97,7 +174,8 @@ class Parser
             g.arraySize =
                 expect(Tok::IntLit, "array size").intValue;
             if (g.arraySize <= 0)
-                error("array size must be positive");
+                error(ErrCode::ParseBadArraySize,
+                      "array size must be positive");
             expect(Tok::RBracket, "array size");
         }
         if (accept(Tok::Assign))
@@ -124,7 +202,8 @@ class Parser
                 g.realInit.push_back(v);
                 g.intInit.push_back(static_cast<std::int64_t>(v));
             } else {
-                error("expected literal initializer");
+                error(ErrCode::ParseBadInitializer,
+                      "expected literal initializer");
             }
         };
         if (accept(Tok::LBrace)) {
@@ -135,13 +214,16 @@ class Parser
             }
             expect(Tok::RBrace, "initializer list");
             if (g.arraySize == 0)
-                error("brace initializer on scalar");
+                error(ErrCode::ParseBadInitializer,
+                      "brace initializer on scalar");
             if (static_cast<std::int64_t>(g.intInit.size()) > g.arraySize)
-                error("too many initializers");
+                error(ErrCode::ParseBadInitializer,
+                      "too many initializers");
         } else {
             one();
             if (g.arraySize != 0)
-                error("scalar initializer on array");
+                error(ErrCode::ParseBadInitializer,
+                      "scalar initializer on array");
         }
     }
 
@@ -175,8 +257,16 @@ class Parser
     {
         expect(Tok::LBrace, "block");
         std::vector<StmtPtr> stmts;
-        while (!at(Tok::RBrace) && !at(Tok::Eof))
-            stmts.push_back(parseStmt());
+        while (!at(Tok::RBrace) && !at(Tok::Eof)) {
+            std::size_t before = pos_;
+            try {
+                stmts.push_back(parseStmt());
+            } catch (const ParseRecovery &) {
+                if (pos_ == before)
+                    advance(); // guarantee progress
+                syncStmt();
+            }
+        }
         expect(Tok::RBrace, "block");
         return Stmt::block(std::move(stmts));
     }
@@ -237,7 +327,8 @@ class Parser
         const std::string name =
             expect(Tok::Ident, "variable name").text;
         if (at(Tok::LBracket))
-            error("arrays may only be declared at global scope");
+            error(ErrCode::ParseLocalArray,
+                  "arrays may only be declared at global scope");
         ExprPtr init;
         if (accept(Tok::Assign))
             init = parseExpr();
@@ -285,8 +376,9 @@ class Parser
         const std::string var2 =
             expect(Tok::Ident, "loop step variable").text;
         if (var2 != var)
-            error("for-step must assign the loop variable '" + var +
-                  "'");
+            error(ErrCode::ParseForStepVariable,
+                  "for-step must assign the loop variable '" + var +
+                      "'");
         expect(Tok::Assign, "loop step");
         ExprPtr step = parseExpr();
         expect(Tok::RParen, "for header");
@@ -525,25 +617,41 @@ class Parser
                 e = Expr::var(std::move(name));
             }
         } else {
-            error("expected expression, got " + tokName(peek().kind));
+            error(ErrCode::ParseUnexpectedToken,
+                  "expected expression, got " + tokName(peek().kind));
         }
         e->line = line;
         return e;
     }
 
     std::vector<Token> toks_;
+    DiagEngine &diags_;
     std::string unit_;
     std::size_t pos_ = 0;
 };
 
 } // namespace
 
+Result<Program>
+parseProgramChecked(const std::string &source, const std::string &unit)
+{
+    DiagEngine diags;
+    Lexer lexer(source, diags, unit);
+    Parser parser(lexer.lexAll(), diags, unit);
+    Program prog = parser.parse();
+    if (diags.hasErrors())
+        return Result<Program>::failure(diags.takeDiags());
+    return Result<Program>::success(std::move(prog),
+                                    diags.takeDiags());
+}
+
 Program
 parseProgram(const std::string &source, const std::string &unit)
 {
-    Lexer lexer(source, unit);
-    Parser parser(lexer.lexAll(), unit);
-    return parser.parse();
+    Result<Program> r = parseProgramChecked(source, unit);
+    if (!r.ok())
+        SS_FATAL(r.formatErrors());
+    return r.take();
 }
 
 } // namespace ilp

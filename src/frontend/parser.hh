@@ -17,6 +17,12 @@
  *
  * Arrays may only be declared at global scope (Modula-2 style data
  * layout; simplifies the frame model — see DESIGN.md).
+ *
+ * Syntax errors are recorded as structured diagnostics and the parser
+ * re-synchronizes at statement boundaries, so one compile reports
+ * multiple independent errors.  parseProgramChecked() is the
+ * recoverable entry point; parseProgram() keeps the historical
+ * fatal()-on-error contract for the CLI edge.
  */
 
 #ifndef SUPERSYM_FRONTEND_PARSER_HH
@@ -25,12 +31,25 @@
 #include <string>
 
 #include "frontend/ast.hh"
+#include "support/diag.hh"
 
 namespace ilp {
 
 /**
+ * Parse a whole program, reporting all syntax errors.  On any error
+ * the Result is a failure carrying every diagnostic collected before
+ * the parser gave up (at most the DiagEngine error limit).
+ *
+ * @param source Program text.
+ * @param unit   Name used in diagnostics.
+ */
+Result<Program> parseProgramChecked(const std::string &source,
+                                    const std::string &unit = "<input>");
+
+/**
  * Parse a whole program.  Syntax errors are reported via fatal()
- * (FatalError in throw-mode) with line/column info.
+ * (FatalError in throw-mode) with line/column info.  Thin wrapper
+ * over parseProgramChecked() for callers that cannot recover.
  *
  * @param source Program text.
  * @param unit   Name used in diagnostics.

@@ -3,6 +3,7 @@
 
 #include "ir/liveness.hh"
 #include "opt/passes.hh"
+#include "support/diag.hh"
 #include "support/logging.hh"
 
 namespace ilp {
@@ -213,8 +214,15 @@ assignRegisters(Function &func, const RegFileLayout &layout)
                 victims.push_back(r);
         }
         if (victims.empty())
-            SS_FATAL("temp register file too small (",
-                     layout.numTemp, " temps) for ", func.name);
+            // A machine-configuration limit, not a supersym bug:
+            // recoverable so a sweep cell with a tiny temp file
+            // degrades into one reportable error.
+            throw DiagException(Diag{
+                Severity::Error, ErrCode::OptTempRegsExhausted,
+                "temp register file too small (" +
+                    std::to_string(layout.numTemp) + " temps) for '" +
+                    func.name + "'",
+                {}});
         std::sort(victims.begin(), victims.end(),
                   [&](Reg a, Reg b) {
                       return iv[a].length() > iv[b].length();

@@ -46,20 +46,16 @@ Interpreter::Interpreter(const Module &module, InterpOptions options)
 void
 Interpreter::outOfFuel() const
 {
-    SS_FATAL("interpreter fuel exhausted after ", executed_,
-             " instructions — runaway workload?");
+    throw TrapException(
+        Trap{ErrCode::TrapFuelExhausted, "",
+             "interpreter fuel exhausted after " +
+                 std::to_string(executed_) +
+                 " instructions — runaway workload?"});
 }
 
 RunResult
 Interpreter::run(const std::string &entry, TraceSink *sink)
 {
-    FuncId id = module_.findFunction(entry);
-    if (id == kNoFunc)
-        SS_FATAL("no entry function '", entry, "'");
-    const Function &func = module_.function(id);
-    if (!func.paramRegs.empty())
-        SS_FATAL("entry function '", entry, "' must take no arguments");
-
     sink_ = sink;
     executed_ = 0;
     class_counts_.fill(0);
@@ -68,7 +64,25 @@ Interpreter::run(const std::string &entry, TraceSink *sink)
     arena_.clear();
 
     RunResult result;
-    result.returnValue = callFunction(func, {});
+    try {
+        FuncId id = module_.findFunction(entry);
+        if (id == kNoFunc)
+            throw TrapException(
+                Trap{ErrCode::TrapNoEntry, "",
+                     "no entry function '" + entry + "'"});
+        const Function &func = module_.function(id);
+        if (!func.paramRegs.empty())
+            throw TrapException(
+                Trap{ErrCode::TrapNoEntry, "",
+                     "entry function '" + entry +
+                         "' must take no arguments"});
+        result.returnValue = callFunction(func, {});
+    } catch (const TrapException &e) {
+        // Containment boundary: every frame below has unwound its
+        // bookkeeping, so the interpreter stays usable.
+        result.trap = e.trap();
+        result.trap.instruction = executed_;
+    }
     result.instructions = executed_;
     result.classCounts = class_counts_;
     sink_ = nullptr;
@@ -99,10 +113,28 @@ std::uint64_t
 Interpreter::callFunction(const Function &func,
                           const std::vector<std::uint64_t> &args)
 {
+    try {
+        return execFrame(func, args);
+    } catch (TrapException &e) {
+        // Attribute the fault to the innermost frame (memory traps
+        // are raised below the frame that knows the function name).
+        e.setFunction(func.name);
+        throw;
+    }
+}
+
+std::uint64_t
+Interpreter::execFrame(const Function &func,
+                       const std::vector<std::uint64_t> &args)
+{
     SS_ASSERT(args.size() == func.paramRegs.size(),
               "arity mismatch calling ", func.name);
-    if (++call_depth_ > kMaxCallDepth)
-        SS_FATAL("call depth exceeded in ", func.name);
+    if (call_depth_ >= kMaxCallDepth)
+        throw TrapException(
+            Trap{ErrCode::TrapCallDepthExceeded, func.name,
+                 "call depth exceeded (" +
+                     std::to_string(kMaxCallDepth) + ")"});
+    ++call_depth_;
 
     const std::size_t nregs =
         std::max<std::size_t>(func.numVirtRegs, func.layout.total());
@@ -112,8 +144,26 @@ Interpreter::callFunction(const Function &func,
     // Frame allocation.
     std::int64_t fp = stack_top_;
     stack_top_ += func.frameBytes;
+
+    // Per-frame unwinder: restores the register arena, stack top and
+    // call depth on both normal return and trap unwind, keeping the
+    // interpreter reusable after a fault.
+    struct Frame
+    {
+        Interpreter &self;
+        const Function &func;
+        std::size_t base;
+        ~Frame()
+        {
+            self.arena_.resize(base);
+            self.stack_top_ -= func.frameBytes;
+            --self.call_depth_;
+        }
+    } frame{*this, func, base};
+
     if (stack_top_ > mem_.limit())
-        SS_FATAL("stack overflow in ", func.name);
+        throw TrapException(Trap{ErrCode::TrapStackOverflow,
+                                 func.name, "stack overflow"});
 
     Reg fp_reg = func.framePointer();
     if (fp_reg != kNoReg && fp_reg < nregs)
@@ -133,9 +183,12 @@ Interpreter::callFunction(const Function &func,
     bool running = true;
 
     while (running) {
-        SS_ASSERT(block >= 0 && static_cast<std::size_t>(block) <
-                                    func.blocks.size(),
-                  "bad block id in ", func.name);
+        if (block < 0 ||
+            static_cast<std::size_t>(block) >= func.blocks.size())
+            throw TrapException(
+                Trap{ErrCode::TrapBadJump, func.name,
+                     "jump to invalid block " +
+                         std::to_string(block)});
         const BasicBlock &bb = func.blocks[block];
         SS_ASSERT(ip < bb.instrs.size(), "fell off block in ",
                   func.name);
@@ -173,14 +226,18 @@ Interpreter::callFunction(const Function &func,
           case Opcode::DivI: {
             std::int64_t d = asInt(rhs());
             if (d == 0)
-                SS_FATAL("integer division by zero in ", func.name);
+                throw TrapException(
+                    Trap{ErrCode::TrapDivideByZero, func.name,
+                         "integer division by zero"});
             value = fromInt(asInt(get(in.src1)) / d);
             break;
           }
           case Opcode::RemI: {
             std::int64_t d = asInt(rhs());
             if (d == 0)
-                SS_FATAL("integer remainder by zero in ", func.name);
+                throw TrapException(
+                    Trap{ErrCode::TrapDivideByZero, func.name,
+                         "integer remainder by zero"});
             value = fromInt(asInt(get(in.src1)) % d);
             break;
           }
@@ -378,10 +435,7 @@ Interpreter::callFunction(const Function &func,
         }
     }
 
-    arena_.resize(base);
-    stack_top_ -= func.frameBytes;
-    --call_depth_;
-    return ret_value;
+    return ret_value; // Frame unwinder restores the bookkeeping.
 }
 
 } // namespace ilp

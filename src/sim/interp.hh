@@ -26,6 +26,7 @@
 #include "ir/module.hh"
 #include "sim/memory.hh"
 #include "sim/trace.hh"
+#include "sim/trap.hh"
 #include "support/stats.hh"
 
 namespace ilp {
@@ -45,6 +46,11 @@ struct RunResult
     std::uint64_t instructions = 0;
     /** Dynamic instruction mix (same stream the trace sink sees). */
     ClassCounts classCounts{};
+    /** Set when the workload faulted; returnValue is then
+     *  meaningless and `instructions` counts up to the fault. */
+    Trap trap;
+
+    bool trapped() const { return trap.valid(); }
 };
 
 /** Export a dynamic class mix into a stats group (counts plus
@@ -59,6 +65,11 @@ class Interpreter
 
     /**
      * Run `entry` (default "main") with no arguments.
+     *
+     * A workload fault (trap) does not propagate: the returned
+     * RunResult carries the Trap record and the interpreter object
+     * remains usable for further runs.
+     *
      * @param sink Optional trace sink; null to run untraced.
      */
     RunResult run(const std::string &entry = "main",
@@ -71,6 +82,8 @@ class Interpreter
   private:
     std::uint64_t callFunction(const Function &func,
                                const std::vector<std::uint64_t> &args);
+    std::uint64_t execFrame(const Function &func,
+                            const std::vector<std::uint64_t> &args);
     [[noreturn]] void outOfFuel() const;
 
     const Module &module_;

@@ -1,5 +1,6 @@
 #include "sim/memory.hh"
 
+#include "sim/trap.hh"
 #include "support/logging.hh"
 
 namespace ilp {
@@ -29,12 +30,20 @@ Memory::Memory(const Module &module, std::int64_t stack_bytes)
 void
 Memory::check(std::int64_t addr) const
 {
+    // Workload faults; the faulting function name is attributed by
+    // the interpreter frame the exception unwinds through.
     if (addr < kGlobalBase ||
         addr + kWordBytes >
             static_cast<std::int64_t>(words_.size()) * kWordBytes)
-        SS_FATAL("memory access out of range: address ", addr);
+        throw TrapException(
+            Trap{ErrCode::TrapOutOfBoundsMemory, "",
+                 "memory access out of range: address " +
+                     std::to_string(addr)});
     if (addr % kWordBytes != 0)
-        SS_FATAL("misaligned memory access: address ", addr);
+        throw TrapException(
+            Trap{ErrCode::TrapMisalignedMemory, "",
+                 "misaligned memory access: address " +
+                     std::to_string(addr)});
 }
 
 std::uint64_t

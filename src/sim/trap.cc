@@ -1,0 +1,47 @@
+#include "sim/trap.hh"
+
+namespace ilp {
+
+std::string
+Trap::format() const
+{
+    std::string out = "trap[";
+    out += errCodeId(code);
+    out += ']';
+    if (!function.empty()) {
+        out += " in '";
+        out += function;
+        out += '\'';
+    }
+    out += ": ";
+    out += message;
+    if (instruction > 0) {
+        out += " (after ";
+        out += std::to_string(instruction);
+        out += " instructions)";
+    }
+    return out;
+}
+
+Diag
+Trap::toDiag() const
+{
+    return Diag{Severity::Error, code, format(), {}};
+}
+
+TrapException::TrapException(Trap trap)
+    : std::runtime_error(trap.format()), trap_(std::move(trap))
+{
+}
+
+void
+TrapException::setFunction(const std::string &function)
+{
+    if (trap_.function.empty()) {
+        trap_.function = function;
+        // Rebuild what() lazily? runtime_error's message is fixed;
+        // the Trap record is the authoritative form, so leave it.
+    }
+}
+
+} // namespace ilp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Structured simulator traps.
+ *
+ * A trap is a run-time fault of the *workload* (divide by zero,
+ * out-of-bounds memory, a jump to a nonexistent block, fuel
+ * exhaustion, stack overflow) — distinct from a supersym bug, which
+ * still panics.  Traps used to call fatal() and kill the process;
+ * they are now a Trap record carried in RunResult/RunOutcome so a
+ * sweep cell that faults degrades into one reportable error while
+ * every other cell completes.
+ *
+ * Inside the interpreter traps travel as TrapException; Interpreter::
+ * run() is the containment boundary that converts them into a Trap
+ * on the returned RunResult (the interpreter object stays reusable —
+ * per-frame state is unwound on the way out).
+ */
+
+#ifndef SUPERSYM_SIM_TRAP_HH
+#define SUPERSYM_SIM_TRAP_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "support/diag.hh"
+
+namespace ilp {
+
+/** One simulator fault; `code` is always a TrapXxx ErrCode. */
+struct Trap
+{
+    ErrCode code = ErrCode::None;
+    /** The function executing when the fault hit (may be empty for
+     *  faults before execution starts, e.g. a missing entry). */
+    std::string function;
+    std::string message;
+    /** Dynamic instructions executed when the trap was raised. */
+    std::uint64_t instruction = 0;
+
+    bool valid() const { return code != ErrCode::None; }
+
+    /** "trap[E0401] in 'main': integer division by zero
+     *  (after 17 instructions)" */
+    std::string format() const;
+
+    /** The trap as a diagnostic (no source location — traps are
+     *  dynamic; the "location" is the faulting function). */
+    Diag toDiag() const;
+};
+
+/** Exception form used inside the simulator; callers outside the
+ *  interpreter normally see the Trap record instead. */
+class TrapException : public std::runtime_error
+{
+  public:
+    explicit TrapException(Trap trap);
+
+    const Trap &trap() const { return trap_; }
+
+    /** Attribute the fault to `function` if not yet attributed
+     *  (memory faults are raised below the frame that knows the
+     *  function name). */
+    void setFunction(const std::string &function);
+
+  private:
+    Trap trap_;
+};
+
+} // namespace ilp
+
+#endif // SUPERSYM_SIM_TRAP_HH

@@ -212,68 +212,93 @@ TEST(CodegenTest, RealParamsAndReturns)
     EXPECT_EQ(runRaw(src), 6);
 }
 
-class CodegenErrorTest : public test::ThrowingErrors
+/** First error code of a program expected to fail semantic checks. */
+ErrCode
+semaError(const std::string &source)
 {
-};
-
-TEST_F(CodegenErrorTest, UndefinedVariable)
-{
-    EXPECT_THROW(runRaw("func main() : int { return zz; }"),
-                 FatalError);
+    Result<Module> r = compileToIrChecked(source);
+    EXPECT_FALSE(r.ok()) << "program unexpectedly compiled";
+    return r.code();
 }
 
-TEST_F(CodegenErrorTest, UndefinedFunction)
+TEST(CodegenErrorTest, UndefinedVariable)
 {
-    EXPECT_THROW(runRaw("func main() : int { return nope(); }"),
-                 FatalError);
+    EXPECT_EQ(semaError("func main() : int { return zz; }"),
+              ErrCode::SemaUndefined);
 }
 
-TEST_F(CodegenErrorTest, ArityMismatch)
+TEST(CodegenErrorTest, UndefinedFunction)
 {
-    EXPECT_THROW(runRaw("func f(int a) : int { return a; }"
+    EXPECT_EQ(semaError("func main() : int { return nope(); }"),
+              ErrCode::SemaUndefined);
+}
+
+TEST(CodegenErrorTest, ArityMismatch)
+{
+    EXPECT_EQ(semaError("func f(int a) : int { return a; }"
                         "func main() : int { return f(1, 2); }"),
-                 FatalError);
+              ErrCode::SemaBadCall);
 }
 
-TEST_F(CodegenErrorTest, VoidUsedAsValue)
+TEST(CodegenErrorTest, VoidUsedAsValue)
 {
-    EXPECT_THROW(runRaw("func f() { }"
+    EXPECT_EQ(semaError("func f() { }"
                         "func main() : int { return f(); }"),
-                 FatalError);
+              ErrCode::SemaBadCall);
 }
 
-TEST_F(CodegenErrorTest, NarrowingWithoutCast)
+TEST(CodegenErrorTest, NarrowingWithoutCast)
 {
-    EXPECT_THROW(runRaw("func main() : int { return 2.5; }"),
-                 FatalError);
+    EXPECT_EQ(semaError("func main() : int { return 2.5; }"),
+              ErrCode::SemaTypeMismatch);
 }
 
-TEST_F(CodegenErrorTest, RedeclarationRejected)
+TEST(CodegenErrorTest, RedeclarationRejected)
 {
-    EXPECT_THROW(runRaw("func main() : int {"
+    EXPECT_EQ(semaError("func main() : int {"
                         "  var int x = 1; var int x = 2; return x; }"),
-                 FatalError);
+              ErrCode::SemaRedeclaration);
 }
 
-TEST_F(CodegenErrorTest, ShadowingGlobalRejected)
+TEST(CodegenErrorTest, ShadowingGlobalRejected)
 {
-    EXPECT_THROW(runRaw("var int g;"
+    EXPECT_EQ(semaError("var int g;"
                         "func main() : int { var int g = 1;"
                         "  return g; }"),
-                 FatalError);
+              ErrCode::SemaRedeclaration);
 }
 
-TEST_F(CodegenErrorTest, ArrayUsedAsScalar)
+TEST(CodegenErrorTest, ArrayUsedAsScalar)
 {
-    EXPECT_THROW(runRaw("var int a[4];"
+    EXPECT_EQ(semaError("var int a[4];"
                         "func main() : int { return a; }"),
-                 FatalError);
+              ErrCode::SemaTypeMismatch);
 }
 
-TEST_F(CodegenErrorTest, BreakOutsideLoop)
+TEST(CodegenErrorTest, BreakOutsideLoop)
 {
-    EXPECT_THROW(runRaw("func main() : int { break; return 0; }"),
-                 FatalError);
+    EXPECT_EQ(semaError("func main() : int { break; return 0; }"),
+              ErrCode::SemaBreakOutsideLoop);
+}
+
+TEST(CodegenErrorTest, ReportsErrorsInMultipleFunctions)
+{
+    // Codegen recovers per function: a broken first function must
+    // not mask an error in the second.
+    Result<Module> r = compileToIrChecked(
+        "func f() : int { return zz; }"
+        "func g() : int { return 2.5; }");
+    ASSERT_FALSE(r.ok());
+    bool undefined = false, mismatch = false;
+    for (const Diag &d : r.diags()) {
+        undefined |= d.code == ErrCode::SemaUndefined;
+        mismatch |= d.code == ErrCode::SemaTypeMismatch;
+    }
+    EXPECT_TRUE(undefined);
+    EXPECT_TRUE(mismatch);
+    // Messages name the function at fault.
+    EXPECT_NE(r.formatErrors().find("'f'"), std::string::npos);
+    EXPECT_NE(r.formatErrors().find("'g'"), std::string::npos);
 }
 
 } // namespace

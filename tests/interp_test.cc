@@ -119,7 +119,6 @@ TEST(InterpTest, ClassProfileCountsClasses)
 
 TEST(InterpTest, FuelLimitStopsRunaways)
 {
-    setLoggingThrows(true);
     Module m = makeMain(
         [](Module &, Function &f, IrBuilder &b) {
             BlockId loop = b.makeBlock();
@@ -132,26 +131,29 @@ TEST(InterpTest, FuelLimitStopsRunaways)
     InterpOptions opts;
     opts.fuel = 10000;
     Interpreter interp(m, opts);
-    EXPECT_THROW(interp.run(), FatalError);
-    setLoggingThrows(false);
+    RunResult r = interp.run();
+    ASSERT_TRUE(r.trapped());
+    EXPECT_EQ(r.trap.code, ErrCode::TrapFuelExhausted);
+    EXPECT_EQ(r.trap.function, "main");
+    EXPECT_GE(r.trap.instruction, 10000u);
 }
 
 TEST(InterpTest, NullDereferenceFaults)
 {
-    setLoggingThrows(true);
     Module m = makeMain([](Module &, Function &, IrBuilder &b) {
         Reg z = b.li(0);
         Reg v = b.load(Opcode::LoadW, z, 0);
         b.ret(v);
     });
     Interpreter interp(m);
-    EXPECT_THROW(interp.run(), FatalError);
-    setLoggingThrows(false);
+    RunResult r = interp.run();
+    ASSERT_TRUE(r.trapped());
+    EXPECT_EQ(r.trap.code, ErrCode::TrapOutOfBoundsMemory);
+    EXPECT_EQ(r.trap.function, "main");
 }
 
 TEST(InterpTest, MisalignedAccessFaults)
 {
-    setLoggingThrows(true);
     Module m = makeMain([](Module &mod, Function &, IrBuilder &b) {
         std::int64_t g = mod.addGlobal("g", 1, false);
         Reg base = b.li(g + 4); // misaligned
@@ -159,13 +161,13 @@ TEST(InterpTest, MisalignedAccessFaults)
         b.ret(v);
     });
     Interpreter interp(m);
-    EXPECT_THROW(interp.run(), FatalError);
-    setLoggingThrows(false);
+    RunResult r = interp.run();
+    ASSERT_TRUE(r.trapped());
+    EXPECT_EQ(r.trap.code, ErrCode::TrapMisalignedMemory);
 }
 
 TEST(InterpTest, DivisionByZeroFaults)
 {
-    setLoggingThrows(true);
     Module m = makeMain([](Module &, Function &, IrBuilder &b) {
         Reg a = b.li(5);
         Reg z = b.li(0);
@@ -173,13 +175,15 @@ TEST(InterpTest, DivisionByZeroFaults)
         b.ret(q);
     });
     Interpreter interp(m);
-    EXPECT_THROW(interp.run(), FatalError);
-    setLoggingThrows(false);
+    RunResult r = interp.run();
+    ASSERT_TRUE(r.trapped());
+    EXPECT_EQ(r.trap.code, ErrCode::TrapDivideByZero);
+    EXPECT_EQ(r.trap.function, "main");
+    EXPECT_NE(r.trap.format().find("E0"), std::string::npos);
 }
 
 TEST(InterpTest, DeepRecursionHitsDepthLimit)
 {
-    setLoggingThrows(true);
     const char *src = R"(
         func f(int n) : int { return f(n + 1); }
         func main() : int { return f(0); })";
@@ -188,8 +192,30 @@ TEST(InterpTest, DeepRecursionHitsDepthLimit)
     oo.level = OptLevel::None;
     optimizeModule(m, baseMachine(), oo);
     Interpreter interp(m);
-    EXPECT_THROW(interp.run(), FatalError);
-    setLoggingThrows(false);
+    RunResult r = interp.run();
+    ASSERT_TRUE(r.trapped());
+    EXPECT_TRUE(r.trap.code == ErrCode::TrapCallDepthExceeded ||
+                r.trap.code == ErrCode::TrapStackOverflow)
+        << r.trap.format();
+    // The faulting frame is the recursive callee, not main.
+    EXPECT_EQ(r.trap.function, "f");
+}
+
+TEST(InterpTest, InterpreterSurvivesATrap)
+{
+    // Containment: after a trapping run the process (and even the
+    // same interpreter) is usable.
+    Module m = makeMain([](Module &, Function &, IrBuilder &b) {
+        Reg a = b.li(5);
+        Reg z = b.li(0);
+        Reg q = b.binary(Opcode::DivI, a, z);
+        b.ret(q);
+    });
+    Interpreter interp(m);
+    ASSERT_TRUE(interp.run().trapped());
+    RunResult again = interp.run();
+    EXPECT_TRUE(again.trapped());
+    EXPECT_EQ(again.trap.code, ErrCode::TrapDivideByZero);
 }
 
 TEST(InterpTest, CallTracePreservesFetchOrder)

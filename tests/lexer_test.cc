@@ -1,4 +1,4 @@
-/** Tests for the MT lexer. */
+/** Tests for the MT lexer, including its diagnostic recovery. */
 
 #include <gtest/gtest.h>
 
@@ -8,13 +8,21 @@
 namespace ilp {
 namespace {
 
+std::vector<Token>
+lexAll(const std::string &src, DiagEngine &diags)
+{
+    Lexer lex(src, diags);
+    return lex.lexAll();
+}
+
 std::vector<Tok>
 kinds(const std::string &src)
 {
-    Lexer lex(src);
+    DiagEngine diags;
     std::vector<Tok> out;
-    for (const auto &t : lex.lexAll())
+    for (const auto &t : lexAll(src, diags))
         out.push_back(t.kind);
+    EXPECT_FALSE(diags.hasErrors()) << diags.formatAll();
     return out;
 }
 
@@ -28,8 +36,8 @@ TEST(LexerTest, KeywordsAndIdentifiers)
 
 TEST(LexerTest, IntegerAndRealLiterals)
 {
-    Lexer lex("42 3.5 1e3 2.5e-2 7");
-    auto toks = lex.lexAll();
+    DiagEngine diags;
+    auto toks = lexAll("42 3.5 1e3 2.5e-2 7", diags);
     ASSERT_EQ(toks.size(), 6u);
     EXPECT_EQ(toks[0].kind, Tok::IntLit);
     EXPECT_EQ(toks[0].intValue, 42);
@@ -40,6 +48,7 @@ TEST(LexerTest, IntegerAndRealLiterals)
     EXPECT_EQ(toks[3].kind, Tok::RealLit);
     EXPECT_DOUBLE_EQ(toks[3].realValue, 0.025);
     EXPECT_EQ(toks[4].kind, Tok::IntLit);
+    EXPECT_FALSE(diags.hasErrors());
 }
 
 TEST(LexerTest, TwoCharOperators)
@@ -60,8 +69,8 @@ TEST(LexerTest, CommentsAreSkipped)
 
 TEST(LexerTest, LineAndColumnTracking)
 {
-    Lexer lex("a\n  b");
-    auto toks = lex.lexAll();
+    DiagEngine diags;
+    auto toks = lexAll("a\n  b", diags);
     EXPECT_EQ(toks[0].line, 1);
     EXPECT_EQ(toks[0].col, 1);
     EXPECT_EQ(toks[1].line, 2);
@@ -70,34 +79,54 @@ TEST(LexerTest, LineAndColumnTracking)
 
 TEST(LexerTest, DotWithoutDigitIsNotARealSuffix)
 {
-    // "5." should lex as the int 5 followed by an error on '.'.
-    setLoggingThrows(true);
-    Lexer lex("5.");
-    EXPECT_THROW(lex.lexAll(), FatalError);
-    setLoggingThrows(false);
+    // "5." lexes as the int 5 plus a stray-dot diagnostic; the token
+    // stream is still well formed.
+    DiagEngine diags;
+    auto toks = lexAll("5.", diags);
+    ASSERT_EQ(toks.size(), 2u);
+    EXPECT_EQ(toks[0].kind, Tok::IntLit);
+    EXPECT_EQ(toks[0].intValue, 5);
+    EXPECT_EQ(toks[1].kind, Tok::Eof);
+    ASSERT_EQ(diags.diags().size(), 1u);
+    EXPECT_EQ(diags.diags()[0].code, ErrCode::LexStrayDot);
+    EXPECT_EQ(diags.diags()[0].loc.col, 2);
 }
 
-class LexerErrorTest : public test::ThrowingErrors
+TEST(LexerTest, UnexpectedCharacterRecovers)
 {
-};
-
-TEST_F(LexerErrorTest, UnexpectedCharacter)
-{
-    Lexer lex("a $ b", "unit");
-    try {
-        lex.lexAll();
-        FAIL() << "expected an error";
-    } catch (const FatalError &e) {
-        std::string what = e.what();
-        EXPECT_NE(what.find("unit:1"), std::string::npos);
-        EXPECT_NE(what.find("'$'"), std::string::npos);
-    }
+    DiagEngine diags;
+    Lexer lex("a $ b", diags, "unit");
+    auto toks = lex.lexAll();
+    // The stray '$' costs one diagnostic; both identifiers survive.
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[0].kind, Tok::Ident);
+    EXPECT_EQ(toks[1].kind, Tok::Ident);
+    ASSERT_EQ(diags.diags().size(), 1u);
+    const Diag &d = diags.diags()[0];
+    EXPECT_EQ(d.code, ErrCode::LexUnexpectedChar);
+    EXPECT_EQ(d.loc.unit, "unit");
+    EXPECT_EQ(d.loc.line, 1);
+    EXPECT_EQ(d.loc.col, 3);
+    EXPECT_NE(d.format().find("'$'"), std::string::npos);
 }
 
-TEST_F(LexerErrorTest, UnterminatedComment)
+TEST(LexerTest, UnterminatedCommentReportsAtCommentStart)
 {
-    Lexer lex("a /* never closed");
-    EXPECT_THROW(lex.lexAll(), FatalError);
+    DiagEngine diags;
+    auto toks = lexAll("a\n/* never closed", diags);
+    ASSERT_EQ(toks.size(), 2u); // "a", Eof
+    ASSERT_EQ(diags.diags().size(), 1u);
+    EXPECT_EQ(diags.diags()[0].code, ErrCode::LexUnterminatedComment);
+    EXPECT_EQ(diags.diags()[0].loc.line, 2);
+    EXPECT_EQ(diags.diags()[0].loc.col, 1);
+}
+
+TEST(LexerTest, EveryBadByteCostsOneDiagnostic)
+{
+    DiagEngine diags;
+    auto toks = lexAll("$ # `", diags);
+    ASSERT_EQ(toks.size(), 1u); // just Eof
+    EXPECT_EQ(diags.errorCount(), 3u);
 }
 
 TEST(LexerTest, EofIsAlwaysLast)

@@ -126,43 +126,93 @@ TEST(ParserTest, ControlStatements)
     EXPECT_EQ(p.funcs.size(), 1u);
 }
 
-class ParserErrorTest : public test::ThrowingErrors
+/** First error code of a program expected not to parse. */
+ErrCode
+firstError(const std::string &source)
 {
-};
-
-TEST_F(ParserErrorTest, ForStepMustAssignLoopVariable)
-{
-    EXPECT_THROW(
-        parseProgram("func f() { var int i; var int j;"
-                     "for (i = 0; i < 1; j = j + 1) { } }"),
-        FatalError);
+    Result<Program> r = parseProgramChecked(source);
+    EXPECT_FALSE(r.ok()) << "program unexpectedly parsed";
+    return r.code();
 }
 
-TEST_F(ParserErrorTest, LocalArraysRejected)
+TEST(ParserErrorTest, ForStepMustAssignLoopVariable)
 {
-    EXPECT_THROW(parseProgram("func f() { var int a[10]; }"),
-                 FatalError);
+    EXPECT_EQ(firstError("func f() { var int i; var int j;"
+                         "for (i = 0; i < 1; j = j + 1) { } }"),
+              ErrCode::ParseForStepVariable);
 }
 
-TEST_F(ParserErrorTest, MissingSemicolon)
+TEST(ParserErrorTest, LocalArraysRejected)
 {
-    EXPECT_THROW(parseProgram("func f() { x = 1 }"), FatalError);
+    EXPECT_EQ(firstError("func f() { var int a[10]; }"),
+              ErrCode::ParseLocalArray);
 }
 
-TEST_F(ParserErrorTest, ScalarBraceInitializerRejected)
+TEST(ParserErrorTest, MissingSemicolon)
 {
-    EXPECT_THROW(parseProgram("var int x = {1, 2};"), FatalError);
+    Result<Program> r = parseProgramChecked("func f() { x = 1 }");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrCode::ParseUnexpectedToken);
+    // The diagnostic points at the '}' where ';' was expected.
+    EXPECT_EQ(r.diags()[0].loc.line, 1);
+    EXPECT_EQ(r.diags()[0].loc.col, 18);
 }
 
-TEST_F(ParserErrorTest, TooManyInitializers)
+TEST(ParserErrorTest, ScalarBraceInitializerRejected)
 {
-    EXPECT_THROW(parseProgram("var int x[2] = {1, 2, 3};"),
-                 FatalError);
+    EXPECT_EQ(firstError("var int x = {1, 2};"),
+              ErrCode::ParseBadInitializer);
 }
 
-TEST_F(ParserErrorTest, TopLevelGarbage)
+TEST(ParserErrorTest, TooManyInitializers)
 {
-    EXPECT_THROW(parseProgram("int x;"), FatalError);
+    EXPECT_EQ(firstError("var int x[2] = {1, 2, 3};"),
+              ErrCode::ParseBadInitializer);
+}
+
+TEST(ParserErrorTest, TopLevelGarbage)
+{
+    EXPECT_EQ(firstError("int x;"), ErrCode::ParseBadTopLevel);
+}
+
+TEST(ParserErrorTest, RecoversToReportMultipleStatements)
+{
+    // Two independent statement-level errors in one function: the
+    // parser resynchronizes at the ';' and reports both.
+    Result<Program> r = parseProgramChecked(
+        "func f() { x = ; y = 1; z = @; }", "multi.mt");
+    ASSERT_FALSE(r.ok());
+    EXPECT_GE(r.diags().size(), 2u);
+    EXPECT_EQ(r.diags()[0].loc.unit, "multi.mt");
+}
+
+TEST(ParserErrorTest, RecoversAcrossFunctions)
+{
+    // A broken first function must not hide errors in (or the
+    // existence of) the second.
+    Result<Program> r = parseProgramChecked(
+        "func f() { x = ; }"
+        "func g() { var int a[4]; }");
+    ASSERT_FALSE(r.ok());
+    std::size_t local_array = 0;
+    for (const Diag &d : r.diags())
+        if (d.code == ErrCode::ParseLocalArray)
+            ++local_array;
+    EXPECT_EQ(local_array, 1u);
+}
+
+TEST(ParserErrorTest, ErrorLimitStopsTheFlood)
+{
+    // A pathological input cannot produce unbounded diagnostics: the
+    // engine caps errors and appends a too-many-errors note.
+    std::string source = "func f() {";
+    for (int i = 0; i < 100; ++i)
+        source += " x = ;";
+    source += " }";
+    Result<Program> r = parseProgramChecked(source);
+    ASSERT_FALSE(r.ok());
+    EXPECT_LE(r.diags().size(), 30u);
+    EXPECT_EQ(r.diags().back().code, ErrCode::ParseTooManyErrors);
 }
 
 TEST(ParserTest, AstCloneIsDeep)

@@ -23,6 +23,7 @@
 #include "core/machine/models.hh"
 #include "core/study/experiment.hh"
 #include "core/study/sweep.hh"
+#include "sim/trap.hh"
 #include "tests/helpers.hh"
 
 namespace ilp {
@@ -157,6 +158,185 @@ TEST(CompileCacheTest, HitReturnsTheMissTelemetry)
         EXPECT_EQ(first.phases[i].instrsAfter,
                   second.phases[i].instrsAfter);
     }
+}
+
+// ------------------------------------------- keep-going (mapChecked)
+
+TEST(SweepRunnerTest, MapCheckedCompletesEveryCellPastFailures)
+{
+    // One throwing cell must not cost any other cell, at any job
+    // count, and the recorded error must be identical everywhere.
+    for (int jobs : {1, 2, 8}) {
+        SweepRunner runner(jobs);
+        std::vector<CellOutcome<long>> out =
+            runner.mapChecked<long>(64, [](std::size_t i) -> long {
+                if (i == 13) {
+                    throw DiagException(
+                        Diag{Severity::Error, ErrCode::SemaUndefined,
+                             "undefined variable 'zz'", {}});
+                }
+                if (i == 40) {
+                    throw TrapException(
+                        Trap{ErrCode::TrapDivideByZero, "main",
+                             "integer division by zero"});
+                }
+                return static_cast<long>(i * 2);
+            });
+        ASSERT_EQ(out.size(), 64u) << "jobs " << jobs;
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            if (i == 13) {
+                EXPECT_FALSE(out[i].ok());
+                EXPECT_EQ(out[i].error.code, ErrCode::SemaUndefined);
+                EXPECT_NE(out[i].error.message.find("'zz'"),
+                          std::string::npos);
+            } else if (i == 40) {
+                EXPECT_FALSE(out[i].ok());
+                EXPECT_EQ(out[i].error.code,
+                          ErrCode::TrapDivideByZero);
+            } else {
+                EXPECT_TRUE(out[i].ok()) << "cell " << i << " jobs "
+                                         << jobs << ": "
+                                         << out[i].error.message;
+                EXPECT_EQ(out[i].value, static_cast<long>(i * 2));
+            }
+        }
+    }
+}
+
+TEST(SweepRunnerTest, MapCheckedErrorReportingIsDeterministic)
+{
+    auto sweep = [](int jobs) {
+        SweepRunner runner(jobs);
+        return runner.mapChecked<int>(32, [](std::size_t i) -> int {
+            if (i % 5 == 0)
+                throw std::runtime_error("cell " +
+                                         std::to_string(i));
+            return static_cast<int>(i);
+        });
+    };
+    std::vector<CellOutcome<int>> serial = sweep(1);
+    for (int jobs : {2, 8}) {
+        std::vector<CellOutcome<int>> parallel = sweep(jobs);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(parallel[i].ok(), serial[i].ok());
+            EXPECT_EQ(parallel[i].error.code, serial[i].error.code);
+            EXPECT_EQ(parallel[i].error.message,
+                      serial[i].error.message);
+            EXPECT_EQ(parallel[i].value, serial[i].value);
+        }
+    }
+}
+
+TEST(SweepRunnerTest, MapCheckedTranslatesUnknownExceptions)
+{
+    SweepRunner runner(1);
+    std::vector<CellOutcome<int>> out =
+        runner.mapChecked<int>(1, [](std::size_t) -> int {
+            throw std::logic_error("surprise");
+        });
+    ASSERT_FALSE(out[0].ok());
+    EXPECT_EQ(out[0].error.code, ErrCode::Internal);
+    EXPECT_EQ(out[0].error.message, "surprise");
+}
+
+TEST(KeepGoingStudyTest, FailingWorkloadIsolatedFromTheSweep)
+{
+    // An end-to-end keep-going sweep: one malformed workload among
+    // valid ones.  The bad cell reports a stable parse error; the
+    // good cells produce real speedups; the whole outcome vector is
+    // identical at --jobs 1 and --jobs 8.
+    Workload bad{"bad", "malformed", "func main( { return 0; }", 0,
+                 false, 1};
+    auto sweep = [&](int jobs) {
+        Study study(jobs);
+        return study.runner().mapChecked<double>(
+            4, [&](std::size_t i) {
+                if (i == 2)
+                    return study.speedup(bad, idealSuperscalar(2));
+                return study.speedup(workloadByName("yacc"),
+                                     idealSuperscalar(
+                                         static_cast<int>(i) + 1));
+            });
+    };
+    std::vector<CellOutcome<double>> serial = sweep(1);
+    ASSERT_EQ(serial.size(), 4u);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        if (i == 2) {
+            EXPECT_FALSE(serial[i].ok());
+            EXPECT_NE(serial[i].error.message.find("error["),
+                      std::string::npos);
+        } else {
+            EXPECT_TRUE(serial[i].ok()) << serial[i].error.message;
+            EXPECT_GE(serial[i].value, 1.0);
+        }
+    }
+    std::vector<CellOutcome<double>> parallel = sweep(8);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(parallel[i].ok(), serial[i].ok());
+        EXPECT_EQ(parallel[i].error.code, serial[i].error.code);
+        EXPECT_EQ(parallel[i].error.message, serial[i].error.message);
+        EXPECT_EQ(parallel[i].value, serial[i].value);
+    }
+}
+
+// ------------------------------------- CompileCache failure handling
+
+TEST(CompileCacheTest, FailedCompileDoesNotPoisonTheCache)
+{
+    Workload bad{"bad", "malformed", "func main( { return 0; }", 0,
+                 false, 1};
+    CompileOptions o;
+    CompileCache cache;
+
+    // Every attempt rethrows the failure and is counted; the entry
+    // is evicted each time, so each attempt really recompiles.
+    EXPECT_THROW(cache.compile(bad, idealSuperscalar(4), o),
+                 DiagException);
+    EXPECT_EQ(cache.failures(), 1u);
+    EXPECT_EQ(cache.size(), 0u);
+
+    EXPECT_THROW(cache.compile(bad, idealSuperscalar(4), o),
+                 DiagException);
+    EXPECT_EQ(cache.failures(), 2u);
+    EXPECT_EQ(cache.misses(), 2u); // retried, not replayed
+    EXPECT_EQ(cache.size(), 0u);
+
+    // The failure carries the structured diagnostics.
+    try {
+        cache.compile(bad, idealSuperscalar(4), o);
+        FAIL() << "expected DiagException";
+    } catch (const DiagException &e) {
+        EXPECT_FALSE(e.diags().empty());
+        EXPECT_NE(e.code(), ErrCode::None);
+    }
+
+    // A healthy workload still compiles in the same cache.
+    const Workload &good = workloadByName("yacc");
+    EXPECT_NE(cache.compile(good, idealSuperscalar(4),
+                            defaultCompileOptions(good)),
+              nullptr);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CompileCacheTest, ConcurrentRequestersAllSeeTheFailure)
+{
+    Workload bad{"bad", "malformed", "func main( { return 0; }", 0,
+                 false, 1};
+    CompileOptions o;
+    CompileCache cache;
+    SweepRunner runner(8);
+    std::atomic<int> failures{0};
+    runner.run(8, [&](std::size_t) {
+        try {
+            cache.compile(bad, idealSuperscalar(4), o);
+        } catch (const DiagException &) {
+            failures.fetch_add(1);
+        }
+    });
+    EXPECT_EQ(failures.load(), 8);
+    EXPECT_EQ(cache.size(), 0u);
 }
 
 // ---------------------------------------- serial == parallel sweeps

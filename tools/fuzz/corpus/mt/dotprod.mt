@@ -1,0 +1,21 @@
+// Dot product over two arrays — the unrollable reduction of the
+// paper's Figure 1-1(a) family.  Try:
+//   ssim ilp dotprod.mt
+//   ssim ilp dotprod.mt --unroll 4 --careful --temps 40
+var real x[512];
+var real y[512];
+var real result_fp;
+
+func main() : int {
+    var int i;
+    var real q = 0.0;
+    for (i = 0; i < 512; i = i + 1) {
+        x[i] = real(i) * 0.5;
+        y[i] = real(512 - i) * 0.25;
+    }
+    for (i = 0; i < 512; i = i + 1) {
+        q = q + x[i] * y[i];
+    }
+    result_fp = q;
+    return int(q);
+}

@@ -1,0 +1,13 @@
+// Iterative Fibonacci — a pure dependence chain: near-zero ILP, the
+// degree-proof workload of the paper's Figure 1-1(b).
+var int fibs[64];
+
+func main() : int {
+    var int i;
+    fibs[0] = 0;
+    fibs[1] = 1;
+    for (i = 2; i < 64; i = i + 1) {
+        fibs[i] = fibs[i - 1] + fibs[i - 2];
+    }
+    return fibs[40];
+}

@@ -1,0 +1,2 @@
+var int a$;
+/* open

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fuzz target for Json::tryParse: arbitrary bytes must either parse
+ * (and then round-trip through dump/parse) or report an error string
+ * — never fatal(), crash, or leak.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "support/json.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    if (size > 1 << 16)
+        return 0;
+    std::string text(reinterpret_cast<const char *>(data), size);
+    ilp::Json doc;
+    std::string error;
+    if (ilp::Json::tryParse(text, doc, &error)) {
+        // A parsed document must survive its own writer.
+        ilp::Json back;
+        if (!ilp::Json::tryParse(doc.dump(), back, &error))
+            __builtin_trap();
+        if (!(back == doc))
+            __builtin_trap();
+    } else if (error.empty()) {
+        __builtin_trap(); // failures must explain themselves
+    }
+    return 0;
+}

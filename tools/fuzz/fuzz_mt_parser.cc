@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fuzz target for the MT frontend: arbitrary bytes must produce
+ * either a Module or a diagnostic list — never a process death, hang,
+ * or memory error.  The containment contract under test is exactly
+ * the one the sweep engine relies on (docs/robustness.md).
+ *
+ * Built two ways (tools/fuzz/CMakeLists.txt):
+ *  - with -DSS_BUILD_FUZZERS=ON under clang: a libFuzzer binary;
+ *  - always: a replay driver (fuzz_mt_parser_replay) that runs the
+ *    same body over corpus files, used by scripts/check.sh.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "frontend/compile.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    // Cap the input so pathological cases stay fast; the frontend is
+    // linear but a fuzzer will happily hand us megabytes.
+    if (size > 1 << 16)
+        return 0;
+    std::string source(reinterpret_cast<const char *>(data), size);
+    ilp::Result<ilp::Module> r =
+        ilp::compileToIrChecked(source, {}, "<fuzz>");
+    if (!r.ok() && r.code() == ilp::ErrCode::None)
+        __builtin_trap(); // a failure must carry an error code
+    return 0;
+}

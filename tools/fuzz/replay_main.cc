@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Corpus replay driver: a plain main() for fuzz targets when
+ * libFuzzer is unavailable (gcc builds, CI smoke).  Runs
+ * LLVMFuzzerTestOneInput over every file named on the command line —
+ * the same entry point libFuzzer drives — so crash regressions and
+ * seed corpora stay checkable in every toolchain.
+ *
+ * Exit status: 0 if every input was processed, 2 on usage/IO error.
+ * A containment failure inside the target aborts, which is the point.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size);
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s CORPUS_FILE...\n", argv[0]);
+        return 2;
+    }
+    for (int i = 1; i < argc; ++i) {
+        std::ifstream in(argv[i], std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "cannot open '%s'\n", argv[i]);
+            return 2;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        const std::string bytes = ss.str();
+        LLVMFuzzerTestOneInput(
+            reinterpret_cast<const std::uint8_t *>(bytes.data()),
+            bytes.size());
+    }
+    std::printf("replayed %d input(s)\n", argc - 1);
+    return 0;
+}
