@@ -40,17 +40,20 @@ main()
 
     // With SSIM_BENCH_STATS set, record one full snapshot per
     // benchmark on the headline ss4 machine so perf PRs can diff
-    // stall attribution across revisions.  The runs fan out across
-    // the pool; appends follow serially in suite order so the
-    // trajectory is deterministic under any job count.
+    // stall attribution across revisions.  The runs go through the
+    // study, so the degree sweep above already compiled and executed
+    // every (benchmark, ss4) cell — these are pure replays.  Appends
+    // follow serially in suite order so the trajectory is
+    // deterministic under any job count.
     if (bench::statsTrajectoryPath()) {
         const auto &suite = allWorkloads();
         std::vector<RunOutcome> outs =
             bench::sweeper().map<RunOutcome>(
                 suite.size(), [&](std::size_t i) {
-                    return runWorkload(suite[i], idealSuperscalar(4),
-                                       defaultCompileOptions(suite[i]),
-                                       bench::benchTelemetry());
+                    return study.timedRun(
+                        suite[i], idealSuperscalar(4),
+                        defaultCompileOptions(suite[i]),
+                        bench::benchTelemetry());
                 });
         for (std::size_t i = 0; i < suite.size(); ++i)
             bench::appendStatsTrajectory(

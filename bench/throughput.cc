@@ -76,6 +76,52 @@ BM_TimingSimulation(benchmark::State &state)
 BENCHMARK(BM_TimingSimulation)->Unit(benchmark::kMillisecond);
 
 void
+BM_LiveRun(benchmark::State &state)
+{
+    // The coupled path: every iteration re-executes the workload
+    // functionally while timing it (runOnMachine).  Compare against
+    // BM_TraceReplay for the execute-once / time-many win.
+    const Workload &w = wl();
+    CompileOptions o = defaultCompileOptions(w);
+    MachineConfig mc = idealSuperscalar(4);
+    Module m = compileWorkload(w.source, mc, o);
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        RunOutcome out = runOnMachine(m, mc);
+        instrs += out.instructions;
+        benchmark::DoNotOptimize(out.cycles);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LiveRun)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceReplay(benchmark::State &state)
+{
+    // The split path: one functional execution up front
+    // (executeWorkload), then each iteration is pure timing over the
+    // packed trace (timeTrace) — the steady-state cost of a sweep
+    // cell once the TraceCache is warm.
+    const Workload &w = wl();
+    CompileOptions o = defaultCompileOptions(w);
+    MachineConfig mc = idealSuperscalar(4);
+    Module m = compileWorkload(w.source, mc, o);
+    TraceArtifact artifact = executeWorkload(m);
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        RunOutcome out = timeTrace(artifact, mc);
+        instrs += out.instructions;
+        benchmark::DoNotOptimize(out.cycles);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+    state.counters["trace_mb"] =
+        static_cast<double>(artifact.byteSize()) / (1024.0 * 1024.0);
+}
+BENCHMARK(BM_TraceReplay)->Unit(benchmark::kMillisecond);
+
+void
 BM_CompileCacheHit(benchmark::State &state)
 {
     // Steady-state cost of a shared compilation lookup (one compile,

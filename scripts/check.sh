@@ -66,4 +66,20 @@ SSIM_JOBS=2 "$BUILD_DIR/src/cli/ssim" suite --machine ss4 \
     --stats-json "$STATS_JSON" > /dev/null
 "$BUILD_DIR/src/cli/ssim" check-json "$STATS_JSON"
 
+echo "== trace cache smoke =="
+# Execute-once/time-many must be invisible in the output: a suite run
+# and an ilp sweep with the trace cache on must be byte-identical to
+# the live-interpretation path (SSIM_TRACE_BUDGET=0 disables caching).
+TRACE_LIVE="$BUILD_DIR/check_trace_live.txt"
+TRACE_REPLAY="$BUILD_DIR/check_trace_replay.txt"
+SSIM_TRACE_BUDGET=0 "$BUILD_DIR/src/cli/ssim" suite --machine ss4 \
+    > "$TRACE_LIVE"
+"$BUILD_DIR/src/cli/ssim" suite --machine ss4 > "$TRACE_REPLAY"
+cmp "$TRACE_LIVE" "$TRACE_REPLAY"
+SSIM_TRACE_BUDGET=0 "$BUILD_DIR/src/cli/ssim" ilp \
+    examples/mt/dotprod.mt > "$TRACE_LIVE"
+"$BUILD_DIR/src/cli/ssim" ilp examples/mt/dotprod.mt \
+    > "$TRACE_REPLAY"
+cmp "$TRACE_LIVE" "$TRACE_REPLAY"
+
 echo "== OK =="

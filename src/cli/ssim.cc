@@ -21,6 +21,10 @@
  *   --homes N        home registers                 (default 26)
  *   --jobs N         sweep worker threads for ilp/suite
  *                    (default: SSIM_JOBS, then all cores)
+ *   --trace-budget B ilp/suite: byte budget for the shared trace
+ *                    cache, with optional k/m/g suffix; 0 disables
+ *                    caching (default: SSIM_TRACE_BUDGET, then 2g;
+ *                    see docs/parallel-sweeps.md)
  *   --keep-going     ilp/suite: a failing sweep cell is reported in
  *                    place (error code + text) while the remaining
  *                    cells still run; exit stays nonzero
@@ -75,6 +79,7 @@ usage()
         "options: --machine NAME --level 0..4 --unroll N --careful\n"
         "         --alias conservative|arrays|symbols|careful|heroic\n"
         "         --temps N --homes N --jobs N --keep-going\n"
+        "         --trace-budget BYTES[k|m|g]\n"
         "         --stats --stats-json FILE --trace-events FILE\n"
         "         --trace-limit N\n"
         "exit status: 0 ok, 1 compile/sim error, 2 usage error\n");
@@ -202,6 +207,10 @@ struct Cli
     int jobs = 0;
     /** Fault-isolated sweeps: report failing cells, run the rest. */
     bool keepGoing = false;
+    /** Trace-cache byte budget for ilp/suite; overrides
+     *  SSIM_TRACE_BUDGET when set on the command line. */
+    std::size_t traceBudget = 0;
+    bool traceBudgetSet = false;
 
     /** Telemetry derived from the flags above. */
     RunTelemetryOptions
@@ -269,6 +278,14 @@ parseArgs(int argc, char **argv)
                 parseIntOption("--jobs", next(), 1, 4096));
         else if (arg == "--keep-going")
             cli.keepGoing = true;
+        else if (arg == "--trace-budget") {
+            const std::string value = next();
+            if (!parseByteSize(value, cli.traceBudget))
+                usageError("invalid value '" + value +
+                           "' for --trace-budget (expected a byte "
+                           "size with optional k/m/g suffix)");
+            cli.traceBudgetSet = true;
+        }
         else if (arg == "--stats")
             cli.stats = true;
         else if (arg == "--stats-json")
@@ -380,8 +397,11 @@ cmdIlp(const Cli &cli)
     Workload w{cli.file, "user program", readFile(cli.file), 0, false,
                1};
     // One cell per degree; the study's compile cache shares the base
-    // compile and its future-based memo keeps the sweep race-free.
+    // compile, its trace cache shares the functional executions, and
+    // their future-based memos keep the sweep race-free.
     Study study(cli.jobs);
+    if (cli.traceBudgetSet)
+        study.traceCache().setBudget(cli.traceBudget);
     auto cell = [&](std::size_t i) {
         return study.speedup(
             w, idealSuperscalar(static_cast<int>(i) + 1), cli.options);
@@ -478,21 +498,24 @@ cmdSuite(const Cli &cli)
     // One cell per benchmark (base run + machine run); table rows,
     // stats dumps, and the JSON document are assembled serially from
     // the index-ordered results after the barrier, so the output is
-    // byte-identical at any --jobs.
+    // byte-identical at any --jobs.  Runs go through the study so
+    // compiles and functional executions are shared across cells.
     struct SuiteCell
     {
         RunOutcome base;
         RunOutcome out;
     };
     const auto &suite = allWorkloads();
-    SweepRunner runner(cli.jobs);
+    Study study(cli.jobs);
+    if (cli.traceBudgetSet)
+        study.traceCache().setBudget(cli.traceBudget);
     auto cell = [&](std::size_t i) {
         const Workload &w = suite[i];
         CompileOptions o = cli.options;
         o.unroll.factor = std::max(o.unroll.factor, w.defaultUnroll);
         SuiteCell c;
-        c.base = runWorkload(w, baseMachine(), o);
-        c.out = runWorkload(w, cli.machine, o, telemetry);
+        c.base = study.timedRun(w, baseMachine(), o);
+        c.out = study.timedRun(w, cli.machine, o, telemetry);
         if (c.base.trapped())
             throw TrapException(c.base.trap);
         if (c.out.trapped())
@@ -502,11 +525,12 @@ cmdSuite(const Cli &cli)
 
     std::vector<CellOutcome<SuiteCell>> cells;
     if (cli.keepGoing) {
-        cells = runner.mapChecked<SuiteCell>(suite.size(), cell);
+        cells = study.runner().mapChecked<SuiteCell>(suite.size(),
+                                                     cell);
     } else {
         try {
             std::vector<SuiteCell> values =
-                runner.map<SuiteCell>(suite.size(), cell);
+                study.runner().map<SuiteCell>(suite.size(), cell);
             cells.resize(values.size());
             for (std::size_t i = 0; i < values.size(); ++i)
                 cells[i].value = std::move(values[i]);

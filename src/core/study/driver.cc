@@ -73,36 +73,32 @@ compileWorkload(const std::string &source, const MachineConfig &machine,
     return r.take();
 }
 
+namespace {
+
+/**
+ * Shared tail of the streaming (runOnMachine) and replay (timeTrace)
+ * paths: fold the functional results and the timed engine into a
+ * RunOutcome.  Keeping this in one place is what guarantees the two
+ * paths produce byte-identical outcomes and stats trees.
+ *
+ * A trapped run's returnValue is documented as meaningless, so the
+ * checksum (and fpChecksum, which the caller must not have read) stay
+ * at their zero defaults.
+ */
 RunOutcome
-runOnMachine(const Module &module, const MachineConfig &machine,
-             const RunTelemetryOptions &telemetry,
-             const CompileTelemetry *compile)
+assembleOutcome(const RunResult &r, double fpChecksum,
+                IssueEngine &engine, CacheSink &dcache,
+                const RunTelemetryOptions &telemetry,
+                const CompileTelemetry *compile)
 {
-    Interpreter interp(module);
-    IssueEngine engine(machine);
-    if (telemetry.timelineLimit > 0)
-        engine.recordTimeline(telemetry.timelineLimit);
-
-    CacheSink dcache(telemetry.cache);
-    RunResult r;
-    if (telemetry.collectStats) {
-        TeeSink tee;
-        tee.addSink(&engine);
-        tee.addSink(&dcache);
-        r = interp.run("main", &tee);
-    } else {
-        r = interp.run("main", &engine);
-    }
-
     RunOutcome out;
-    out.checksum = static_cast<std::int64_t>(r.returnValue);
+    if (!r.trapped()) {
+        out.checksum = static_cast<std::int64_t>(r.returnValue);
+        out.fpChecksum = fpChecksum;
+    }
     out.instructions = r.instructions;
     out.cycles = engine.baseCycles();
     out.trap = r.trap;
-    if (module.findGlobal("result_fp")) {
-        out.fpChecksum = std::bit_cast<double>(
-            interp.memory().readGlobal(module, "result_fp"));
-    }
 
     if (telemetry.timelineLimit > 0) {
         out.issueTimeline = engine.timeline();
@@ -137,6 +133,86 @@ runOnMachine(const Module &module, const MachineConfig &machine,
         out.stats = registry.snapshot();
     }
     return out;
+}
+
+} // namespace
+
+RunOutcome
+runOnMachine(const Module &module, const MachineConfig &machine,
+             const RunTelemetryOptions &telemetry,
+             const CompileTelemetry *compile)
+{
+    Interpreter interp(module);
+    IssueEngine engine(machine);
+    if (telemetry.timelineLimit > 0)
+        engine.recordTimeline(telemetry.timelineLimit);
+
+    CacheSink dcache(telemetry.cache);
+    RunResult r;
+    if (telemetry.collectStats) {
+        TeeSink tee;
+        tee.addSink(&engine);
+        tee.addSink(&dcache);
+        r = interp.run("main", &tee);
+    } else {
+        r = interp.run("main", &engine);
+    }
+
+    double fpChecksum = 0.0;
+    if (!r.trapped() && module.findGlobal("result_fp")) {
+        fpChecksum = std::bit_cast<double>(
+            interp.memory().readGlobal(module, "result_fp"));
+    }
+    return assembleOutcome(r, fpChecksum, engine, dcache, telemetry,
+                           compile);
+}
+
+TraceArtifact
+executeWorkload(const Module &module, std::size_t maxTraceBytes)
+{
+    TraceArtifact art;
+    Interpreter interp(module);
+    PackedSink sink(art.trace, maxTraceBytes);
+    art.result = interp.run("main", &sink);
+    if (!art.result.trapped() && module.findGlobal("result_fp")) {
+        art.fpChecksumBits =
+            interp.memory().readGlobal(module, "result_fp");
+        art.hasFpChecksum = true;
+    }
+    art.replayable = sink.complete() && !art.result.trapped();
+    if (!art.replayable)
+        art.trace.clear();
+    return art;
+}
+
+RunOutcome
+timeTrace(const TraceArtifact &artifact, const MachineConfig &machine,
+          const RunTelemetryOptions &telemetry,
+          const CompileTelemetry *compile)
+{
+    SS_ASSERT(artifact.replayable,
+              "timeTrace needs a replayable artifact; trapped or "
+              "lossy executions must go through runOnMachine");
+    IssueEngine engine(machine);
+    if (telemetry.timelineLimit > 0)
+        engine.recordTimeline(telemetry.timelineLimit);
+
+    CacheSink dcache(telemetry.cache);
+    if (telemetry.collectStats) {
+        TeeSink tee;
+        tee.addSink(&engine);
+        tee.addSink(&dcache);
+        artifact.trace.replay(tee);
+    } else {
+        artifact.trace.replay(engine);
+    }
+
+    const double fpChecksum =
+        artifact.hasFpChecksum
+            ? std::bit_cast<double>(artifact.fpChecksumBits)
+            : 0.0;
+    return assembleOutcome(artifact.result, fpChecksum, engine, dcache,
+                           telemetry, compile);
 }
 
 RunOutcome

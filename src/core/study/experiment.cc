@@ -42,9 +42,8 @@ Study::baseCycles(const Workload &workload,
     }
     if (fill) {
         try {
-            std::shared_ptr<const Module> module =
-                cache_.compile(workload, baseMachine(), options);
-            RunOutcome out = runOnMachine(*module, baseMachine());
+            RunOutcome out =
+                timedRun(workload, baseMachine(), options);
             if (out.trapped())
                 throw TrapException(out.trap);
             fill->set_value(out.cycles);
@@ -55,14 +54,41 @@ Study::baseCycles(const Workload &workload,
     return future.get();
 }
 
+RunOutcome
+Study::timedRun(const Workload &workload, const MachineConfig &machine,
+                const CompileOptions &options,
+                const RunTelemetryOptions &telemetry)
+{
+    const bool want = telemetry.collectStats ||
+                      telemetry.timelineLimit > 0;
+    CompileTelemetry compile;
+    std::shared_ptr<const Module> module = cache_.compile(
+        workload, machine, options, want ? &compile : nullptr);
+    const CompileTelemetry *ct = want ? &compile : nullptr;
+
+    if (!trace_cache_.enabled())
+        return runOnMachine(*module, machine, telemetry, ct);
+
+    // The trace depends only on the compiled module, so the artifact
+    // is keyed by the compile key: machines sharing a compilation
+    // share one functional execution.
+    std::shared_ptr<const TraceArtifact> artifact =
+        trace_cache_.execute(CompileCache::key(workload, machine,
+                                               options),
+                             *module);
+    if (!artifact->replayable) {
+        trace_cache_.noteFallback();
+        return runOnMachine(*module, machine, telemetry, ct);
+    }
+    return timeTrace(*artifact, machine, telemetry, ct);
+}
+
 double
 Study::speedup(const Workload &workload, const MachineConfig &machine,
                const CompileOptions &options)
 {
     double base = baseCycles(workload, options);
-    std::shared_ptr<const Module> module =
-        cache_.compile(workload, machine, options);
-    RunOutcome out = runOnMachine(*module, machine);
+    RunOutcome out = timedRun(workload, machine, options);
     if (out.trapped())
         // Re-raise the trap so sweep cells (mapChecked) record a
         // structured CellError instead of a bogus speedup.

@@ -7,17 +7,19 @@
  *
  * Every point reschedules the workload *for the machine being
  * evaluated* (the paper's system recompiles per machine
- * specification) and re-runs the functional simulator — but
- * compilations are shared through a CompileCache, so two machines
- * the compiler cannot tell apart reuse one Module, and base-machine
+ * specification) — but compilations are shared through a
+ * CompileCache, so two machines the compiler cannot tell apart reuse
+ * one Module; functional executions are shared through a TraceCache
+ * keyed by the same compile key, so each shared Module is executed
+ * once and *timed* many times (timeTrace); and base-machine
  * reference cycles are memoized per compile configuration.
  *
  * A Study is safe to use from many threads at once: the compile
- * cache and the base-cycle memo are both future-based (one producer
- * per key, everyone else blocks on the result), and each speedup
- * evaluation runs in its own Interpreter/IssueEngine over the shared
- * immutable Module.  harmonicSpeedup fans the eight benchmarks out
- * across the study's own SweepRunner.
+ * cache, the trace cache and the base-cycle memo are all future-based
+ * (one producer per key, everyone else blocks on the result), and
+ * each timing evaluation runs in its own IssueEngine over the shared
+ * immutable Module/trace.  harmonicSpeedup fans the eight benchmarks
+ * out across the study's own SweepRunner.
  */
 
 #ifndef SUPERSYM_CORE_STUDY_EXPERIMENT_HH
@@ -29,6 +31,7 @@
 #include <string>
 
 #include "core/study/sweep.hh"
+#include "core/study/tracecache.hh"
 
 namespace ilp {
 
@@ -60,6 +63,20 @@ class Study
     double speedup(const Workload &workload,
                    const MachineConfig &machine);
 
+    /**
+     * Compile (via the compile cache), execute once (via the trace
+     * cache) and time `workload` on `machine` — the study-level
+     * equivalent of runWorkload(), byte-identical to it whether the
+     * caches hit, miss, or are disabled.  Non-replayable artifacts
+     * (trapped runs, traces over budget) fall back to live
+     * interpretation transparently; a trapped run surfaces through
+     * RunOutcome::trap exactly as on the live path.
+     */
+    RunOutcome timedRun(const Workload &workload,
+                        const MachineConfig &machine,
+                        const CompileOptions &options,
+                        const RunTelemetryOptions &telemetry = {});
+
     /** Harmonic mean of speedup() across the whole suite, evaluated
      *  benchmark-parallel on the study's worker pool. */
     double harmonicSpeedup(const MachineConfig &machine);
@@ -82,12 +99,18 @@ class Study
     CompileCache &compileCache() { return cache_; }
     const CompileCache &compileCache() const { return cache_; }
 
+    /** Shared functional executions (budget control, hit accounting
+     *  and stats export). */
+    TraceCache &traceCache() { return trace_cache_; }
+    const TraceCache &traceCache() const { return trace_cache_; }
+
   private:
     static std::string fingerprint(const Workload &workload,
                                    const CompileOptions &options);
 
     SweepRunner runner_;
     CompileCache cache_;
+    TraceCache trace_cache_;
     std::mutex base_mu_;
     std::map<std::string, std::shared_future<double>> base_cycles_;
 };

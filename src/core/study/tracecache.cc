@@ -1,0 +1,182 @@
+#include "core/study/tracecache.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+bool
+parseByteSize(const std::string &text, std::size_t &out)
+{
+    if (text.empty())
+        return false;
+    std::size_t shift = 0;
+    std::string digits = text;
+    switch (digits.back()) {
+      case 'k':
+      case 'K':
+        shift = 10;
+        break;
+      case 'm':
+      case 'M':
+        shift = 20;
+        break;
+      case 'g':
+      case 'G':
+        shift = 30;
+        break;
+      default:
+        break;
+    }
+    if (shift != 0)
+        digits.pop_back();
+    if (digits.empty())
+        return false;
+    std::size_t value = 0;
+    for (char c : digits) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+        const std::size_t digit = static_cast<std::size_t>(c - '0');
+        if (value > (std::numeric_limits<std::size_t>::max() - digit) / 10)
+            return false;
+        value = value * 10 + digit;
+    }
+    if (shift != 0 &&
+        value > (std::numeric_limits<std::size_t>::max() >> shift))
+        return false;
+    out = value << shift;
+    return true;
+}
+
+std::size_t
+defaultTraceBudget()
+{
+    constexpr std::size_t kDefault = std::size_t{2} << 30; // 2 GiB
+    if (const char *env = std::getenv("SSIM_TRACE_BUDGET");
+        env && *env) {
+        std::size_t bytes = 0;
+        if (parseByteSize(env, bytes))
+            return bytes;
+        SS_WARN("SSIM_TRACE_BUDGET='", env,
+                "' is not a byte size (digits with optional k/m/g "
+                "suffix); using the 2 GiB default");
+    }
+    return kDefault;
+}
+
+void
+TraceCache::setBudget(std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    budget_ = bytes;
+    evictLocked();
+}
+
+void
+TraceCache::evictLocked()
+{
+    while (bytes_held_ > budget_) {
+        auto victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (!it->second.ready)
+                continue;
+            if (victim == entries_.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        if (victim == entries_.end())
+            return; // nothing ready to evict; in-flight bytes settle later
+        bytes_held_ -= victim->second.bytes;
+        entries_.erase(victim);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+std::shared_ptr<const TraceArtifact>
+TraceCache::execute(const std::string &key, const Module &module)
+{
+    std::shared_future<Artifact> future;
+    std::shared_ptr<std::promise<Artifact>> fill;
+    std::size_t cap = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            fill = std::make_shared<std::promise<Artifact>>();
+            Entry e;
+            e.future = fill->get_future().share();
+            e.lastUse = ++use_clock_;
+            future = e.future;
+            entries_.emplace(key, std::move(e));
+            cap = budget_;
+        } else {
+            it->second.lastUse = ++use_clock_;
+            future = it->second.future;
+        }
+    }
+
+    if (fill) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        try {
+            // Cap recording at the whole budget: a trace that cannot
+            // fit even an empty cache becomes non-replayable rather
+            // than blowing past the budget.
+            auto art = std::make_shared<const TraceArtifact>(
+                executeWorkload(module, cap));
+            const std::size_t bytes = art->byteSize();
+            fill->set_value(std::move(art));
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = entries_.find(key);
+            if (it != entries_.end()) {
+                it->second.bytes = bytes;
+                it->second.ready = true;
+                bytes_held_ += bytes;
+                evictLocked();
+            }
+        } catch (...) {
+            // Mirror CompileCache: hand the exception to parked
+            // waiters, then evict so later requesters retry.
+            fill->set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(mu_);
+            entries_.erase(key);
+        }
+    } else {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    return future.get(); // rethrows a failed execution
+}
+
+std::size_t
+TraceCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+std::size_t
+TraceCache::bytesHeld() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_held_;
+}
+
+void
+TraceCache::exportStats(stats::Group &g) const
+{
+    g.counter("hits", "lookups served from the cache").inc(hits());
+    g.counter("misses", "lookups that executed").inc(misses());
+    g.counter("evictions", "entries dropped to fit the byte budget")
+        .inc(evictions());
+    g.counter("fallbacks",
+              "timing runs interpreted live (non-replayable artifact)")
+        .inc(fallbacks());
+    g.counter("entries", "distinct executions held").inc(size());
+    g.counter("bytes_held", "trace bytes accounted against the budget")
+        .inc(bytesHeld());
+}
+
+} // namespace ilp

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * TraceCache: the execute-once store of the execute-once / time-many
+ * split.
+ *
+ * A functional execution depends only on the compiled Module, never
+ * on the machine being timed, so a sweep over N machines that share a
+ * CompileCache entry needs exactly one execution — the artifact is
+ * keyed by the *compile* key (CompileCache::key) and every timing run
+ * replays it.  Like CompileCache, the cache is future-based: the
+ * first requester of a key executes, concurrent requesters park on
+ * the entry's shared_future, so one functional execution per key is a
+ * structural guarantee, not a race outcome.
+ *
+ * Packed traces are large (16 bytes per dynamic instruction), so the
+ * cache holds a global byte budget (--trace-budget /
+ * SSIM_TRACE_BUDGET, default 2 GiB): recording is capped at the
+ * budget, completed entries are accounted per-entry and evicted LRU
+ * while the total exceeds the budget, and a trace that cannot be
+ * recorded within the budget — or a run that trapped — yields a
+ * non-replayable artifact that consumers time via live interpretation
+ * instead (see Study::timedRun).  A budget of 0 disables the cache
+ * entirely, which is the byte-compare control used by check.sh.
+ *
+ * Hit/miss/eviction/fallback counters are exported on demand via
+ * exportStats (like CompileCache's) and deliberately never folded
+ * into per-run stats snapshots: eviction order depends on thread
+ * interleaving, and cached and uncached runs must stay byte-identical.
+ */
+
+#ifndef SUPERSYM_CORE_STUDY_TRACECACHE_HH
+#define SUPERSYM_CORE_STUDY_TRACECACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/study/driver.hh"
+
+namespace ilp {
+
+/**
+ * Parse a byte size with an optional k/m/g (or K/M/G) binary suffix,
+ * e.g. "512m", "2g", "65536".  @return false on malformed input or
+ * overflow, leaving `out` untouched.
+ */
+bool parseByteSize(const std::string &text, std::size_t &out);
+
+/** Trace budget used when none is given explicitly: SSIM_TRACE_BUDGET
+ *  when set and parseable (0 disables the cache), otherwise 2 GiB.
+ *  A malformed value warns and falls through to the default. */
+std::size_t defaultTraceBudget();
+
+/**
+ * Concurrency-safe, byte-budgeted cache of functional executions.
+ *
+ * Keys are caller-supplied strings — in practice CompileCache::key —
+ * because the artifact's identity is exactly the compiled module's.
+ */
+class TraceCache
+{
+  public:
+    explicit TraceCache(std::size_t budgetBytes = defaultTraceBudget())
+        : budget_(budgetBytes)
+    {
+    }
+
+    /** A zero budget disables caching; callers run live instead. */
+    bool enabled() const { return budget() > 0; }
+
+    std::size_t
+    budget() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return budget_;
+    }
+
+    /** Change the budget; an already-over-budget cache evicts down
+     *  immediately. */
+    void setBudget(std::size_t bytes);
+
+    /**
+     * The functional execution for `key`, executing `module` on first
+     * use.  Concurrent requesters of one key share a single
+     * execution.  The artifact may be non-replayable (trapped, or
+     * trace over budget); callers must then fall back to live
+     * interpretation and record it via noteFallback().
+     */
+    std::shared_ptr<const TraceArtifact>
+    execute(const std::string &key, const Module &module);
+
+    /** Record that a caller had to interpret live because the
+     *  artifact was not replayable. */
+    void
+    noteFallback()
+    {
+        fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Lookups served from an existing entry. */
+    std::uint64_t hits() const { return hits_.load(); }
+    /** Lookups that had to execute. */
+    std::uint64_t misses() const { return misses_.load(); }
+    /** Entries discarded to fit the byte budget. */
+    std::uint64_t evictions() const { return evictions_.load(); }
+    /** Timing runs that fell back to live interpretation. */
+    std::uint64_t fallbacks() const { return fallbacks_.load(); }
+
+    /** Distinct executions held. */
+    std::size_t size() const;
+    /** Trace bytes currently accounted against the budget. */
+    std::size_t bytesHeld() const;
+
+    /** Export counters into a stats group (on demand only — never
+     *  part of per-run snapshots; see file comment). */
+    void exportStats(stats::Group &g) const;
+
+  private:
+    using Artifact = std::shared_ptr<const TraceArtifact>;
+
+    struct Entry
+    {
+        std::shared_future<Artifact> future;
+        /** Monotonic use tick for LRU; bumped on every lookup. */
+        std::uint64_t lastUse = 0;
+        /** Trace bytes, accounted once the producer completes. */
+        std::size_t bytes = 0;
+        bool ready = false;
+    };
+
+    /** Drop least-recently-used ready entries until the accounted
+     *  bytes fit the budget.  Caller holds mu_. */
+    void evictLocked();
+
+    mutable std::mutex mu_;
+    std::map<std::string, Entry> entries_;
+    std::size_t budget_;
+    std::size_t bytes_held_ = 0;
+    std::uint64_t use_clock_ = 0;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> fallbacks_{0};
+};
+
+} // namespace ilp
+
+#endif // SUPERSYM_CORE_STUDY_TRACECACHE_HH

@@ -1,0 +1,81 @@
+#include "sim/ptrace.hh"
+
+#include "support/logging.hh"
+
+namespace ilp {
+
+namespace {
+
+bool
+regFits(Reg r)
+{
+    return r == kNoReg || r < PackedInstr::kNoReg16;
+}
+
+std::uint16_t
+narrowReg(Reg r)
+{
+    return r == kNoReg ? PackedInstr::kNoReg16
+                       : static_cast<std::uint16_t>(r);
+}
+
+Reg
+widenReg(std::uint16_t r)
+{
+    return r == PackedInstr::kNoReg16 ? kNoReg : static_cast<Reg>(r);
+}
+
+} // namespace
+
+bool
+PackedInstr::canPack(const DynInstr &di)
+{
+    if (!regFits(di.dst))
+        return false;
+    for (Reg r : di.srcs)
+        if (!regFits(r))
+            return false;
+    if (di.numSrcs > di.srcs.size())
+        return false;
+    if (di.addr != -1) {
+        if (di.addr < 0 || di.addr % kWordBytes != 0)
+            return false;
+        if (di.addr / kWordBytes > 0xffffffffll)
+            return false;
+    }
+    return true;
+}
+
+PackedInstr
+PackedInstr::pack(const DynInstr &di)
+{
+    SS_ASSERT(canPack(di), "packing an unpackable DynInstr");
+    PackedInstr pi;
+    pi.op = static_cast<std::uint8_t>(di.op);
+    pi.meta = static_cast<std::uint8_t>(di.numSrcs & kNumSrcsMask);
+    pi.dst = narrowReg(di.dst);
+    for (std::size_t i = 0; i < di.srcs.size(); ++i)
+        pi.srcs[i] = narrowReg(di.srcs[i]);
+    if (di.addr != -1) {
+        pi.meta |= kHasAddr;
+        pi.addrWord = static_cast<std::uint32_t>(di.addr / kWordBytes);
+    }
+    return pi;
+}
+
+DynInstr
+PackedInstr::unpack() const
+{
+    DynInstr di;
+    di.op = static_cast<Opcode>(op);
+    di.dst = widenReg(dst);
+    for (std::size_t i = 0; i < di.srcs.size(); ++i)
+        di.srcs[i] = widenReg(srcs[i]);
+    di.numSrcs = static_cast<std::uint8_t>(meta & kNumSrcsMask);
+    di.addr = (meta & kHasAddr)
+                  ? static_cast<std::int64_t>(addrWord) * kWordBytes
+                  : -1;
+    return di;
+}
+
+} // namespace ilp

@@ -18,6 +18,7 @@
 
 #include "core/metrics/metrics.hh"
 #include "isa/isa.hh"
+#include "support/logging.hh"
 
 namespace ilp {
 
@@ -38,9 +39,21 @@ struct DynInstr
     void
     addSrc(Reg r)
     {
-        if (r != kNoReg && numSrcs < srcs.size())
-            srcs[numSrcs++] = r;
+        if (r == kNoReg)
+            return;
+        SS_ASSERT(numSrcs < srcs.size(),
+                  "DynInstr source overflow: no opcode reads more "
+                  "than 4 registers");
+        srcs[numSrcs++] = r;
     }
+
+    bool
+    operator==(const DynInstr &o) const
+    {
+        return op == o.op && dst == o.dst && srcs == o.srcs &&
+               numSrcs == o.numSrcs && addr == o.addr;
+    }
+    bool operator!=(const DynInstr &o) const { return !(*this == o); }
 };
 
 /** Receives the dynamic instruction stream. */

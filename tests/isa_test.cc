@@ -104,6 +104,31 @@ TEST(IsaTest, BinaryAndUnaryPartition)
     EXPECT_FALSE(isUnaryAlu(Opcode::LoadW));
 }
 
+TEST(IsaTest, NoOpcodeReadsMoreThanFourSources)
+{
+    // DynInstr (and its 16-byte packed form) holds at most four
+    // source registers; addSrc asserts on overflow.  Prove every
+    // opcode fits: each falls into exactly one arity category, and
+    // the widest reader (binary ALU, store) needs two.
+    for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+        const Opcode op = static_cast<Opcode>(i);
+        std::size_t maxSrcs;
+        if (isBinaryAlu(op) || isStore(op))
+            maxSrcs = 2; // two operands / value + address base
+        else if (isUnaryAlu(op) || isLoad(op) || op == Opcode::Br ||
+                 op == Opcode::Ret)
+            maxSrcs = 1; // one operand / address base / condition
+        else if (op == Opcode::LiI || op == Opcode::LiF ||
+                 op == Opcode::Jmp || op == Opcode::Call)
+            maxSrcs = 0; // immediates and control transfers
+        else
+            FAIL() << "opcode '" << opcodeName(op)
+                   << "' has no source-arity category — if it reads "
+                      "registers, prove here that it reads at most 4";
+        EXPECT_LE(maxSrcs, 4u) << opcodeName(op);
+    }
+}
+
 TEST(IsaTest, ComparePredicate)
 {
     EXPECT_TRUE(isCompare(Opcode::CmpEqI));

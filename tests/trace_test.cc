@@ -1,0 +1,196 @@
+/**
+ * Packed trace layer: PackedInstr round trips every record the
+ * interpreter can produce, PackedTrace replays the exact stream the
+ * streaming sinks saw (across chunk boundaries), PackedSink detects
+ * lossy records and byte-cap overflow, and DynInstr::addSrc rejects a
+ * fifth source instead of silently dropping it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine/models.hh"
+#include "core/study/driver.hh"
+#include "sim/interp.hh"
+#include "sim/ptrace.hh"
+#include "tests/helpers.hh"
+
+namespace ilp {
+namespace {
+
+DynInstr
+makeInstr(Opcode op, Reg dst, std::initializer_list<Reg> srcs,
+          std::int64_t addr = -1)
+{
+    DynInstr di;
+    di.op = op;
+    di.dst = dst;
+    for (Reg r : srcs)
+        di.addSrc(r);
+    di.addr = addr;
+    return di;
+}
+
+TEST(PackedInstrTest, RoundTripsRepresentativeRecords)
+{
+    const DynInstr cases[] = {
+        makeInstr(Opcode::AddI, 3, {1, 2}),
+        makeInstr(Opcode::LoadF, 7, {4}, 8 * 1000),
+        makeInstr(Opcode::StoreW, kNoReg, {5, 6}, 0),
+        makeInstr(Opcode::Br, kNoReg, {9}),
+        makeInstr(Opcode::Jmp, kNoReg, {}),
+        makeInstr(Opcode::LiI, 12, {}),
+        makeInstr(Opcode::Call, kNoReg, {}),
+        makeInstr(Opcode::MovF, 0xfffe, {0xfffe}),
+        makeInstr(Opcode::LoadW, 1, {2},
+                  0xffffffffll * kWordBytes), // max packable address
+    };
+    for (const DynInstr &di : cases) {
+        ASSERT_TRUE(PackedInstr::canPack(di)) << opcodeName(di.op);
+        EXPECT_EQ(PackedInstr::pack(di).unpack(), di)
+            << opcodeName(di.op);
+    }
+}
+
+TEST(PackedInstrTest, RoundTripsEveryOpcodeAtEveryArity)
+{
+    for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+        for (std::uint8_t n = 0; n <= 4; ++n) {
+            DynInstr di;
+            di.op = static_cast<Opcode>(i);
+            di.dst = static_cast<Reg>(i);
+            for (std::uint8_t s = 0; s < n; ++s)
+                di.addSrc(static_cast<Reg>(s + 1));
+            ASSERT_TRUE(PackedInstr::canPack(di));
+            EXPECT_EQ(PackedInstr::pack(di).unpack(), di);
+        }
+    }
+}
+
+TEST(PackedInstrTest, RejectsWhatSixteenBytesCannotHold)
+{
+    // Register indices that collide with the 16-bit sentinel.
+    EXPECT_FALSE(
+        PackedInstr::canPack(makeInstr(Opcode::AddI, 0xffff, {1, 2})));
+    EXPECT_FALSE(
+        PackedInstr::canPack(makeInstr(Opcode::AddI, 1, {0x10000, 2})));
+    // Unaligned, negative, or out-of-range addresses.
+    EXPECT_FALSE(
+        PackedInstr::canPack(makeInstr(Opcode::LoadW, 1, {2}, 12)));
+    EXPECT_FALSE(
+        PackedInstr::canPack(makeInstr(Opcode::LoadW, 1, {2}, -8)));
+    EXPECT_FALSE(PackedInstr::canPack(makeInstr(
+        Opcode::LoadW, 1, {2}, (0xffffffffll + 1) * kWordBytes)));
+    // The word-aligned in-range address right at the boundary packs.
+    EXPECT_TRUE(PackedInstr::canPack(
+        makeInstr(Opcode::LoadW, 1, {2}, 0xffffffffll * kWordBytes)));
+}
+
+TEST(PackedTraceTest, ReplayCrossesChunkBoundariesInOrder)
+{
+    PackedTrace trace;
+    const std::size_t n = PackedTrace::kChunkInstrs * 2 + 17;
+    for (std::size_t i = 0; i < n; ++i) {
+        // Vary every field with i so ordering mistakes can't cancel.
+        DynInstr di = makeInstr(
+            static_cast<Opcode>(i % kNumOpcodes),
+            static_cast<Reg>(i % 1000),
+            {static_cast<Reg>(i % 997 + 1)},
+            (i % 3 == 0) ? static_cast<std::int64_t>(i % 4096) *
+                               kWordBytes
+                         : -1);
+        ASSERT_TRUE(trace.append(di));
+    }
+    EXPECT_EQ(trace.size(), n);
+    EXPECT_EQ(trace.byteSize(), n * sizeof(PackedInstr));
+
+    TraceBuffer replayed;
+    trace.replay(replayed);
+    ASSERT_EQ(replayed.size(), n);
+    std::size_t i = 0;
+    for (const DynInstr &di : trace) {
+        ASSERT_EQ(di, replayed.trace()[i]) << "at index " << i;
+        ++i;
+    }
+    EXPECT_EQ(i, n);
+}
+
+TEST(PackedTraceTest, RecordsTheSameStreamTheStreamingSinkSees)
+{
+    // One functional execution teed into the reference TraceBuffer
+    // and the packed trace must agree record for record.
+    const Workload &w = workloadByName("whet");
+    Module m = compileWorkload(w.source, idealSuperscalar(4),
+                               defaultCompileOptions(w));
+    TraceBuffer reference;
+    PackedTrace packed;
+    PackedSink packed_sink(packed);
+    TeeSink tee;
+    tee.addSink(&reference);
+    tee.addSink(&packed_sink);
+    Interpreter interp(m);
+    RunResult r = interp.run("main", &tee);
+    ASSERT_FALSE(r.trapped());
+    ASSERT_TRUE(packed_sink.complete());
+    ASSERT_EQ(packed.size(), reference.size());
+
+    std::size_t i = 0;
+    for (const DynInstr &di : packed) {
+        ASSERT_EQ(di, reference.trace()[i]) << "at index " << i;
+        ++i;
+    }
+}
+
+TEST(PackedSinkTest, ByteCapDropsTheTraceButKeepsStreaming)
+{
+    PackedTrace trace;
+    PackedSink sink(trace, 3 * sizeof(PackedInstr));
+    for (int i = 0; i < 10; ++i)
+        sink.emit(makeInstr(Opcode::AddI, 1, {2, 3}));
+    EXPECT_FALSE(sink.complete());
+    EXPECT_TRUE(trace.empty()); // partial traces are useless: dropped
+}
+
+TEST(PackedSinkTest, UnpackableRecordMarksTheTraceIncomplete)
+{
+    PackedTrace trace;
+    PackedSink sink(trace);
+    sink.emit(makeInstr(Opcode::AddI, 1, {2, 3}));
+    sink.emit(makeInstr(Opcode::AddI, 0x10000, {2, 3})); // reg > 16 bit
+    sink.emit(makeInstr(Opcode::AddI, 1, {2, 3}));
+    EXPECT_FALSE(sink.complete());
+    EXPECT_TRUE(trace.empty());
+}
+
+TEST(ExecuteWorkloadTest, ArtifactMatchesLiveRun)
+{
+    const Workload &w = workloadByName("whet"); // float: fpChecksum set
+    Module m = compileWorkload(w.source, idealSuperscalar(4),
+                               defaultCompileOptions(w));
+    TraceArtifact art = executeWorkload(m);
+    ASSERT_TRUE(art.replayable);
+    EXPECT_EQ(art.trace.size(), art.result.instructions);
+
+    RunOutcome live = runOnMachine(m, idealSuperscalar(4));
+    RunOutcome replay = timeTrace(art, idealSuperscalar(4));
+    EXPECT_EQ(replay.checksum, live.checksum);
+    EXPECT_EQ(replay.instructions, live.instructions);
+    EXPECT_EQ(replay.cycles, live.cycles);
+    EXPECT_EQ(replay.fpChecksum, live.fpChecksum);
+}
+
+using AddSrcTest = test::ThrowingErrors;
+
+TEST_F(AddSrcTest, FifthSourceIsAnAssertionNotASilentDrop)
+{
+    DynInstr di;
+    for (Reg r = 1; r <= 4; ++r)
+        di.addSrc(r);
+    EXPECT_EQ(di.numSrcs, 4u);
+    EXPECT_THROW(di.addSrc(5), FatalError);
+    // kNoReg stays a quiet no-op at any arity.
+    di.numSrcs = 4;
+    EXPECT_NO_THROW(di.addSrc(kNoReg));
+}
+
+} // namespace
+} // namespace ilp

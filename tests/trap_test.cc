@@ -107,6 +107,25 @@ TEST(TrapTest, TrapFlowsThroughTheIssueEngine)
     EXPECT_GT(out.cycles, 0.0);
 }
 
+TEST(TrapTest, TrappedRunReportsNoChecksums)
+{
+    // RunResult documents returnValue as meaningless after a trap, so
+    // the outcome must not launder it (or a stale result_fp read)
+    // into checksum/fpChecksum.  Regression: runOnMachine used to
+    // copy both from the aborted run.
+    Module m = compileRaw(R"(
+        var real result_fp;
+        var int zero;
+        func main() : int {
+            result_fp = 3.25;
+            return 1 / zero;
+        })");
+    RunOutcome out = runOnMachine(m, idealSuperscalar(4));
+    ASSERT_TRUE(out.trapped());
+    EXPECT_EQ(out.checksum, 0);
+    EXPECT_EQ(out.fpChecksum, 0.0);
+}
+
 TEST(TrapTest, TrapWithStatsCollectionStaysContained)
 {
     Module m = compileRaw(R"(
