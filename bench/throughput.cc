@@ -122,6 +122,31 @@ BM_TraceReplay(benchmark::State &state)
 BENCHMARK(BM_TraceReplay)->Unit(benchmark::kMillisecond);
 
 void
+BM_ProfiledReplay(benchmark::State &state)
+{
+    // BM_TraceReplay with the cycle profiler on: the per-pc counter
+    // updates are the only delta, so the gap to BM_TraceReplay is the
+    // whole observability cost (profiling off must stay at
+    // BM_TraceReplay speed — it is a single predictable branch).
+    const Workload &w = wl();
+    CompileOptions o = defaultCompileOptions(w);
+    MachineConfig mc = idealSuperscalar(4);
+    Module m = compileWorkload(w.source, mc, o);
+    TraceArtifact artifact = executeWorkload(m);
+    RunTelemetryOptions t;
+    t.collectProfile = true;
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        RunOutcome out = timeTrace(artifact, mc, t);
+        instrs += out.instructions;
+        benchmark::DoNotOptimize(out.pcCounters.data());
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ProfiledReplay)->Unit(benchmark::kMillisecond);
+
+void
 BM_CompileCacheHit(benchmark::State &state)
 {
     // Steady-state cost of a shared compilation lookup (one compile,

@@ -30,6 +30,30 @@ TRACE_JSON="$BUILD_DIR/check_trace.json"
 "$BUILD_DIR/src/cli/ssim" check-json "$STATS_JSON"
 "$BUILD_DIR/src/cli/ssim" check-json "$TRACE_JSON"
 
+echo "== profile smoke =="
+# The cycle profiler must render a hot-loop listing, emit valid JSON,
+# and be byte-identical live vs trace-replay and serial vs parallel.
+PROF_JSON="$BUILD_DIR/check_profile.json"
+PROF_JSON_PAR="$BUILD_DIR/check_profile_par.json"
+PROF_JSON_LIVE="$BUILD_DIR/check_profile_live.json"
+"$BUILD_DIR/src/cli/ssim" profile examples/mt/dotprod.mt \
+    --machine sp4 --profile-json "$PROF_JSON" \
+    > "$BUILD_DIR/check_profile.txt"
+"$BUILD_DIR/src/cli/ssim" check-json "$PROF_JSON"
+grep -q 'hottest loops' "$BUILD_DIR/check_profile.txt"
+grep -q 'raw_latency' "$BUILD_DIR/check_profile.txt"
+"$BUILD_DIR/src/cli/ssim" profile examples/mt/dotprod.mt \
+    --machine sp4 --jobs 8 --profile-json "$PROF_JSON_PAR" \
+    > /dev/null
+cmp "$PROF_JSON" "$PROF_JSON_PAR"
+"$BUILD_DIR/src/cli/ssim" profile examples/mt/dotprod.mt \
+    --machine sp4 --trace-budget 0 --profile-json "$PROF_JSON_LIVE" \
+    > /dev/null
+cmp "$PROF_JSON" "$PROF_JSON_LIVE"
+"$BUILD_DIR/src/cli/ssim" profile examples/mt/dotprod.mt \
+    --diff base sp4 > "$BUILD_DIR/check_profile_diff.txt"
+grep -q 'speedup B/A' "$BUILD_DIR/check_profile_diff.txt"
+
 echo "== fault containment smoke =="
 # A malformed program must produce structured diagnostics and exit 1
 # (not 0, not a signal); a bad flag must exit 2.

@@ -4,7 +4,10 @@
  *
  *   ssim run FILE.mt [options]     compile, simulate, report
  *   ssim ilp FILE.mt [options]     degree sweep (available parallelism)
- *   ssim profile FILE.mt [options] dynamic instruction-class mix
+ *   ssim profile FILE.mt [options] cycle profiler: per-instruction
+ *                                  stall attribution mapped back to
+ *                                  MT source lines (docs/profiling.md)
+ *   ssim mix FILE.mt [options]     dynamic instruction-class mix
  *   ssim dump FILE.mt [options]    print the optimized, scheduled IR
  *   ssim suite [options]           run the built-in 8-benchmark suite
  *   ssim machines                  list predefined machine models
@@ -35,6 +38,14 @@
  *   --trace-events FILE  write Chrome tracing JSON (run only)
  *   --trace-limit N    cap recorded issue events  (default 100000)
  *
+ * Profiling (profile; --profile* also on run; docs/profiling.md):
+ *   --profile          run: print the annotated listing after the
+ *                      report (profile implies it)
+ *   --profile-json FILE  write the profile as JSON (schema profile-v1)
+ *   --profile-top N    hot loops / diff rows shown   (default 10)
+ *   --diff A B         profile: compare machines A and B instead of
+ *                      listing --machine
+ *
  * Exit status (see docs/robustness.md):
  *   0  success
  *   1  compile or simulation error (malformed program, trap,
@@ -58,6 +69,7 @@
 #include "core/study/telemetry.hh"
 #include "ir/printer.hh"
 #include "sim/trap.hh"
+#include "support/buildinfo.hh"
 #include "support/diag.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
@@ -72,7 +84,7 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: ssim run|ilp|profile|dump FILE.mt [options]\n"
+        "usage: ssim run|ilp|profile|mix|dump FILE.mt [options]\n"
         "       ssim suite [options]\n"
         "       ssim machines\n"
         "       ssim check-json FILE\n"
@@ -82,6 +94,8 @@ usage()
         "         --trace-budget BYTES[k|m|g]\n"
         "         --stats --stats-json FILE --trace-events FILE\n"
         "         --trace-limit N\n"
+        "         --profile --profile-json FILE --profile-top N\n"
+        "         --diff MACHINE_A MACHINE_B\n"
         "exit status: 0 ok, 1 compile/sim error, 2 usage error\n");
     std::exit(2);
 }
@@ -212,6 +226,21 @@ struct Cli
     std::size_t traceBudget = 0;
     bool traceBudgetSet = false;
 
+    /** Cycle-profiler flags (docs/profiling.md). */
+    bool profile = false;
+    std::string profileJsonPath;
+    std::size_t profileTop = 10;
+    /** `ssim profile --diff A B`: machines to compare. */
+    bool diffSet = false;
+    MachineConfig diffA;
+    MachineConfig diffB;
+
+    bool
+    wantProfile() const
+    {
+        return profile || !profileJsonPath.empty();
+    }
+
     /** Telemetry derived from the flags above. */
     RunTelemetryOptions
     telemetry() const
@@ -221,6 +250,7 @@ struct Cli
                          !traceEventsPath.empty();
         if (!traceEventsPath.empty())
             t.timelineLimit = traceLimit;
+        t.collectProfile = wantProfile();
         return t;
     }
 };
@@ -237,8 +267,8 @@ parseArgs(int argc, char **argv)
 
     int i = 2;
     if (cli.command == "run" || cli.command == "ilp" ||
-        cli.command == "profile" || cli.command == "dump" ||
-        cli.command == "check-json") {
+        cli.command == "profile" || cli.command == "mix" ||
+        cli.command == "dump" || cli.command == "check-json") {
         if (argc < 3)
             usage();
         cli.file = argv[2];
@@ -286,6 +316,18 @@ parseArgs(int argc, char **argv)
                            "size with optional k/m/g suffix)");
             cli.traceBudgetSet = true;
         }
+        else if (arg == "--profile")
+            cli.profile = true;
+        else if (arg == "--profile-json")
+            cli.profileJsonPath = next();
+        else if (arg == "--profile-top")
+            cli.profileTop = static_cast<std::size_t>(parseIntOption(
+                "--profile-top", next(), 1, 100000));
+        else if (arg == "--diff") {
+            cli.diffA = parseMachine(next());
+            cli.diffB = parseMachine(next());
+            cli.diffSet = true;
+        }
         else if (arg == "--stats")
             cli.stats = true;
         else if (arg == "--stats-json")
@@ -325,11 +367,23 @@ printStatsTree(const Json &node, const std::string &prefix)
 
 /** The stats document written by --stats-json: run context plus the
  *  full snapshot. */
+/** The standard provenance object for every emitted document: build
+ *  info plus the machine spec hash (satellites of the profiler). */
+Json
+documentMeta(const MachineConfig &machine)
+{
+    Json meta = buildMeta();
+    meta.set("machine", machine.name);
+    meta.set("machine_hash", std::to_string(machine.specHash()));
+    return meta;
+}
+
 Json
 statsDocument(const Cli &cli, const std::string &program,
               const RunOutcome &out)
 {
     Json doc = Json::object();
+    doc.set("meta", documentMeta(cli.machine));
     doc.set("program", Json(program));
     doc.set("machine", Json(cli.machine.name));
     doc.set("opt_level", Json(optLevelName(cli.options.level)));
@@ -388,7 +442,63 @@ cmdRun(const Cli &cli)
     if (!cli.traceEventsPath.empty())
         writeJsonFile(cli.traceEventsPath,
                       buildTraceEvents(out, cli.machine));
+    if (cli.wantProfile()) {
+        prof::Profile p = prof::buildProfile(
+            cli.file, cli.machine,
+            prof::CodeMap::build(mod.value()), out);
+        if (cli.profile)
+            std::printf("\n%s",
+                        prof::renderAnnotatedListing(p, w.source,
+                                                     cli.profileTop)
+                            .c_str());
+        if (!cli.profileJsonPath.empty())
+            writeJsonFile(cli.profileJsonPath, prof::toJson(p));
+    }
     return 0;
+}
+
+int
+cmdProfile(const Cli &cli)
+{
+    Workload w{cli.file, "user program", readFile(cli.file), 0, false,
+               1};
+    Study study(cli.jobs);
+    if (cli.traceBudgetSet)
+        study.traceCache().setBudget(cli.traceBudget);
+
+    try {
+        if (cli.diffSet) {
+            prof::Profile a =
+                study.profiledRun(w, cli.diffA, cli.options);
+            prof::Profile b =
+                study.profiledRun(w, cli.diffB, cli.options);
+            std::printf(
+                "%s", prof::renderDiff(a, b, cli.profileTop).c_str());
+            if (!cli.profileJsonPath.empty()) {
+                Json doc = Json::object();
+                doc.set("a", prof::toJson(a));
+                doc.set("b", prof::toJson(b));
+                writeJsonFile(cli.profileJsonPath, doc);
+            }
+            return 0;
+        }
+
+        prof::Profile p =
+            study.profiledRun(w, cli.machine, cli.options);
+        const std::string mismatch = prof::checkReconciliation(p);
+        if (!mismatch.empty())
+            return fail("profile does not reconcile: " + mismatch);
+        std::printf("%s", prof::renderAnnotatedListing(
+                              p, w.source, cli.profileTop)
+                              .c_str());
+        if (!cli.profileJsonPath.empty())
+            writeJsonFile(cli.profileJsonPath, prof::toJson(p));
+        return 0;
+    } catch (const DiagException &e) {
+        return fail(formatDiags(e.diags()));
+    } catch (const TrapException &e) {
+        return fail(e.trap().format());
+    }
 }
 
 int
@@ -450,7 +560,7 @@ cmdIlp(const Cli &cli)
 }
 
 int
-cmdProfile(const Cli &cli)
+cmdMix(const Cli &cli)
 {
     Workload w{cli.file, "user program", readFile(cli.file), 0, false,
                1};
@@ -585,6 +695,7 @@ cmdSuite(const Cli &cli)
     t.print();
     if (want_json) {
         Json doc = Json::object();
+        doc.set("meta", documentMeta(cli.machine));
         doc.set("machine", Json(cli.machine.name));
         doc.set("opt_level", Json(optLevelName(cli.options.level)));
         doc.set("benchmarks", std::move(benchmarks));
@@ -647,6 +758,8 @@ main(int argc, char **argv)
         return cmdIlp(cli);
     if (cli.command == "profile")
         return cmdProfile(cli);
+    if (cli.command == "mix")
+        return cmdMix(cli);
     if (cli.command == "dump")
         return cmdDump(cli);
     if (cli.command == "suite")

@@ -33,6 +33,44 @@ MachineConfig::unitFor(InstrClass cls) const
     return -1;
 }
 
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void
+fnvMix(std::uint64_t &h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= kFnvPrime;
+    }
+}
+
+} // namespace
+
+std::uint64_t
+MachineConfig::specHash() const
+{
+    std::uint64_t h = kFnvOffset;
+    fnvMix(h, static_cast<std::uint64_t>(issueWidth));
+    fnvMix(h, static_cast<std::uint64_t>(pipelineDegree));
+    for (int l : latency)
+        fnvMix(h, static_cast<std::uint64_t>(l));
+    fnvMix(h, units.size());
+    for (const FuncUnit &u : units) {
+        fnvMix(h, u.classes.size());
+        for (InstrClass c : u.classes)
+            fnvMix(h, static_cast<std::uint64_t>(c));
+        fnvMix(h, static_cast<std::uint64_t>(u.multiplicity));
+        fnvMix(h, static_cast<std::uint64_t>(u.issueLatency));
+    }
+    fnvMix(h, issueAcrossBranches ? 1 : 0);
+    fnvMix(h, regs.numTemp);
+    fnvMix(h, regs.numHome);
+    return h;
+}
+
 void
 MachineConfig::validate() const
 {

@@ -103,6 +103,14 @@ struct MachineConfig
     /** Index of the unit serving `cls`; -1 if units are unlimited. */
     int unitFor(InstrClass cls) const;
 
+    /**
+     * FNV-1a digest over every timing-relevant field (name excluded:
+     * two identically parameterized machines hash equal regardless of
+     * labeling).  Stamped into emitted JSON (`meta.machine_hash`) so
+     * archived artifacts can be matched to the exact machine spec.
+     */
+    std::uint64_t specHash() const;
+
     /** fatal() on an inconsistent description (user error). */
     void validate() const;
 };

@@ -104,6 +104,13 @@ assembleOutcome(const RunResult &r, double fpChecksum,
         out.issueTimeline = engine.timeline();
         out.timelineDropped = engine.timelineDropped();
     }
+    if (telemetry.collectProfile) {
+        out.pcCounters = engine.profileCounters();
+        out.stalls = engine.stallBreakdown();
+        out.issueSlotsTotal =
+            engine.issuePeriodMinorCycles() *
+            static_cast<std::uint64_t>(engine.config().issueWidth);
+    }
     if (compile)
         out.compile = *compile;
 
@@ -146,6 +153,8 @@ runOnMachine(const Module &module, const MachineConfig &machine,
     IssueEngine engine(machine);
     if (telemetry.timelineLimit > 0)
         engine.recordTimeline(telemetry.timelineLimit);
+    if (telemetry.collectProfile)
+        engine.enableProfile(module.pcCount());
 
     CacheSink dcache(telemetry.cache);
     RunResult r;
@@ -171,6 +180,7 @@ TraceArtifact
 executeWorkload(const Module &module, std::size_t maxTraceBytes)
 {
     TraceArtifact art;
+    art.pcCount = module.pcCount();
     Interpreter interp(module);
     PackedSink sink(art.trace, maxTraceBytes);
     art.result = interp.run("main", &sink);
@@ -196,6 +206,8 @@ timeTrace(const TraceArtifact &artifact, const MachineConfig &machine,
     IssueEngine engine(machine);
     if (telemetry.timelineLimit > 0)
         engine.recordTimeline(telemetry.timelineLimit);
+    if (telemetry.collectProfile)
+        engine.enableProfile(artifact.pcCount);
 
     CacheSink dcache(telemetry.cache);
     if (telemetry.collectStats) {

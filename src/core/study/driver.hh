@@ -80,6 +80,10 @@ struct RunTelemetryOptions
     /** Max issue-timeline events captured for --trace-events
      *  (0 disables capture). */
     std::size_t timelineLimit = 0;
+    /** Collect per-static-instruction timing counters (the cycle
+     *  profiler).  Off by default; the engine's emit path then pays
+     *  only one predictable branch. */
+    bool collectProfile = false;
     /** Data-cache model attached when collecting stats. */
     CacheConfig cache;
 };
@@ -102,6 +106,13 @@ struct RunOutcome
     /** Issue timeline (empty unless timelineLimit > 0). */
     std::vector<IssueEvent> issueTimeline;
     std::uint64_t timelineDropped = 0;
+    /** Per-pc timing counters (empty unless collectProfile); the
+     *  last record is the unattributed (pc == kNoPc) bucket. */
+    std::vector<PcCounters> pcCounters;
+    /** Aggregate engine counters the per-pc records must reconcile
+     *  with exactly (filled with pcCounters when collectProfile). */
+    StallBreakdown stalls;
+    std::uint64_t issueSlotsTotal = 0;
     /** Compile telemetry (filled by runWorkload with collectStats). */
     CompileTelemetry compile;
     /** Set when the workload faulted mid-run; checksum is then
@@ -144,6 +155,9 @@ struct TraceArtifact
      *  run did not trap; otherwise consumers must fall back to live
      *  interpretation (runOnMachine). */
     bool replayable = false;
+    /** Static instruction count of the executed module (sizes the
+     *  replay-side profiler exactly like the live path). */
+    Pc pcCount = 0;
 
     /** Trace storage held (the unit the TraceCache budgets). */
     std::size_t byteSize() const { return trace.byteSize(); }

@@ -83,6 +83,25 @@ Study::timedRun(const Workload &workload, const MachineConfig &machine,
     return timeTrace(*artifact, machine, telemetry, ct);
 }
 
+prof::Profile
+Study::profiledRun(const Workload &workload,
+                   const MachineConfig &machine,
+                   const CompileOptions &options)
+{
+    // Resolve the module first (a cache hit when timedRun follows):
+    // the code map must come from the exact module that executes.
+    std::shared_ptr<const Module> module =
+        cache_.compile(workload, machine, options, nullptr);
+
+    RunTelemetryOptions telemetry;
+    telemetry.collectProfile = true;
+    RunOutcome out = timedRun(workload, machine, options, telemetry);
+    if (out.trapped())
+        throw TrapException(out.trap);
+    return prof::buildProfile(workload.name, machine,
+                              prof::CodeMap::build(*module), out);
+}
+
 double
 Study::speedup(const Workload &workload, const MachineConfig &machine,
                const CompileOptions &options)

@@ -30,6 +30,7 @@
 #include <mutex>
 #include <string>
 
+#include "core/study/profile.hh"
 #include "core/study/sweep.hh"
 #include "core/study/tracecache.hh"
 
@@ -76,6 +77,18 @@ class Study
                         const MachineConfig &machine,
                         const CompileOptions &options,
                         const RunTelemetryOptions &telemetry = {});
+
+    /**
+     * timedRun() with the cycle profiler enabled, assembled into a
+     * prof::Profile (per-pc counters mapped back onto the compiled
+     * code).  Deterministic: byte-identical whether the run was live
+     * or trace-replayed, and independent of the study's job count.
+     * Throws TrapException when the workload faults — a profile of a
+     * partial run would not reconcile.
+     */
+    prof::Profile profiledRun(const Workload &workload,
+                              const MachineConfig &machine,
+                              const CompileOptions &options);
 
     /** Harmonic mean of speedup() across the whole suite, evaluated
      *  benchmark-parallel on the study's worker pool. */

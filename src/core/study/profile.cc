@@ -1,0 +1,554 @@
+#include "core/study/profile.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "ir/dominators.hh"
+#include "ir/printer.hh"
+#include "support/buildinfo.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+namespace ilp {
+namespace prof {
+
+void
+Counters::add(const PcCounters &c)
+{
+    issued += c.issued;
+    for (std::size_t i = 0; i < kNumStallCauses; ++i)
+        stallSlots[i] += c.stallSlots[i];
+}
+
+void
+Counters::add(const Counters &c)
+{
+    issued += c.issued;
+    for (std::size_t i = 0; i < kNumStallCauses; ++i)
+        stallSlots[i] += c.stallSlots[i];
+}
+
+std::uint64_t
+Counters::stallTotal() const
+{
+    std::uint64_t t = 0;
+    for (std::uint64_t s : stallSlots)
+        t += s;
+    return t;
+}
+
+StallCause
+Counters::dominantCause() const
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < kNumStallCauses; ++i) {
+        if (stallSlots[i] > stallSlots[best])
+            best = i;
+    }
+    return static_cast<StallCause>(best);
+}
+
+CodeMap
+CodeMap::build(const Module &module)
+{
+    CodeMap map;
+    map.sourceName = module.sourceName;
+    map.entries.reserve(module.pcCount());
+
+    for (const auto &func : module.functions()) {
+        // Block pc ranges in layout order — the same walk as
+        // Module::assignPcs(), so entry index == instr.pc.
+        std::vector<std::pair<Pc, Pc>> block_range(func.blocks.size(),
+                                                   {0, 0});
+        for (const auto &bb : func.blocks) {
+            const Pc start = static_cast<Pc>(map.entries.size());
+            for (const auto &in : bb.instrs) {
+                SS_ASSERT(in.pc ==
+                              static_cast<Pc>(map.entries.size()),
+                          "CodeMap: pc out of layout order — was "
+                          "Module::assignPcs() run after the last "
+                          "code-changing pass?");
+                CodeEntry e;
+                e.func = func.name;
+                e.block = bb.id;
+                e.loc = in.loc;
+                e.text = toString(in);
+                map.entries.push_back(std::move(e));
+            }
+            block_range[static_cast<std::size_t>(bb.id)] = {
+                start, static_cast<Pc>(map.entries.size())};
+        }
+
+        if (func.blocks.empty())
+            continue;
+        Dominators dom(func);
+        for (const NaturalLoop &loop : findNaturalLoops(func, dom)) {
+            CodeLoop cl;
+            cl.func = func.name;
+            cl.headerBlock = loop.header;
+            cl.depth = loop.depth;
+            for (BlockId b : loop.blocks) {
+                auto r = block_range[static_cast<std::size_t>(b)];
+                if (r.first != r.second)
+                    cl.ranges.push_back(r);
+                for (const auto &in :
+                     func.blocks[static_cast<std::size_t>(b)].instrs) {
+                    if (in.loc.known() &&
+                        (cl.headerLine == 0 ||
+                         in.loc.line < cl.headerLine))
+                        cl.headerLine = in.loc.line;
+                }
+            }
+            std::sort(cl.ranges.begin(), cl.ranges.end());
+            map.loops.push_back(std::move(cl));
+        }
+    }
+    return map;
+}
+
+Profile
+buildProfile(const std::string &workload, const MachineConfig &machine,
+             CodeMap code, const RunOutcome &outcome)
+{
+    SS_ASSERT(!outcome.pcCounters.empty(),
+              "buildProfile: run was not profiled (set "
+              "RunTelemetryOptions::collectProfile)");
+    SS_ASSERT(outcome.pcCounters.size() == code.entries.size() + 1,
+              "buildProfile: ", outcome.pcCounters.size(),
+              " pc records for ", code.entries.size(),
+              " static instructions — outcome and code map come from "
+              "different modules");
+
+    Profile p;
+    p.workload = workload;
+    p.machineName = machine.name;
+    p.machineHash = machine.specHash();
+    p.issueWidth = machine.issueWidth;
+    p.pipelineDegree = machine.pipelineDegree;
+    p.instructions = outcome.instructions;
+    p.cycles = outcome.cycles;
+    p.ipc = outcome.ipc();
+    p.issueSlotsTotal = outcome.issueSlotsTotal;
+    p.stalls = outcome.stalls;
+    p.code = std::move(code);
+    p.perPc = outcome.pcCounters;
+    for (const PcCounters &c : p.perPc)
+        p.total.add(c);
+    return p;
+}
+
+std::string
+checkReconciliation(const Profile &p)
+{
+    std::ostringstream out;
+    if (p.total.issued != p.instructions) {
+        out << "sum(issued) = " << p.total.issued
+            << " != instructions = " << p.instructions;
+        return out.str();
+    }
+    for (std::size_t c = 0; c < kNumStallCauses; ++c) {
+        if (p.total.stallSlots[c] != p.stalls.slots[c]) {
+            out << "sum(stall[" << stallCauseName(
+                       static_cast<StallCause>(c))
+                << "]) = " << p.total.stallSlots[c]
+                << " != aggregate " << p.stalls.slots[c];
+            return out.str();
+        }
+    }
+    if (p.total.slotTotal() != p.issueSlotsTotal) {
+        out << "sum(issued + stalls) = " << p.total.slotTotal()
+            << " != issue slots offered = " << p.issueSlotsTotal;
+        return out.str();
+    }
+    return "";
+}
+
+std::vector<std::pair<int, Counters>>
+rollupByLine(const Profile &p)
+{
+    std::map<int, Counters> by_line;
+    for (Pc pc = 0; pc < p.code.entries.size(); ++pc) {
+        const SrcLoc &loc = p.code.entries[pc].loc;
+        if (loc.known())
+            by_line[loc.line].add(p.perPc[pc]);
+    }
+    return {by_line.begin(), by_line.end()};
+}
+
+std::vector<Row>
+rollupByFunction(const Profile &p)
+{
+    std::vector<Row> rows;
+    for (Pc pc = 0; pc < p.code.entries.size(); ++pc) {
+        const CodeEntry &e = p.code.entries[pc];
+        if (rows.empty() || rows.back().key != e.func)
+            rows.push_back(Row{e.func, {}});
+        rows.back().counters.add(p.perPc[pc]);
+    }
+    return rows;
+}
+
+std::vector<Row>
+rollupByBlock(const Profile &p)
+{
+    std::vector<Row> rows;
+    for (Pc pc = 0; pc < p.code.entries.size(); ++pc) {
+        const CodeEntry &e = p.code.entries[pc];
+        std::string key =
+            e.func + "/bb" + std::to_string(e.block);
+        if (rows.empty() || rows.back().key != key)
+            rows.push_back(Row{std::move(key), {}});
+        rows.back().counters.add(p.perPc[pc]);
+    }
+    return rows;
+}
+
+std::vector<Row>
+rollupLoops(const Profile &p)
+{
+    std::vector<Row> rows;
+    for (const CodeLoop &loop : p.code.loops) {
+        Row r;
+        r.key = loop.func + ":line" + std::to_string(loop.headerLine) +
+                " depth" + std::to_string(loop.depth);
+        for (auto [first, last] : loop.ranges) {
+            for (Pc pc = first; pc < last; ++pc)
+                r.counters.add(p.perPc[pc]);
+        }
+        rows.push_back(std::move(r));
+    }
+    // Hottest first; layout order breaks ties deterministically.
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Row &a, const Row &b) {
+                         return a.counters.slotTotal() >
+                                b.counters.slotTotal();
+                     });
+    return rows;
+}
+
+namespace {
+
+double
+pctOf(std::uint64_t part, std::uint64_t whole)
+{
+    return whole > 0 ? 100.0 * static_cast<double>(part) /
+                           static_cast<double>(whole)
+                     : 0.0;
+}
+
+void
+appendCauseCells(Table &t, const Counters &c)
+{
+    for (std::size_t i = 0; i < kNumStallCauses; ++i)
+        t.cell(static_cast<long long>(c.stallSlots[i]));
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char ch : text) {
+        if (ch == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(ch);
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(cur);
+    return lines;
+}
+
+} // namespace
+
+std::string
+renderAnnotatedListing(const Profile &p, const std::string &source,
+                       std::size_t topN)
+{
+    std::ostringstream out;
+    out << "profile: " << p.workload << " on " << p.machineName
+        << " (n=" << p.issueWidth << ", m=" << p.pipelineDegree
+        << ")\n";
+    out << "source: " << p.code.sourceName << "\n";
+    out << "instructions " << p.instructions << ", base cycles "
+        << formatFixed(p.cycles, 2) << ", ipc "
+        << formatFixed(p.ipc, 3) << "\n";
+    out << "issue slots " << p.issueSlotsTotal << ": used "
+        << p.total.issued << " ("
+        << formatFixed(pctOf(p.total.issued, p.issueSlotsTotal), 1)
+        << "%), lost " << p.total.stallTotal() << "\n";
+    for (std::size_t c = 0; c < kNumStallCauses; ++c) {
+        out << "  " << stallCauseName(static_cast<StallCause>(c))
+            << " " << p.stalls.slots[c] << " ("
+            << formatFixed(
+                   pctOf(p.stalls.slots[c], p.issueSlotsTotal), 1)
+            << "%)\n";
+    }
+    if (p.unattributed().issued + p.unattributed().stallTotal() > 0) {
+        out << "unattributed slots: issued "
+            << p.unattributed().issued << ", lost "
+            << p.unattributed().stallTotal() << "\n";
+    }
+    out << "\n";
+
+    std::vector<Row> loops = rollupLoops(p);
+    if (!loops.empty()) {
+        Table lt("hottest loops");
+        lt.setHeader({"loop", "slots", "%total", "issued", "raw",
+                      "unit", "fence", "drain"});
+        for (std::size_t i = 0; i < loops.size() && i < topN; ++i) {
+            const Row &r = loops[i];
+            lt.row()
+                .cell(r.key)
+                .cell(static_cast<long long>(r.counters.slotTotal()))
+                .cell(pctOf(r.counters.slotTotal(),
+                            p.issueSlotsTotal),
+                      1)
+                .cell(static_cast<long long>(r.counters.issued));
+            appendCauseCells(lt, r.counters);
+        }
+        out << lt.render() << "\n";
+    }
+
+    const std::vector<std::string> src_lines = splitLines(source);
+    const std::uint64_t slot_total = p.issueSlotsTotal;
+
+    std::string cur_func;
+    int cur_line = -1;
+    Table *code_table = nullptr;
+    Table table("");
+    auto flush = [&] {
+        if (code_table && code_table->rows() > 0)
+            out << code_table->render() << "\n";
+        table = Table("");
+        table.setHeader({"pc", "issued", "stall", "%slots", "cause",
+                         "instruction"});
+        code_table = &table;
+    };
+    flush();
+
+    for (Pc pc = 0; pc < p.code.entries.size(); ++pc) {
+        const CodeEntry &e = p.code.entries[pc];
+        if (e.func != cur_func) {
+            flush();
+            cur_func = e.func;
+            cur_line = -1;
+            out << "== function " << e.func << " ==\n";
+        }
+        if (e.loc.known() && e.loc.line != cur_line) {
+            flush();
+            cur_line = e.loc.line;
+            const std::size_t idx =
+                static_cast<std::size_t>(cur_line - 1);
+            out << cur_line << " | "
+                << (idx < src_lines.size() ? src_lines[idx]
+                                           : std::string("<?>"))
+                << "\n";
+        }
+        const PcCounters &c = p.perPc[pc];
+        Counters cc;
+        cc.add(c);
+        code_table->row()
+            .cell(static_cast<long long>(pc))
+            .cell(static_cast<long long>(c.issued))
+            .cell(static_cast<long long>(cc.stallTotal()))
+            .cell(pctOf(cc.slotTotal(), slot_total), 1)
+            .cell(cc.stallTotal() > 0
+                      ? stallCauseName(cc.dominantCause())
+                      : "-")
+            .cell(e.text);
+    }
+    flush();
+    return out.str();
+}
+
+namespace {
+
+Json
+countersJson(const Counters &c)
+{
+    Json j = Json::object();
+    j.set("issued", c.issued);
+    Json stalls = Json::object();
+    for (std::size_t i = 0; i < kNumStallCauses; ++i)
+        stalls.set(stallCauseName(static_cast<StallCause>(i)),
+                   c.stallSlots[i]);
+    j.set("stall_slots", std::move(stalls));
+    j.set("slot_total", c.slotTotal());
+    return j;
+}
+
+} // namespace
+
+Json
+toJson(const Profile &p)
+{
+    Json doc = Json::object();
+
+    Json meta = buildMeta();
+    meta.set("schema", "profile-v1");
+    meta.set("workload", p.workload);
+    meta.set("source", p.code.sourceName);
+    meta.set("machine", p.machineName);
+    meta.set("machine_hash", std::to_string(p.machineHash));
+    doc.set("meta", std::move(meta));
+
+    Json machine = Json::object();
+    machine.set("issue_width", p.issueWidth);
+    machine.set("pipeline_degree", p.pipelineDegree);
+    doc.set("machine", std::move(machine));
+
+    Json totals = Json::object();
+    totals.set("instructions", p.instructions);
+    totals.set("base_cycles", p.cycles);
+    totals.set("ipc", p.ipc);
+    totals.set("issue_slots_total", p.issueSlotsTotal);
+    Json stalls = Json::object();
+    for (std::size_t c = 0; c < kNumStallCauses; ++c)
+        stalls.set(stallCauseName(static_cast<StallCause>(c)),
+                   p.stalls.slots[c]);
+    totals.set("stall_slots", std::move(stalls));
+    doc.set("totals", std::move(totals));
+
+    Json per_pc = Json::array();
+    for (Pc pc = 0; pc < p.code.entries.size(); ++pc) {
+        const CodeEntry &e = p.code.entries[pc];
+        const PcCounters &c = p.perPc[pc];
+        Counters cc;
+        cc.add(c);
+        Json row = countersJson(cc);
+        // Prepend identity keys by rebuilding in display order.
+        Json full = Json::object();
+        full.set("pc", static_cast<std::uint64_t>(pc));
+        full.set("func", e.func);
+        full.set("block", e.block);
+        full.set("line", e.loc.line);
+        full.set("col", e.loc.col);
+        full.set("text", e.text);
+        for (const auto &[k, v] : row.asObject())
+            full.set(k, v);
+        per_pc.push(std::move(full));
+    }
+    doc.set("per_pc", std::move(per_pc));
+
+    Counters un;
+    un.add(p.unattributed());
+    doc.set("unattributed", countersJson(un));
+
+    Json lines = Json::array();
+    for (const auto &[line, c] : rollupByLine(p)) {
+        Json row = Json::object();
+        row.set("line", line);
+        // Keep the counters document alive across the loop: asObject()
+        // returns a reference into it.
+        const Json cj = countersJson(c);
+        for (const auto &[k, v] : cj.asObject())
+            row.set(k, v);
+        lines.push(std::move(row));
+    }
+    doc.set("lines", std::move(lines));
+
+    Json funcs = Json::array();
+    for (const Row &r : rollupByFunction(p)) {
+        Json row = Json::object();
+        row.set("func", r.key);
+        const Json cj = countersJson(r.counters);
+        for (const auto &[k, v] : cj.asObject())
+            row.set(k, v);
+        funcs.push(std::move(row));
+    }
+    doc.set("functions", std::move(funcs));
+
+    Json loops = Json::array();
+    for (const Row &r : rollupLoops(p)) {
+        Json row = Json::object();
+        row.set("loop", r.key);
+        const Json cj = countersJson(r.counters);
+        for (const auto &[k, v] : cj.asObject())
+            row.set(k, v);
+        loops.push(std::move(row));
+    }
+    doc.set("loops", std::move(loops));
+
+    return doc;
+}
+
+std::string
+renderDiff(const Profile &a, const Profile &b, std::size_t topN)
+{
+    SS_ASSERT(a.workload == b.workload,
+              "profile diff across workloads ('", a.workload,
+              "' vs '", b.workload,
+              "'): source lines would not correspond");
+
+    std::ostringstream out;
+    out << "profile diff: " << a.workload << "\n";
+    out << "  A: " << a.machineName << " (n=" << a.issueWidth
+        << ", m=" << a.pipelineDegree << ")  cycles "
+        << formatFixed(a.cycles, 2) << ", ipc "
+        << formatFixed(a.ipc, 3) << "\n";
+    out << "  B: " << b.machineName << " (n=" << b.issueWidth
+        << ", m=" << b.pipelineDegree << ")  cycles "
+        << formatFixed(b.cycles, 2) << ", ipc "
+        << formatFixed(b.ipc, 3) << "\n";
+    if (a.cycles > 0.0)
+        out << "  speedup B/A: " << formatFixed(a.cycles / b.cycles, 3)
+            << "x\n";
+    out << "\n";
+
+    // Per-line slot comparison.  The two compiles may place different
+    // instructions on a line, but the lines themselves correspond:
+    // both profiles came from the same MT source.
+    std::map<int, std::pair<Counters, Counters>> by_line;
+    for (const auto &[line, c] : rollupByLine(a))
+        by_line[line].first = c;
+    for (const auto &[line, c] : rollupByLine(b))
+        by_line[line].second = c;
+
+    // Rank lines by how much timing changed between the machines
+    // (normalized to each profile's slot budget, so a wider machine
+    // doesn't dominate just by offering more slots).
+    std::vector<std::pair<double, int>> ranked;
+    for (const auto &[line, pair] : by_line) {
+        const double pa =
+            pctOf(pair.first.slotTotal(), a.issueSlotsTotal);
+        const double pb =
+            pctOf(pair.second.slotTotal(), b.issueSlotsTotal);
+        ranked.push_back({std::abs(pa - pb), line});
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto &x, const auto &y) {
+                         return x.first > y.first;
+                     });
+
+    Table t("largest per-line shifts (% of machine's issue slots)");
+    t.setHeader({"line", "A slots", "A %", "B slots", "B %",
+                 "delta %", "A cause", "B cause"});
+    for (std::size_t i = 0; i < ranked.size() && i < topN; ++i) {
+        const int line = ranked[i].second;
+        const auto &[ca, cb] = by_line[line];
+        const double pa = pctOf(ca.slotTotal(), a.issueSlotsTotal);
+        const double pb = pctOf(cb.slotTotal(), b.issueSlotsTotal);
+        t.row()
+            .cell(line)
+            .cell(static_cast<long long>(ca.slotTotal()))
+            .cell(pa, 1)
+            .cell(static_cast<long long>(cb.slotTotal()))
+            .cell(pb, 1)
+            .cell(pb - pa, 1)
+            .cell(ca.stallTotal() > 0
+                      ? stallCauseName(ca.dominantCause())
+                      : "-")
+            .cell(cb.stallTotal() > 0
+                      ? stallCauseName(cb.dominantCause())
+                      : "-");
+    }
+    out << t.render();
+    return out.str();
+}
+
+} // namespace prof
+} // namespace ilp

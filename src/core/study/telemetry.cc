@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "support/buildinfo.hh"
 #include "support/logging.hh"
 
 namespace ilp {
@@ -24,7 +25,8 @@ completeEvent(const std::string &name, const std::string &cat,
 }
 
 Json
-metadataEvent(const std::string &name, int pid, const std::string &label)
+metadataEvent(const std::string &name, int pid, int tid,
+              const std::string &label)
 {
     Json args = Json::object();
     args.set("name", Json(label));
@@ -32,7 +34,7 @@ metadataEvent(const std::string &name, int pid, const std::string &label)
     e.set("name", Json(name));
     e.set("ph", Json("M"));
     e.set("pid", Json(pid));
-    e.set("tid", Json(0));
+    e.set("tid", Json(tid));
     e.set("args", std::move(args));
     return e;
 }
@@ -48,11 +50,13 @@ buildTraceEvents(const RunOutcome &outcome,
 
     Json events = Json::array();
     events.push(
-        metadataEvent("process_name", kCompilePid, "compile"));
-    events.push(metadataEvent("process_name", kIssuePid, "issue"));
+        metadataEvent("process_name", kCompilePid, 0, "compile"));
+    events.push(metadataEvent("process_name", kIssuePid, 0, "issue"));
 
     // Compile spans: one tid per distinct phase prefix (the part
     // before ':'), so each optimizer phase gets its own track.
+    // Each track is named so viewers show "frontend"/"opt"/... instead
+    // of bare thread ids.
     std::vector<std::string> tracks;
     for (const auto &span : outcome.compile.spans) {
         std::string track = span.name.substr(0, span.name.find(':'));
@@ -64,6 +68,8 @@ buildTraceEvents(const RunOutcome &outcome,
         if (tid < 0) {
             tid = static_cast<int>(tracks.size());
             tracks.push_back(track);
+            events.push(metadataEvent("thread_name", kCompilePid, tid,
+                                      track));
         }
         events.push(completeEvent(span.name, "compile",
                                   span.startMs * 1000.0,
@@ -73,18 +79,28 @@ buildTraceEvents(const RunOutcome &outcome,
 
     // Issue timeline: one tid per issue slot; one simulated minor
     // cycle = 1us of trace time, duration = operation latency.
+    bool slot_named[64] = {};
     for (const auto &ev : outcome.issueTimeline) {
+        const int tid = static_cast<int>(ev.slot);
+        if (tid >= 0 && tid < 64 && !slot_named[tid]) {
+            slot_named[tid] = true;
+            events.push(metadataEvent(
+                "thread_name", kIssuePid, tid,
+                "slot " + std::to_string(tid)));
+        }
         events.push(completeEvent(
             std::string(instrClassName(ev.cls)), "issue",
             static_cast<double>(ev.cycle),
-            static_cast<double>(ev.latencyMinor), kIssuePid,
-            static_cast<int>(ev.slot)));
+            static_cast<double>(ev.latencyMinor), kIssuePid, tid));
     }
 
     Json doc = Json::object();
     doc.set("traceEvents", std::move(events));
     doc.set("displayTimeUnit", Json("ms"));
-    Json meta = Json::object();
+    Json meta = buildMeta();
+    meta.set("machine", Json(machine.name));
+    meta.set("machine_hash",
+             Json(std::to_string(machine.specHash())));
     meta.set("issueWidth", Json(machine.issueWidth));
     meta.set("pipelineDegree", Json(machine.pipelineDegree));
     meta.set("timelineDropped", Json(outcome.timelineDropped));

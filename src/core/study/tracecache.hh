@@ -12,7 +12,7 @@
  * the entry's shared_future, so one functional execution per key is a
  * structural guarantee, not a race outcome.
  *
- * Packed traces are large (16 bytes per dynamic instruction), so the
+ * Packed traces are large (20 bytes per dynamic instruction), so the
  * cache holds a global byte budget (--trace-budget /
  * SSIM_TRACE_BUDGET, default 2 GiB): recording is capped at the
  * budget, completed entries are accounted per-entry and evicted LRU

@@ -16,6 +16,7 @@ Expr::clone() const
     e->unOp = unOp;
     e->castTo = castTo;
     e->line = line;
+    e->col = col;
     if (lhs)
         e->lhs = lhs->clone();
     if (rhs)
@@ -112,6 +113,7 @@ Stmt::clone() const
     s->declType = declType;
     s->name = name;
     s->line = line;
+    s->col = col;
     if (indexExpr)
         s->indexExpr = indexExpr->clone();
     if (value)

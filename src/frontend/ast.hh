@@ -56,6 +56,7 @@ struct Expr
     UnOp unOp = UnOp::Neg;
     MtType castTo = MtType::Int;
     int line = 0;
+    int col = 0;
 
     ExprPtr clone() const;
 
@@ -99,6 +100,7 @@ struct Stmt
     // Block.
     std::vector<StmtPtr> body;
     int line = 0;
+    int col = 0;
 
     StmtPtr clone() const;
 

@@ -126,6 +126,12 @@ class FuncCodegen
     Value
     genExpr(const Expr &e)
     {
+        // Source-position bookkeeping: instructions lowered from this
+        // expression carry its position (falling back to the
+        // innermost enclosing statement's when the parser stamped
+        // none).
+        if (e.line > 0)
+            b_.setLoc(SrcLoc{e.line, e.col});
         switch (e.kind) {
           case ExprKind::IntLit:
             return {b_.li(e.intValue), MtType::Int};
@@ -390,6 +396,8 @@ class FuncCodegen
     void
     genStmt(const Stmt &s)
     {
+        if (s.line > 0)
+            b_.setLoc(SrcLoc{s.line, s.col});
         switch (s.kind) {
           case StmtKind::Block:
             for (const auto &sub : s.body) {

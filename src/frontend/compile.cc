@@ -18,8 +18,10 @@ compileToIrChecked(const std::string &source,
     if (unroll.factor > 1)
         unrollProgram(program, unroll);
     Result<Module> lowered = generateIrChecked(program, unit);
-    if (lowered.ok())
+    if (lowered.ok()) {
+        lowered.value().sourceName = unit;
         verifyOrDie(lowered.value());
+    }
     return lowered;
 }
 

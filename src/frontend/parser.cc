@@ -275,6 +275,7 @@ class Parser
     parseStmt()
     {
         int line = peek().line;
+        int col = peek().col;
         StmtPtr s;
         switch (peek().kind) {
           case Tok::KwVar:
@@ -316,6 +317,7 @@ class Parser
             break;
         }
         s->line = line;
+        s->col = col;
         return s;
     }
 
@@ -585,6 +587,7 @@ class Parser
     parsePrimary()
     {
         int line = peek().line;
+        int col = peek().col;
         ExprPtr e;
         if (at(Tok::IntLit)) {
             e = Expr::intLit(advance().intValue);
@@ -621,6 +624,7 @@ class Parser
                   "expected expression, got " + tokName(peek().kind));
         }
         e->line = line;
+        e->col = col;
         return e;
     }
 

@@ -40,6 +40,8 @@ IrBuilder::emit(Instr instr)
     SS_ASSERT(cur_ != kNoBlock, "no current block");
     SS_ASSERT(!blockTerminated(),
               "emitting into terminated block ", cur_);
+    if (!instr.loc.known())
+        instr.loc = loc_;
     func_.blocks[cur_].instrs.push_back(std::move(instr));
 }
 

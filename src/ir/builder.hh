@@ -30,7 +30,17 @@ class IrBuilder
     /** True if the current block already has a terminator. */
     bool blockTerminated() const;
 
-    /** Append a raw instruction to the current block. */
+    /**
+     * Set the source position stamped onto subsequently emitted
+     * instructions (until the next setLoc).  The default — no
+     * location — marks compiler-synthesized code.
+     */
+    void setLoc(SrcLoc loc) { loc_ = loc; }
+    SrcLoc currentLoc() const { return loc_; }
+
+    /** Append a raw instruction to the current block, stamping the
+     *  current source location unless the instruction already has
+     *  one. */
     void emit(Instr instr);
 
     // --- Value-producing helpers; each returns a fresh virtual reg --
@@ -54,6 +64,7 @@ class IrBuilder
   private:
     Function &func_;
     BlockId cur_ = kNoBlock;
+    SrcLoc loc_;
 };
 
 } // namespace ilp

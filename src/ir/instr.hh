@@ -37,6 +37,34 @@ inline constexpr BlockId kNoBlock = -1;
 using FuncId = std::int32_t;
 inline constexpr FuncId kNoFunc = -1;
 
+/**
+ * Where an instruction came from in the MT source (line/col are
+ * 1-based; line 0 means "no source position" — compiler-synthesized
+ * code such as jumps, spill traffic, or prologue stores).  The file
+ * name is per-module (Module::sourceName), not per-instruction.
+ *
+ * Invariant, checked by verifySourceLocs(): optimization never
+ * *invents* locations — every known loc in optimized code already
+ * appeared in the front end's output for the same module.
+ */
+struct SrcLoc
+{
+    std::int32_t line = 0;
+    std::int32_t col = 0;
+
+    bool known() const { return line > 0; }
+
+    bool operator==(const SrcLoc &o) const
+    {
+        return line == o.line && col == o.col;
+    }
+    bool operator!=(const SrcLoc &o) const { return !(*this == o); }
+    bool operator<(const SrcLoc &o) const
+    {
+        return line != o.line ? line < o.line : col < o.col;
+    }
+};
+
 struct Instr
 {
     Opcode op = Opcode::Jmp;
@@ -51,8 +79,25 @@ struct Instr
     FuncId callee = kNoFunc;
     std::vector<Reg> args;  ///< Call arguments
 
+    /** Source position this instruction implements (see SrcLoc).
+     *  Preserved by every pass; new instructions derived from an
+     *  existing one inherit its loc via at(). */
+    SrcLoc loc;
+    /** Static instruction id in final layout order (kNoPc until
+     *  Module::assignPcs runs — the optimizer pipeline's last step). */
+    Pc pc = kNoPc;
+
     /** The instruction class (delegates to opcodeClass). */
     InstrClass cls() const { return opcodeClass(op); }
+
+    /** Fluent loc stamping: `Instr::li(d, 0).at(in.loc)` builds a
+     *  replacement that keeps the original's source position. */
+    Instr &
+    at(SrcLoc l)
+    {
+        loc = l;
+        return *this;
+    }
 
     /** Register sources read by this instruction (excluding args). */
     void forEachSrc(const std::function<void(Reg)> &fn) const;
@@ -72,7 +117,9 @@ struct Instr
      */
     bool hasSideEffect() const;
 
-    /** Structural equality (used by tests and by local CSE keys). */
+    /** Structural equality (used by tests and by local CSE keys).
+     *  Deliberately ignores loc and pc: two instructions computing
+     *  the same value on different source lines must still CSE. */
     bool operator==(const Instr &other) const;
 
     // --- Convenience factories -----------------------------------

@@ -78,6 +78,20 @@ Module::findGlobal(const std::string &name) const
     return it == global_index_.end() ? nullptr : &globals_[it->second];
 }
 
+Pc
+Module::assignPcs()
+{
+    Pc next = 0;
+    for (auto &func : funcs_) {
+        for (auto &bb : func.blocks) {
+            for (auto &in : bb.instrs)
+                in.pc = next++;
+        }
+    }
+    pc_count_ = next;
+    return next;
+}
+
 bool
 Module::addressInGlobals(std::int64_t addr) const
 {

@@ -40,6 +40,10 @@ struct GlobalVar
 class Module
 {
   public:
+    /** Source unit this module was compiled from ("<input>" when
+     *  built programmatically); the `file` half of every SrcLoc. */
+    std::string sourceName = "<input>";
+
     /** Create a function; returns its id. Names must be unique. */
     FuncId addFunction(const std::string &name);
 
@@ -68,12 +72,25 @@ class Module
     /** True if `addr` falls inside some global's extent. */
     bool addressInGlobals(std::int64_t addr) const;
 
+    /**
+     * Number static instructions in layout order (function by
+     * function, block by block): instr.pc becomes the profiler's key
+     * for per-instruction counters.  Idempotent; called by
+     * optimizeModule() after the last code-changing pass.
+     * @return One past the largest assigned pc.
+     */
+    Pc assignPcs();
+
+    /** One past the largest pc assignPcs() handed out (0 before). */
+    Pc pcCount() const { return pc_count_; }
+
   private:
     std::vector<Function> funcs_;
     std::unordered_map<std::string, FuncId> func_index_;
     std::vector<GlobalVar> globals_;
     std::unordered_map<std::string, std::size_t> global_index_;
     std::int64_t next_addr_ = kGlobalBase;
+    Pc pc_count_ = 0;
 };
 
 } // namespace ilp

@@ -1,5 +1,7 @@
 #include "ir/verifier.hh"
 
+#include <algorithm>
+
 #include "support/logging.hh"
 
 namespace ilp {
@@ -158,6 +160,59 @@ verifyOrDie(const Module &module)
     if (!problems.empty())
         SS_PANIC("IR verification failed: ", problems.front(),
                  " (and ", problems.size() - 1, " more)");
+}
+
+std::vector<SrcLoc>
+collectSourceLocs(const Module &module)
+{
+    std::vector<SrcLoc> locs;
+    for (const auto &func : module.functions()) {
+        for (const auto &bb : func.blocks) {
+            for (const auto &in : bb.instrs) {
+                if (in.loc.known())
+                    locs.push_back(in.loc);
+            }
+        }
+    }
+    std::sort(locs.begin(), locs.end());
+    locs.erase(std::unique(locs.begin(), locs.end()), locs.end());
+    return locs;
+}
+
+std::vector<std::string>
+verifySourceLocs(const Module &module,
+                 const std::vector<SrcLoc> &allowed)
+{
+    std::vector<std::string> out;
+    for (const auto &func : module.functions()) {
+        for (const auto &bb : func.blocks) {
+            for (const auto &in : bb.instrs) {
+                if (!in.loc.known())
+                    continue;
+                if (!std::binary_search(allowed.begin(),
+                                        allowed.end(), in.loc)) {
+                    out.push_back(
+                        func.name + "/bb" + std::to_string(bb.id) +
+                        ": invented source location " +
+                        std::to_string(in.loc.line) + ":" +
+                        std::to_string(in.loc.col) + " on '" +
+                        std::string(opcodeName(in.op)) + "'");
+                }
+            }
+        }
+    }
+    return out;
+}
+
+void
+verifySourceLocsOrDie(const Module &module,
+                      const std::vector<SrcLoc> &allowed)
+{
+    auto problems = verifySourceLocs(module, allowed);
+    if (!problems.empty())
+        SS_PANIC("source-location verification failed: ",
+                 problems.front(), " (and ", problems.size() - 1,
+                 " more)");
 }
 
 } // namespace ilp

@@ -29,6 +29,25 @@ std::vector<std::string> verify(const Module &module,
 /** Panics with the first diagnostic if verification fails. */
 void verifyOrDie(const Module &module);
 
+/** Every known SrcLoc present in `module` (sorted, deduplicated) —
+ *  snapshot this on the front end's output, then check optimized code
+ *  against it with verifySourceLocs. */
+std::vector<SrcLoc> collectSourceLocs(const Module &module);
+
+/**
+ * Check that no instruction carries a known source location absent
+ * from `allowed` (a collectSourceLocs snapshot of the unoptimized
+ * module): passes may drop or copy locations, never invent them.
+ * @return One diagnostic per offending instruction; empty when clean.
+ */
+std::vector<std::string>
+verifySourceLocs(const Module &module,
+                 const std::vector<SrcLoc> &allowed);
+
+/** Panics with the first diagnostic if verifySourceLocs fails. */
+void verifySourceLocsOrDie(const Module &module,
+                           const std::vector<SrcLoc> &allowed);
+
 } // namespace ilp
 
 #endif // SUPERSYM_IR_VERIFIER_HH

@@ -145,6 +145,17 @@ using Reg = std::uint32_t;
 inline constexpr Reg kNoReg = 0xffffffffu;
 
 /**
+ * Identifies a static instruction of the *final* machine code: the
+ * index of the instruction in module layout order (function by
+ * function, block by block), assigned by Module::assignPcs() after
+ * the last code-changing pass.  The profiler keys every per-
+ * instruction counter by this id; kNoPc marks instructions that never
+ * went through pc assignment (hand-built modules, pre-opt IR).
+ */
+using Pc = std::uint32_t;
+inline constexpr Pc kNoPc = 0xffffffffu;
+
+/**
  * Physical register file layout after allocation (Section 3: "Our
  * compiler divides the register set into two disjoint parts", temps
  * for short-term expressions vs. home locations for variables).

@@ -135,7 +135,7 @@ foldConstants(Function &func)
                 if (c1 && in.hasImm && !c1->isFloat) {
                     auto v = foldIntBinary(in.op, c1->i, in.imm);
                     if (v) {
-                        in = Instr::li(in.dst, *v);
+                        in = Instr::li(in.dst, *v).at(in.loc);
                         rewrote = true;
                     }
                 } else if (c1 && !in.hasImm && in.src2 != kNoReg) {
@@ -143,11 +143,11 @@ foldConstants(Function &func)
                     if (c2 && c1->isFloat && c2->isFloat) {
                         if (auto v = foldFloatBinary(in.op, c1->f,
                                                      c2->f)) {
-                            in = Instr::lif(in.dst, *v);
+                            in = Instr::lif(in.dst, *v).at(in.loc);
                             rewrote = true;
                         } else if (auto b = foldFloatCompare(
                                        in.op, c1->f, c2->f)) {
-                            in = Instr::li(in.dst, *b);
+                            in = Instr::li(in.dst, *b).at(in.loc);
                             rewrote = true;
                         }
                     }
@@ -162,18 +162,20 @@ foldConstants(Function &func)
                 if (c) {
                     switch (in.op) {
                       case Opcode::NegF:
-                        in = Instr::lif(in.dst, -c->f);
+                        in = Instr::lif(in.dst, -c->f).at(in.loc);
                         rewrote = true;
                         break;
                       case Opcode::AbsF:
                         in = Instr::lif(in.dst,
-                                        c->f < 0 ? -c->f : c->f);
+                                        c->f < 0 ? -c->f : c->f)
+                                        .at(in.loc);
                         rewrote = true;
                         break;
                       case Opcode::CvtIF:
                         if (!c->isFloat) {
                             in = Instr::lif(
-                                in.dst, static_cast<double>(c->i));
+                                in.dst, static_cast<double>(c->i))
+                                .at(in.loc);
                             rewrote = true;
                         }
                         break;
@@ -181,13 +183,14 @@ foldConstants(Function &func)
                         if (c->isFloat) {
                             in = Instr::li(
                                 in.dst,
-                                static_cast<std::int64_t>(c->f));
+                                static_cast<std::int64_t>(c->f))
+                                .at(in.loc);
                             rewrote = true;
                         }
                         break;
                       case Opcode::NotI:
                         if (!c->isFloat) {
-                            in = Instr::li(in.dst, ~c->i);
+                            in = Instr::li(in.dst, ~c->i).at(in.loc);
                             rewrote = true;
                         }
                         break;
@@ -204,13 +207,15 @@ foldConstants(Function &func)
                      in.op == Opcode::ShrLI || in.op == Opcode::OrI ||
                      in.op == Opcode::XorI) &&
                     in.imm == 0 && !isMem(in.op)) {
-                    in = Instr::unary(Opcode::MovI, in.dst, in.src1);
+                    in = Instr::unary(Opcode::MovI, in.dst, in.src1)
+                             .at(in.loc);
                     rewrote = true;
                 } else if (in.op == Opcode::MulI && in.imm == 1) {
-                    in = Instr::unary(Opcode::MovI, in.dst, in.src1);
+                    in = Instr::unary(Opcode::MovI, in.dst, in.src1)
+                             .at(in.loc);
                     rewrote = true;
                 } else if (in.op == Opcode::MulI && in.imm == 0) {
-                    in = Instr::li(in.dst, 0);
+                    in = Instr::li(in.dst, 0).at(in.loc);
                     rewrote = true;
                 }
             }

@@ -155,7 +155,7 @@ class BlockVN
                 // Redundant: rewrite to a move from the holder.
                 Opcode mv = producesFloat(in.op) ? Opcode::MovF
                                                  : Opcode::MovI;
-                in = Instr::unary(mv, in.dst, h);
+                in = Instr::unary(mv, in.dst, h).at(in.loc);
                 defineReg(in.dst, it->second);
                 return 1;
             }

@@ -139,6 +139,9 @@ optimizeModule(Module &module, const MachineConfig &machine,
                CompileTelemetry *telemetry)
 {
     machine.validate();
+    // Optimized code may drop or duplicate source locations, but must
+    // never invent ones absent from the frontend's output.
+    const std::vector<SrcLoc> allowed_locs = collectSourceLocs(module);
     for (auto &func : module.functions()) {
         SS_ASSERT(!func.allocated, "optimizeModule: module already "
                                    "allocated");
@@ -203,6 +206,8 @@ optimizeModule(Module &module, const MachineConfig &machine,
         }
     }
     verifyOrDie(module);
+    verifySourceLocsOrDie(module, allowed_locs);
+    module.assignPcs();
 }
 
 } // namespace ilp

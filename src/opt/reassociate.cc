@@ -121,7 +121,8 @@ rebalanceOne(Function &func, BasicBlock &bb, const Liveness &live)
                 Reg dst =
                     last_pair ? root.dst : func.newVirtReg();
                 tree.push_back(Instr::binary(root.op, dst, level[k],
-                                             level[k + 1]));
+                                                          level[k + 1])
+                                             .at(root.loc));
                 next.push_back(dst);
             }
             if (level.size() % 2)

@@ -91,11 +91,11 @@ allocateHomeRegisters(Function &func, const RegFileLayout &layout)
             if (isLoad(in.op)) {
                 Opcode mv = in.op == Opcode::LoadF ? Opcode::MovF
                                                    : Opcode::MovI;
-                in = Instr::unary(mv, in.dst, hv);
+                in = Instr::unary(mv, in.dst, hv).at(in.loc);
             } else {
                 Opcode mv = in.op == Opcode::StoreF ? Opcode::MovF
                                                     : Opcode::MovI;
-                in = Instr::unary(mv, hv, in.src2);
+                in = Instr::unary(mv, hv, in.src2).at(in.loc);
             }
         }
     }

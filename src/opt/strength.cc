@@ -288,9 +288,11 @@ class LoopStrengthReduce
                 adjust -= g.inc;
             if (adjust != 0)
                 addr = Instr::binaryImm(Opcode::AddI, addr.dst, g.p,
-                                        adjust);
+                                        adjust)
+                                        .at(addr.loc);
             else
-                addr = Instr::unary(Opcode::MovI, addr.dst, g.p);
+                addr = Instr::unary(Opcode::MovI, addr.dst, g.p)
+                           .at(addr.loc);
         }
         pre_instrs.push_back(Instr::jmp(bid));
 

@@ -149,7 +149,8 @@ demoteToMemory(Function &func, Reg victim, bool is_float,
             in.forEachSrc([&](Reg r) { uses |= (r == victim); });
             if (uses) {
                 Reg tmp = func.newVirtReg();
-                out.push_back(Instr::load(ld, tmp, func.fpReg, off));
+                out.push_back(
+                    Instr::load(ld, tmp, func.fpReg, off).at(in.loc));
                 in.rewriteSrcs(
                     [&](Reg r) { return r == victim ? tmp : r; });
             }
@@ -158,7 +159,7 @@ demoteToMemory(Function &func, Reg victim, bool is_float,
                 in.dst = tmp;
                 out.push_back(in);
                 out.push_back(
-                    Instr::store(st, func.fpReg, off, tmp));
+                    Instr::store(st, func.fpReg, off, tmp).at(in.loc));
             } else {
                 out.push_back(in);
             }

@@ -202,6 +202,7 @@ Interpreter::execFrame(const Function &func,
         if (sink_) {
             di.op = in.op;
             di.dst = in.dst;
+            di.pc = in.pc;
         }
 
         // Fetch ALU operands.
@@ -373,6 +374,8 @@ Interpreter::execFrame(const Function &func,
                                                    : Opcode::MovI;
                     mv.dst = callee.paramRegs[i];
                     mv.addSrc(in.args[i]);
+                    // Calling-convention overhead bills to the site.
+                    mv.pc = in.pc;
                     sink_->emit(mv);
                 }
                 executed_ += in.args.size();
@@ -393,6 +396,7 @@ Interpreter::execFrame(const Function &func,
                                                 : Opcode::MovI;
                     mv.dst = in.dst;
                     mv.addSrc(last_ret_reg_);
+                    mv.pc = in.pc;
                     sink_->emit(mv);
                     ++executed_;
                     ++class_counts_[static_cast<std::size_t>(

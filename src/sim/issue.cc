@@ -95,6 +95,13 @@ IssueEngine::emit(const DynInstr &di)
     std::uint64_t t = std::max(
         std::max(cur_cycle_, fence_), std::max(t_data, t_unit));
 
+    // Profile bucket for this record (last slot = unattributed).
+    std::size_t pslot = 0;
+    if (profile_enabled_)
+        pslot = di.pc < profile_.size() - 1
+                    ? static_cast<std::size_t>(di.pc)
+                    : profile_.size() - 1;
+
     // Issue-slot availability: if we moved past the cycle being
     // filled, the new cycle starts empty; otherwise check the width.
     if (t > cur_cycle_) {
@@ -107,9 +114,13 @@ IssueEngine::emit(const DynInstr &di)
             cause = StallCause::RawLatency;
         else if (t_unit >= t)
             cause = StallCause::UnitConflict;
-        stalls_[cause] +=
+        const std::uint64_t lost =
             (width - static_cast<std::uint64_t>(cur_count_)) +
             (t - cur_cycle_ - 1) * width;
+        stalls_[cause] += lost;
+        if (profile_enabled_)
+            profile_[pslot]
+                .stallSlots[static_cast<std::size_t>(cause)] += lost;
         ++counts_[static_cast<std::size_t>(cur_count_)];
         empty_cycles_ += t - cur_cycle_ - 1;
         cur_cycle_ = t;
@@ -124,8 +135,11 @@ IssueEngine::emit(const DynInstr &di)
             t = std::max(
                 t, unit_free_[static_cast<std::size_t>(unit)][copy]);
         if (t > cur_cycle_) {
-            stalls_[StallCause::UnitConflict] +=
-                (t - cur_cycle_) * width;
+            const std::uint64_t lost = (t - cur_cycle_) * width;
+            stalls_[StallCause::UnitConflict] += lost;
+            if (profile_enabled_)
+                profile_[pslot].stallSlots[static_cast<std::size_t>(
+                    StallCause::UnitConflict)] += lost;
             empty_cycles_ += t - cur_cycle_;
             cur_cycle_ = t;
         }
@@ -148,6 +162,10 @@ IssueEngine::emit(const DynInstr &di)
     ++class_issued_[static_cast<std::size_t>(cls)];
     ++cur_count_;
     ++instructions_;
+    if (profile_enabled_) {
+        ++profile_[pslot].issued;
+        last_profile_slot_ = pslot;
+    }
 
     const std::uint64_t lat =
         static_cast<std::uint64_t>(config_.latencyMinor(cls));
@@ -231,6 +249,32 @@ std::uint64_t
 IssueEngine::completionTailMinorCycles() const
 {
     return last_complete_ - issuePeriodMinorCycles();
+}
+
+void
+IssueEngine::enableProfile(std::size_t pcCount)
+{
+    profile_enabled_ = true;
+    profile_.assign(pcCount + 1, PcCounters{});
+    last_profile_slot_ = pcCount; // unattributed until the 1st issue
+}
+
+std::vector<PcCounters>
+IssueEngine::profileCounters() const
+{
+    SS_ASSERT(profile_enabled_,
+              "profileCounters() without enableProfile()");
+    std::vector<PcCounters> out = profile_;
+    // Mirror stallBreakdown(): the still-open final cycle's empty
+    // slots drained with no instruction left to claim them; charge
+    // them to the last instruction that did issue so per-pc records
+    // sum exactly to the aggregate breakdown.
+    if (instructions_ > 0 && cur_count_ < config_.issueWidth)
+        out[last_profile_slot_].stallSlots[static_cast<std::size_t>(
+            StallCause::FrontendDrain)] +=
+            static_cast<std::uint64_t>(config_.issueWidth -
+                                       cur_count_);
+    return out;
 }
 
 void

@@ -99,6 +99,29 @@ struct IssueEvent
     InstrClass cls = InstrClass::IntAdd;
 };
 
+/**
+ * Per-static-instruction timing counters (one record per pc), filled
+ * by the issue engine when profiling is enabled.  Lost slots are
+ * charged to the instruction that was *waiting* to issue — the
+ * stalled consumer, not the producer it waited on.
+ */
+struct PcCounters
+{
+    /** Times this static instruction issued (slots it used). */
+    std::uint64_t issued = 0;
+    /** Lost slots charged while this instruction waited, per cause. */
+    std::array<std::uint64_t, kNumStallCauses> stallSlots{};
+
+    std::uint64_t
+    stallTotal() const
+    {
+        std::uint64_t t = 0;
+        for (std::uint64_t s : stallSlots)
+            t += s;
+        return t;
+    }
+};
+
 class IssueEngine : public TraceSink
 {
   public:
@@ -157,6 +180,27 @@ class IssueEngine : public TraceSink
     const ClassCounts &classIssued() const { return class_issued_; }
 
     /**
+     * Enable per-pc profiling for a program of `pcCount` static
+     * instructions.  Off by default and zero-cost when off (one
+     * predictable branch per emit).  Index pcCount is the bucket for
+     * records with pc == kNoPc (modules that never went through
+     * Module::assignPcs()).
+     */
+    void enableProfile(std::size_t pcCount);
+    bool profileEnabled() const { return profile_enabled_; }
+
+    /**
+     * Snapshot of the per-pc counters, pcCount + 1 records (last =
+     * unattributed bucket).  FrontendDrain of the still-open final
+     * cycle is charged to the last-issued pc so the records reconcile
+     * exactly with the aggregates:
+     *   sum(issued)         == instructions()
+     *   sum(stallSlots[c])  == stallBreakdown()[c]  for every cause
+     *   sum(issued + stall) == issueWidth * issuePeriodMinorCycles()
+     */
+    std::vector<PcCounters> profileCounters() const;
+
+    /**
      * Record the issue timeline (for --trace-events).  At most `limit`
      * events are kept; later issues only bump timelineDropped().
      */
@@ -205,6 +249,12 @@ class IssueEngine : public TraceSink
     StallBreakdown stalls_;
     /** Dynamic instructions per class. */
     ClassCounts class_issued_{};
+
+    /** Per-pc counters (empty unless enableProfile()). */
+    bool profile_enabled_ = false;
+    std::vector<PcCounters> profile_;
+    /** pc of the most recently issued instruction (drain charge). */
+    std::size_t last_profile_slot_ = 0;
 
     /** Issue timeline capture (off unless recordTimeline()). */
     bool timeline_enabled_ = false;

@@ -60,6 +60,7 @@ PackedInstr::pack(const DynInstr &di)
         pi.meta |= kHasAddr;
         pi.addrWord = static_cast<std::uint32_t>(di.addr / kWordBytes);
     }
+    pi.pc = di.pc;
     return pi;
 }
 
@@ -75,6 +76,7 @@ PackedInstr::unpack() const
     di.addr = (meta & kHasAddr)
                   ? static_cast<std::int64_t>(addrWord) * kWordBytes
                   : -1;
+    di.pc = pc;
     return di;
 }
 

@@ -3,13 +3,14 @@
  * Packed dynamic traces: the execute-once half of the execute-once /
  * time-many split.
  *
- * A DynInstr is ~32 bytes of convenient in-flight record; buffering
+ * A DynInstr is ~40 bytes of convenient in-flight record; buffering
  * whole executions of millions of instructions at that size is what
  * made replaying one functional execution against many machines too
  * expensive to be the default.  PackedInstr is the same information
- * in exactly 16 bytes, stored in fixed-size chunks (no giant
- * reallocations), with a lossless round trip to/from DynInstr for
- * every record the interpreter actually produces.
+ * in exactly 20 bytes (16 before the profiler added the static pc),
+ * stored in fixed-size chunks (no giant reallocations), with a
+ * lossless round trip to/from DynInstr for every record the
+ * interpreter actually produces.
  *
  * Records that cannot be represented (a register index >= 0xffff, an
  * unaligned or out-of-range address) are detected at append time and
@@ -30,12 +31,14 @@
 namespace ilp {
 
 /**
- * One executed instruction in 16 bytes.
+ * One executed instruction in 20 bytes.
  *
  * Registers are narrowed to 16 bits (0xffff encodes kNoReg) and the
  * byte address of a memory reference to a 32-bit word index — enough
  * for every register file and memory the toolchain can build today;
- * canPack() is the authoritative gate.
+ * canPack() is the authoritative gate.  The static pc is kept at
+ * full width: kNoPc must survive the round trip, and real programs
+ * can exceed 64 Ki static instructions after unrolling.
  */
 struct PackedInstr
 {
@@ -50,6 +53,8 @@ struct PackedInstr
     std::uint16_t srcs[4] = {kNoReg16, kNoReg16, kNoReg16, kNoReg16};
     /** addr / kWordBytes when kHasAddr is set; 0 otherwise. */
     std::uint32_t addrWord = 0;
+    /** Static instruction id, stored verbatim (kNoPc included). */
+    std::uint32_t pc = kNoPc;
 
     /** Can `di` round-trip through the packed form losslessly? */
     static bool canPack(const DynInstr &di);
@@ -61,8 +66,8 @@ struct PackedInstr
     DynInstr unpack() const;
 };
 
-static_assert(sizeof(PackedInstr) == 16,
-              "PackedInstr must stay 16 bytes — trace memory is the "
+static_assert(sizeof(PackedInstr) == 20,
+              "PackedInstr must stay 20 bytes — trace memory is the "
               "execute-once budget");
 
 /**

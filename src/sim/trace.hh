@@ -33,6 +33,10 @@ struct DynInstr
     std::uint8_t numSrcs = 0;
     /** Byte address for loads/stores; -1 otherwise. */
     std::int64_t addr = -1;
+    /** Static instruction id (Module::assignPcs order); kNoPc when
+     *  the executed module never went through pc assignment.
+     *  Synthetic call-convention moves carry the Call site's pc. */
+    Pc pc = kNoPc;
 
     InstrClass cls() const { return opcodeClass(op); }
 
@@ -51,7 +55,7 @@ struct DynInstr
     operator==(const DynInstr &o) const
     {
         return op == o.op && dst == o.dst && srcs == o.srcs &&
-               numSrcs == o.numSrcs && addr == o.addr;
+               numSrcs == o.numSrcs && addr == o.addr && pc == o.pc;
     }
     bool operator!=(const DynInstr &o) const { return !(*this == o); }
 };

@@ -1,0 +1,34 @@
+#include "support/buildinfo.hh"
+
+#ifndef SS_BUILD_VERSION
+#define SS_BUILD_VERSION "unknown"
+#endif
+#ifndef SS_BUILD_TYPE
+#define SS_BUILD_TYPE "unknown"
+#endif
+
+namespace ilp {
+
+const char *
+buildVersion()
+{
+    return SS_BUILD_VERSION;
+}
+
+const char *
+buildType()
+{
+    return SS_BUILD_TYPE;
+}
+
+Json
+buildMeta()
+{
+    Json meta = Json::object();
+    meta.set("generator", "supersym");
+    meta.set("version", buildVersion());
+    meta.set("build", buildType());
+    return meta;
+}
+
+} // namespace ilp

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Build provenance for emitted artifacts.
+ *
+ * Every machine-readable document the toolchain writes (--stats-json,
+ * profile JSON, trace-event files) carries a `meta` object naming the
+ * build that produced it, so archived results stay comparable: a diff
+ * between two profile files that disagree on `meta.version` is telling
+ * you about two toolchains, not two machines.
+ */
+
+#ifndef SUPERSYM_SUPPORT_BUILDINFO_HH
+#define SUPERSYM_SUPPORT_BUILDINFO_HH
+
+#include <string>
+
+#include "support/json.hh"
+
+namespace ilp {
+
+/** `git describe --always --dirty` at configure time ("unknown" when
+ *  built outside a git checkout). */
+const char *buildVersion();
+
+/** CMAKE_BUILD_TYPE at configure time ("unknown" when unset). */
+const char *buildType();
+
+/**
+ * The standard provenance object: {"generator", "version", "build"}
+ * plus any caller-added keys.  Attach as the document's "meta" key.
+ */
+Json buildMeta();
+
+} // namespace ilp
+
+#endif // SUPERSYM_SUPPORT_BUILDINFO_HH
