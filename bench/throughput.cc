@@ -6,12 +6,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench/common.hh"
 #include "core/study/driver.hh"
 #include "core/study/experiment.hh"
 #include "core/study/sweep.hh"
 #include "core/machine/models.hh"
 #include "sim/interp.hh"
 #include "sim/issue.hh"
+#include "support/trace.hh"
 
 using namespace ilp;
 
@@ -21,6 +25,43 @@ const Workload &
 wl()
 {
     return workloadByName("yacc");
+}
+
+using BenchClock = std::chrono::steady_clock;
+
+double
+secondsSince(BenchClock::time_point t0)
+{
+    return std::chrono::duration<double>(BenchClock::now() - t0)
+        .count();
+}
+
+/**
+ * Append one throughput datapoint to the SSIM_BENCH_STATS trajectory
+ * (BENCH_throughput.json): wall seconds across the timed loop,
+ * iteration count, and the workload rate where one is meaningful.
+ * No-op when the trajectory is disabled, so default bench cost is
+ * unchanged.
+ */
+void
+appendThroughputPoint(const std::string &label, double wallSeconds,
+                      std::int64_t iterations, double instrPerSec,
+                      double cellsPerSec = 0.0)
+{
+    if (!bench::statsTrajectoryPath())
+        return;
+    stats::Registry registry;
+    stats::Group &g =
+        registry.group("throughput", "bench wall-clock trajectory");
+    g.scalar("wall_s", "wall-clock seconds across the timed loop")
+        .set(wallSeconds);
+    g.counter("iterations", "benchmark iterations timed")
+        .inc(static_cast<std::uint64_t>(iterations));
+    g.scalar("instr_per_s", "simulated instructions per second")
+        .set(instrPerSec);
+    g.scalar("cells_per_s", "sweep cells per second").set(cellsPerSec);
+    bench::appendStatsTrajectory("throughput", label,
+                                 registry.snapshot());
 }
 
 void
@@ -86,13 +127,18 @@ BM_LiveRun(benchmark::State &state)
     MachineConfig mc = idealSuperscalar(4);
     Module m = compileWorkload(w.source, mc, o);
     std::uint64_t instrs = 0;
+    const auto t0 = BenchClock::now();
     for (auto _ : state) {
         RunOutcome out = runOnMachine(m, mc);
         instrs += out.instructions;
         benchmark::DoNotOptimize(out.cycles);
     }
+    const double wall = secondsSince(t0);
     state.counters["instr/s"] = benchmark::Counter(
         static_cast<double>(instrs), benchmark::Counter::kIsRate);
+    appendThroughputPoint(
+        "BM_LiveRun", wall, state.iterations(),
+        wall > 0.0 ? static_cast<double>(instrs) / wall : 0.0);
 }
 BENCHMARK(BM_LiveRun)->Unit(benchmark::kMillisecond);
 
@@ -109,15 +155,20 @@ BM_TraceReplay(benchmark::State &state)
     Module m = compileWorkload(w.source, mc, o);
     TraceArtifact artifact = executeWorkload(m);
     std::uint64_t instrs = 0;
+    const auto t0 = BenchClock::now();
     for (auto _ : state) {
         RunOutcome out = timeTrace(artifact, mc);
         instrs += out.instructions;
         benchmark::DoNotOptimize(out.cycles);
     }
+    const double wall = secondsSince(t0);
     state.counters["instr/s"] = benchmark::Counter(
         static_cast<double>(instrs), benchmark::Counter::kIsRate);
     state.counters["trace_mb"] =
         static_cast<double>(artifact.byteSize()) / (1024.0 * 1024.0);
+    appendThroughputPoint(
+        "BM_TraceReplay", wall, state.iterations(),
+        wall > 0.0 ? static_cast<double>(instrs) / wall : 0.0);
 }
 BENCHMARK(BM_TraceReplay)->Unit(benchmark::kMillisecond);
 
@@ -155,14 +206,18 @@ BM_CompileCacheHit(benchmark::State &state)
     CompileOptions o = defaultCompileOptions(w);
     CompileCache cache;
     cache.compile(w, idealSuperscalar(4), o);
+    const auto t0 = BenchClock::now();
     for (auto _ : state) {
         std::shared_ptr<const Module> m =
             cache.compile(w, idealSuperscalar(4), o);
         benchmark::DoNotOptimize(m.get());
     }
+    const double wall = secondsSince(t0);
     state.counters["hit_rate"] =
         static_cast<double>(cache.hits()) /
         static_cast<double>(cache.hits() + cache.misses());
+    appendThroughputPoint("BM_CompileCacheHit", wall,
+                          state.iterations(), 0.0);
 }
 BENCHMARK(BM_CompileCacheHit);
 
@@ -175,6 +230,7 @@ BM_ParallelSweep(benchmark::State &state)
     // compile+simulate pipeline under the worker pool.
     const std::vector<const Workload *> wls{
         &workloadByName("yacc"), &workloadByName("whet")};
+    const auto t0 = BenchClock::now();
     for (auto _ : state) {
         Study study(static_cast<int>(state.range(0)));
         std::vector<double> cells =
@@ -186,10 +242,62 @@ BM_ParallelSweep(benchmark::State &state)
             });
         benchmark::DoNotOptimize(cells.data());
     }
+    const double wall = secondsSince(t0);
     state.counters["jobs"] = static_cast<double>(
         SweepRunner(static_cast<int>(state.range(0))).jobs());
+    appendThroughputPoint(
+        "BM_ParallelSweep/" + std::to_string(state.range(0)), wall,
+        state.iterations(), 0.0,
+        wall > 0.0
+            ? static_cast<double>(state.iterations()) * 8.0 / wall
+            : 0.0);
 }
 BENCHMARK(BM_ParallelSweep)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ParallelSweepTraced(benchmark::State &state)
+{
+    // BM_ParallelSweep with a flight-recorder session armed around
+    // every iteration (the recording is drained and discarded): the
+    // tracing-on overhead that scripts/check.sh holds under its 2%
+    // soft budget.
+    const std::vector<const Workload *> wls{
+        &workloadByName("yacc"), &workloadByName("whet")};
+    std::size_t spans = 0;
+    const auto t0 = BenchClock::now();
+    for (auto _ : state) {
+        trace::Recorder::instance().start();
+        Study study(static_cast<int>(state.range(0)));
+        std::vector<double> cells =
+            study.runner().map<double>(wls.size() * 4,
+                                       [&](std::size_t i) {
+                return study.speedup(
+                    *wls[i / 4],
+                    idealSuperscalar(static_cast<int>(i % 4) + 1));
+            });
+        benchmark::DoNotOptimize(cells.data());
+        trace::Recording rec = trace::Recorder::instance().stop();
+        spans += rec.spans.size();
+        benchmark::DoNotOptimize(rec.spans.data());
+    }
+    const double wall = secondsSince(t0);
+    state.counters["jobs"] = static_cast<double>(
+        SweepRunner(static_cast<int>(state.range(0))).jobs());
+    state.counters["spans"] = static_cast<double>(
+        state.iterations() > 0
+            ? spans / static_cast<std::size_t>(state.iterations())
+            : 0);
+    appendThroughputPoint(
+        "BM_ParallelSweepTraced/" + std::to_string(state.range(0)),
+        wall, state.iterations(), 0.0,
+        wall > 0.0
+            ? static_cast<double>(state.iterations()) * 8.0 / wall
+            : 0.0);
+}
+BENCHMARK(BM_ParallelSweepTraced)
     ->Arg(1)
     ->Arg(0)
     ->Unit(benchmark::kMillisecond);

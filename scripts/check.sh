@@ -106,4 +106,62 @@ SSIM_TRACE_BUDGET=0 "$BUILD_DIR/src/cli/ssim" ilp \
     > "$TRACE_REPLAY"
 cmp "$TRACE_LIVE" "$TRACE_REPLAY"
 
+echo "== flight recorder smoke =="
+# A traced sweep must be byte-identical to an untraced one on stdout,
+# and the sweep trace / metrics exports must be valid JSON with the
+# expected shape (one named track per worker, prom counters present).
+SWEEP_PLAIN="$BUILD_DIR/check_sweep_plain.txt"
+SWEEP_TRACED="$BUILD_DIR/check_sweep_traced.txt"
+SWEEP_TRACE_JSON="$BUILD_DIR/check_sweep_trace.json"
+METRICS_JSON="$BUILD_DIR/check_metrics.json"
+METRICS_PROM="$BUILD_DIR/check_metrics.prom"
+"$BUILD_DIR/src/cli/ssim" ilp examples/mt/dotprod.mt --jobs 8 \
+    > "$SWEEP_PLAIN"
+"$BUILD_DIR/src/cli/ssim" ilp examples/mt/dotprod.mt --jobs 8 \
+    --trace-events "$SWEEP_TRACE_JSON" \
+    --metrics-json "$METRICS_JSON" --metrics-prom "$METRICS_PROM" \
+    > "$SWEEP_TRACED"
+cmp "$SWEEP_PLAIN" "$SWEEP_TRACED"
+"$BUILD_DIR/src/cli/ssim" check-json "$SWEEP_TRACE_JSON"
+"$BUILD_DIR/src/cli/ssim" check-json "$METRICS_JSON"
+grep -q '"thread_name"' "$SWEEP_TRACE_JSON"
+grep -q '"worker 0"' "$SWEEP_TRACE_JSON"
+grep -q 'ssim_sweep_cells_total' "$METRICS_PROM"
+grep -q 'quantile="0.99"' "$METRICS_PROM"
+
+echo "== tracing overhead guard (soft) =="
+# BM_ParallelSweepTraced vs BM_ParallelSweep at one job: warn — never
+# fail — when arming the flight recorder costs more than the 2%
+# budget.  Medians over 3 repetitions to shrug off scheduler noise.
+BENCH_JSON="$BUILD_DIR/check_overhead.json"
+"$BUILD_DIR/bench/throughput" \
+    --benchmark_filter='BM_ParallelSweep(Traced)?/1$' \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json > "$BENCH_JSON" 2> /dev/null
+bench_median() {
+    awk -v want="\"name\": \"$1\"" '
+        index($0, want) { grab = 1 }
+        grab && /"real_time"/ {
+            gsub(/[^0-9.eE+-]/, "", $2)
+            print $2
+            exit
+        }' "$BENCH_JSON"
+}
+base_ms="$(bench_median 'BM_ParallelSweep/1_median')"
+traced_ms="$(bench_median 'BM_ParallelSweepTraced/1_median')"
+if [ -n "$base_ms" ] && [ -n "$traced_ms" ]; then
+    awk -v b="$base_ms" -v t="$traced_ms" 'BEGIN {
+        pct = 100.0 * (t / b - 1.0)
+        if (t <= b * 1.02)
+            printf "tracing overhead %+.1f%% (budget 2%%)\n", pct
+        else
+            printf "WARNING: tracing overhead %+.1f%% exceeds the " \
+                   "2%% budget (base %.1fms, traced %.1fms)\n",
+                   pct, b, t
+    }'
+else
+    echo "WARNING: could not parse benchmark medians from $BENCH_JSON"
+fi
+
 echo "== OK =="

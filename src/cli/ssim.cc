@@ -32,11 +32,23 @@
  *                    place (error code + text) while the remaining
  *                    cells still run; exit stays nonzero
  *
- * Observability (run/suite; see docs/observability.md):
+ * Observability (see docs/observability.md):
  *   --stats            print the full stats tree after the run
- *   --stats-json FILE  write the stats tree as JSON
- *   --trace-events FILE  write Chrome tracing JSON (run only)
- *   --trace-limit N    cap recorded issue events  (default 100000)
+ *   --stats-json FILE  write the stats tree as JSON (run/suite)
+ *   --trace-events FILE  write Chrome tracing JSON: for `run`, the
+ *                      compile spans + issue timeline of the single
+ *                      run; for `ilp`/`suite`, the whole sweep from
+ *                      the flight recorder — one timeline track per
+ *                      worker thread with compile / execute / replay /
+ *                      cache-wait / cell spans
+ *   --trace-limit N    run: cap recorded issue events (default 100000)
+ *   --metrics-json FILE  ilp/suite: write the runtime metrics
+ *                      snapshot (counters, gauges, duration
+ *                      histograms with p50/p90/p99) as JSON
+ *   --metrics-prom FILE  ilp/suite: the same snapshot in Prometheus
+ *                      text exposition format
+ *   --progress         ilp/suite: live sweep progress on stderr
+ *                      (cells/s, ETA, cache hit rates, utilization)
  *
  * Profiling (profile; --profile* also on run; docs/profiling.md):
  *   --profile          run: print the annotated listing after the
@@ -63,8 +75,11 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "core/machine/models.hh"
 #include "core/study/experiment.hh"
+#include "core/study/progress.hh"
 #include "core/study/sweep.hh"
 #include "core/study/telemetry.hh"
 #include "ir/printer.hh"
@@ -73,7 +88,9 @@
 #include "support/diag.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "support/table.hh"
+#include "support/trace.hh"
 
 using namespace ilp;
 
@@ -94,6 +111,7 @@ usage()
         "         --trace-budget BYTES[k|m|g]\n"
         "         --stats --stats-json FILE --trace-events FILE\n"
         "         --trace-limit N\n"
+        "         --metrics-json FILE --metrics-prom FILE --progress\n"
         "         --profile --profile-json FILE --profile-top N\n"
         "         --diff MACHINE_A MACHINE_B\n"
         "exit status: 0 ok, 1 compile/sim error, 2 usage error\n");
@@ -217,6 +235,11 @@ struct Cli
     std::string statsJsonPath;
     std::string traceEventsPath;
     std::size_t traceLimit = 100000;
+    /** Runtime metrics export for ilp/suite sweeps. */
+    std::string metricsJsonPath;
+    std::string metricsPromPath;
+    /** Live sweep progress on stderr. */
+    bool progress = false;
     /** Sweep workers for ilp/suite; 0 = SSIM_JOBS, then all cores. */
     int jobs = 0;
     /** Fault-isolated sweeps: report failing cells, run the rest. */
@@ -241,14 +264,20 @@ struct Cli
         return profile || !profileJsonPath.empty();
     }
 
-    /** Telemetry derived from the flags above. */
+    /**
+     * Telemetry derived from the flags above.  For sweeps (`sweep`
+     * true), --trace-events is served by the flight recorder rather
+     * than the per-run issue timeline, so it must not force stats or
+     * timeline collection — traced and untraced sweeps have to stay
+     * byte-identical.
+     */
     RunTelemetryOptions
-    telemetry() const
+    telemetry(bool sweep = false) const
     {
         RunTelemetryOptions t;
         t.collectStats = stats || !statsJsonPath.empty() ||
-                         !traceEventsPath.empty();
-        if (!traceEventsPath.empty())
+                         (!sweep && !traceEventsPath.empty());
+        if (!sweep && !traceEventsPath.empty())
             t.timelineLimit = traceLimit;
         t.collectProfile = wantProfile();
         return t;
@@ -334,6 +363,12 @@ parseArgs(int argc, char **argv)
             cli.statsJsonPath = next();
         else if (arg == "--trace-events")
             cli.traceEventsPath = next();
+        else if (arg == "--metrics-json")
+            cli.metricsJsonPath = next();
+        else if (arg == "--metrics-prom")
+            cli.metricsPromPath = next();
+        else if (arg == "--progress")
+            cli.progress = true;
         else if (arg == "--trace-limit")
             cli.traceLimit = static_cast<std::size_t>(parseIntOption(
                 "--trace-limit", next(), 0, LONG_MAX));
@@ -501,6 +536,97 @@ cmdProfile(const Cli &cli)
     }
 }
 
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    if (!out)
+        SS_FATAL("cannot open '", path, "' for writing");
+    out << text;
+    if (!out)
+        SS_FATAL("write to '", path, "' failed");
+}
+
+/**
+ * Sweep-level observability shared by `ilp` and `suite`: a flight-
+ * recorder session behind --trace-events, a live ProgressReporter
+ * behind --progress, the --metrics-json / --metrics-prom exports, and
+ * the metrics-vs-stats reconciliation check.  Construct before the
+ * sweep; call finish() after the barrier (all workers joined).  An
+ * aborted sweep (non-keep-going failure) skips finish() and writes
+ * nothing, matching the other output files.
+ */
+class SweepObservability
+{
+  public:
+    SweepObservability(const Cli &cli, const Study &study,
+                       std::size_t totalCells)
+        : cli_(cli), study_(study), expected_(totalCells)
+    {
+        // Metrics accumulate per process; zeroing them here makes the
+        // exported snapshot (and the reconciliation check) cover
+        // exactly this sweep.
+        metrics::Registry::global().reset();
+        if (!cli_.traceEventsPath.empty())
+            trace::Recorder::instance().start();
+        if (cli_.progress) {
+            ProgressReporter::Config pc;
+            pc.totalCells = totalCells;
+            pc.jobs = study.runner().jobs();
+            pc.compileCache = &study.compileCache();
+            pc.traceCache = &study.traceCache();
+            progress_ = std::make_unique<ProgressReporter>(pc);
+        }
+    }
+
+    void
+    finish()
+    {
+        if (progress_) {
+            progress_->finish();
+            progress_.reset();
+        }
+        if (!cli_.traceEventsPath.empty()) {
+            writeJsonFile(
+                cli_.traceEventsPath,
+                buildSweepTraceEvents(trace::Recorder::instance().stop(),
+                                      cli_.machine));
+        }
+        if (!cli_.metricsJsonPath.empty()) {
+            Json doc = Json::object();
+            doc.set("meta", documentMeta(cli_.machine));
+            doc.set("metrics", metrics::Registry::global().json());
+            writeJsonFile(cli_.metricsJsonPath, doc);
+        }
+        if (!cli_.metricsPromPath.empty()) {
+            // Exposition preamble: provenance as labels, so a scraped
+            // snapshot can be matched to the toolchain and machine
+            // configuration that produced it.
+            std::string prom;
+            prom += "# HELP ssim_build_info build provenance carried "
+                    "as labels\n";
+            prom += "# TYPE ssim_build_info gauge\n";
+            prom += std::string("ssim_build_info{version=\"") +
+                    buildVersion() + "\",build=\"" + buildType() +
+                    "\",machine=\"" + cli_.machine.name + "\"} 1\n";
+            prom += metrics::Registry::global().prometheus();
+            writeTextFile(cli_.metricsPromPath, prom);
+        }
+        const std::string mismatch =
+            checkMetricsReconciliation(study_, expected_);
+        if (!mismatch.empty())
+            SS_WARN("metrics do not reconcile with the stats "
+                    "registry: ",
+                    mismatch);
+    }
+
+  private:
+    const Cli &cli_;
+    const Study &study_;
+    std::uint64_t expected_;
+    std::unique_ptr<ProgressReporter> progress_;
+};
+
 int
 cmdIlp(const Cli &cli)
 {
@@ -517,6 +643,7 @@ cmdIlp(const Cli &cli)
             w, idealSuperscalar(static_cast<int>(i) + 1), cli.options);
     };
 
+    SweepObservability obs(cli, study, 8);
     std::vector<CellOutcome<double>> cells;
     if (cli.keepGoing) {
         // Fault-isolated sweep: a failing degree is recorded as a
@@ -533,6 +660,7 @@ cmdIlp(const Cli &cli)
             return fail(currentCellError().message);
         }
     }
+    obs.finish();
 
     Table t("Available parallelism (ideal superscalar sweep):");
     t.setHeader({"degree", "speedup"});
@@ -603,7 +731,7 @@ cmdSuite(const Cli &cli)
                  "speedup"});
     Json benchmarks = Json::array();
     const bool want_json = !cli.statsJsonPath.empty();
-    RunTelemetryOptions telemetry = cli.telemetry();
+    RunTelemetryOptions telemetry = cli.telemetry(/*sweep=*/true);
 
     // One cell per benchmark (base run + machine run); table rows,
     // stats dumps, and the JSON document are assembled serially from
@@ -633,6 +761,7 @@ cmdSuite(const Cli &cli)
         return c;
     };
 
+    SweepObservability obs(cli, study, suite.size());
     std::vector<CellOutcome<SuiteCell>> cells;
     if (cli.keepGoing) {
         cells = study.runner().mapChecked<SuiteCell>(suite.size(),
@@ -648,6 +777,7 @@ cmdSuite(const Cli &cli)
             return fail(currentCellError().message);
         }
     }
+    obs.finish();
 
     int status = 0;
     for (std::size_t i = 0; i < suite.size(); ++i) {

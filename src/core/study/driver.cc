@@ -4,8 +4,44 @@
 #include <chrono>
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/trace.hh"
 
 namespace ilp {
+
+namespace {
+
+metrics::Histogram &
+executeSeconds()
+{
+    static metrics::Histogram &h =
+        metrics::Registry::global().histogram(
+            "ssim_execute_seconds",
+            "Wall-clock seconds per functional execution.");
+    return h;
+}
+
+metrics::Histogram &
+replaySeconds()
+{
+    static metrics::Histogram &h =
+        metrics::Registry::global().histogram(
+            "ssim_replay_seconds",
+            "Wall-clock seconds per timing replay of a cached trace.");
+    return h;
+}
+
+metrics::Histogram &
+liveRunSeconds()
+{
+    static metrics::Histogram &h =
+        metrics::Registry::global().histogram(
+            "ssim_live_run_seconds",
+            "Wall-clock seconds per live (non-replay) timing run.");
+    return h;
+}
+
+} // namespace
 
 CompileOptions
 defaultCompileOptions(const Workload &workload)
@@ -149,6 +185,11 @@ runOnMachine(const Module &module, const MachineConfig &machine,
              const RunTelemetryOptions &telemetry,
              const CompileTelemetry *compile)
 {
+    trace::ScopedSpan span("live_run", "execute");
+    if (span.armed())
+        span.detail(module.sourceName);
+    metrics::ScopedTimer timer(metrics::Registry::global(),
+                               liveRunSeconds());
     Interpreter interp(module);
     IssueEngine engine(machine);
     if (telemetry.timelineLimit > 0)
@@ -179,6 +220,11 @@ runOnMachine(const Module &module, const MachineConfig &machine,
 TraceArtifact
 executeWorkload(const Module &module, std::size_t maxTraceBytes)
 {
+    trace::ScopedSpan span("execute", "execute");
+    if (span.armed())
+        span.detail(module.sourceName);
+    metrics::ScopedTimer timer(metrics::Registry::global(),
+                               executeSeconds());
     TraceArtifact art;
     art.pcCount = module.pcCount();
     Interpreter interp(module);
@@ -203,6 +249,9 @@ timeTrace(const TraceArtifact &artifact, const MachineConfig &machine,
     SS_ASSERT(artifact.replayable,
               "timeTrace needs a replayable artifact; trapped or "
               "lossy executions must go through runOnMachine");
+    trace::ScopedSpan span("replay", "replay");
+    metrics::ScopedTimer timer(metrics::Registry::global(),
+                               replaySeconds());
     IssueEngine engine(machine);
     if (telemetry.timelineLimit > 0)
         engine.recordTimeline(telemetry.timelineLimit);

@@ -1,12 +1,83 @@
 #include "core/study/sweep.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <thread>
 
+#include "core/study/progress.hh"
 #include "sim/trap.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/trace.hh"
 
 namespace ilp {
+
+namespace {
+
+// Metric handles are resolved once and cached; updates after that are
+// one relaxed atomic each (see support/metrics.hh).
+metrics::Counter &
+cellsTotal()
+{
+    static metrics::Counter &c = metrics::Registry::global().counter(
+        "ssim_sweep_cells_total", "Sweep cells evaluated.");
+    return c;
+}
+
+metrics::Counter &
+cellsFailedTotal()
+{
+    static metrics::Counter &c = metrics::Registry::global().counter(
+        "ssim_sweep_cells_failed_total",
+        "Sweep cells that faulted under keep-going mode.");
+    return c;
+}
+
+metrics::Histogram &
+cellSeconds()
+{
+    static metrics::Histogram &h =
+        metrics::Registry::global().histogram(
+            "ssim_sweep_cell_seconds",
+            "Wall-clock seconds per sweep cell.");
+    return h;
+}
+
+/** One cell evaluation wrapped in its observability: a flight-recorder
+ *  span (which a keep-going failure annotates rather than truncates),
+ *  the cell metrics, and the live progress notification. */
+void
+runSweepCell(const std::function<void(std::size_t)> &fn, std::size_t i)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+        trace::ScopedSpan span("cell", "sweep");
+        if (span.armed())
+            span.detail("cell " + std::to_string(i));
+        fn(i);
+    }
+    const double dur = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    cellsTotal().inc();
+    cellSeconds().observe(dur);
+    if (ProgressReporter *progress = ProgressReporter::current())
+        progress->cellFinished(dur);
+}
+
+} // namespace
+
+void
+noteCellFailure(const CellError &error)
+{
+    cellsFailedTotal().inc();
+    if (trace::active()) {
+        trace::annotateCurrentSpan(
+            "error[" + std::string(errCodeId(error.code)) + "]");
+    }
+    if (ProgressReporter *progress = ProgressReporter::current())
+        progress->noteFailure();
+}
 
 CellError
 currentCellError()
@@ -54,8 +125,10 @@ SweepRunner::run(std::size_t count,
     const std::size_t workers =
         std::min(static_cast<std::size_t>(jobs_), count);
     if (workers <= 1) {
+        if (trace::active())
+            trace::setThreadTrack(0, "worker 0");
         for (std::size_t i = 0; i < count; ++i)
-            fn(i);
+            runSweepCell(fn, i);
         return;
     }
 
@@ -64,14 +137,18 @@ SweepRunner::run(std::size_t count,
     std::exception_ptr error;
     std::mutex error_mu;
 
-    auto body = [&]() {
+    auto body = [&](std::uint32_t worker) {
+        if (trace::active()) {
+            trace::setThreadTrack(worker,
+                                  "worker " + std::to_string(worker));
+        }
         while (!failed.load(std::memory_order_relaxed)) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= count)
                 return;
             try {
-                fn(i);
+                runSweepCell(fn, i);
             } catch (...) {
                 {
                     std::lock_guard<std::mutex> lock(error_mu);
@@ -87,8 +164,8 @@ SweepRunner::run(std::size_t count,
     std::vector<std::thread> pool;
     pool.reserve(workers - 1);
     for (std::size_t t = 1; t < workers; ++t)
-        pool.emplace_back(body);
-    body(); // the calling thread is worker 0
+        pool.emplace_back(body, static_cast<std::uint32_t>(t));
+    body(0); // the calling thread is worker 0
     for (auto &th : pool)
         th.join();
     if (error)
@@ -173,9 +250,37 @@ CompileCache::compile(const Workload &workload,
         }
     }
 
+    // Cache accounting runs twice on purpose: the cache's own atomics
+    // feed per-sweep exportStats snapshots, while the global metric
+    // counters feed the process-wide --metrics-json / Prometheus
+    // surface.  The two are independent paths over the same events and
+    // must reconcile exactly (checkMetricsReconciliation).
+    static metrics::Counter &metric_hits =
+        metrics::Registry::global().counter(
+            "ssim_compile_cache_hits_total",
+            "Compile-cache lookups served from an existing entry.");
+    static metrics::Counter &metric_misses =
+        metrics::Registry::global().counter(
+            "ssim_compile_cache_misses_total",
+            "Compile-cache lookups that had to compile.");
+    static metrics::Counter &metric_failures =
+        metrics::Registry::global().counter(
+            "ssim_compile_cache_failures_total",
+            "Compilations that failed (entry evicted).");
+    static metrics::Histogram &metric_seconds =
+        metrics::Registry::global().histogram(
+            "ssim_compile_seconds",
+            "Wall-clock seconds per workload compilation.");
+
     if (fill) {
         misses_.fetch_add(1, std::memory_order_relaxed);
+        metric_misses.inc();
         try {
+            trace::ScopedSpan span("compile", "compile");
+            if (span.armed())
+                span.detail(workload.name);
+            metrics::ScopedTimer timer(metrics::Registry::global(),
+                                       metric_seconds);
             Compiled c;
             Result<Module> r = compileWorkloadChecked(
                 workload.source, machine, options, &c.telemetry,
@@ -190,12 +295,24 @@ CompileCache::compile(const Workload &workload,
             // then evict it so later requesters retry instead of
             // replaying a stale failure forever.
             failures_.fetch_add(1, std::memory_order_relaxed);
+            metric_failures.inc();
             fill->set_exception(std::current_exception());
             std::lock_guard<std::mutex> lock(mu_);
             entries_.erase(k);
         }
     } else {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        metric_hits.inc();
+        // A hit on an entry another worker is still compiling is a
+        // wait, and the worker timeline should show it as one.
+        if (trace::active() &&
+            future.wait_for(std::chrono::seconds(0)) !=
+                std::future_status::ready) {
+            trace::ScopedSpan span("compile-wait", "cache");
+            if (span.armed())
+                span.detail(workload.name);
+            future.wait();
+        }
     }
 
     const Compiled &c = future.get(); // rethrows a failed compile

@@ -68,6 +68,13 @@ struct CellError
  *  codes and full formatted text; anything else maps to E0999. */
 CellError currentCellError();
 
+/** Record a keep-going cell failure with the observability layer:
+ *  stamps the error's E-code onto the enclosing flight-recorder span
+ *  (so the worker timeline shows the trapped cell instead of
+ *  truncating), bumps the failed-cells metric, and notifies the live
+ *  progress reporter. */
+void noteCellFailure(const CellError &error);
+
 /** Value-or-error result of one sweep cell under keep-going mode. */
 template <typename T>
 struct CellOutcome
@@ -133,6 +140,7 @@ class SweepRunner
                 out[i].value = fn(i);
             } catch (...) {
                 out[i].error = currentCellError();
+                noteCellFailure(out[i].error);
             }
         });
         return out;

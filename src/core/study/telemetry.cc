@@ -2,8 +2,10 @@
 
 #include <fstream>
 
+#include "core/study/experiment.hh"
 #include "support/buildinfo.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 
 namespace ilp {
 
@@ -106,6 +108,83 @@ buildTraceEvents(const RunOutcome &outcome,
     meta.set("timelineDropped", Json(outcome.timelineDropped));
     doc.set("otherData", std::move(meta));
     return doc;
+}
+
+Json
+buildSweepTraceEvents(const trace::Recording &recording,
+                      const MachineConfig &machine)
+{
+    constexpr int kSweepPid = 1;
+
+    Json events = Json::array();
+    events.push(metadataEvent("process_name", kSweepPid, 0, "sweep"));
+    for (const auto &[track, label] : recording.tracks) {
+        events.push(metadataEvent("thread_name", kSweepPid,
+                                  static_cast<int>(track), label));
+    }
+    for (const trace::Span &span : recording.spans) {
+        Json e = completeEvent(span.name, span.cat, span.startUs,
+                               span.durUs, kSweepPid,
+                               static_cast<int>(span.track));
+        if (!span.detail.empty()) {
+            Json args = Json::object();
+            args.set("detail", Json(span.detail));
+            e.set("args", std::move(args));
+        }
+        events.push(std::move(e));
+    }
+
+    Json doc = Json::object();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", Json("ms"));
+    Json meta = buildMeta();
+    meta.set("machine", Json(machine.name));
+    meta.set("machine_hash",
+             Json(std::to_string(machine.specHash())));
+    meta.set("spans",
+             Json(static_cast<std::uint64_t>(recording.spans.size())));
+    meta.set("workers",
+             Json(static_cast<std::uint64_t>(recording.tracks.size())));
+    doc.set("otherData", std::move(meta));
+    return doc;
+}
+
+std::string
+checkMetricsReconciliation(const Study &study,
+                           std::uint64_t expectedCells)
+{
+    metrics::Registry &reg = metrics::Registry::global();
+    struct Pair
+    {
+        const char *metric;
+        std::uint64_t expected;
+    };
+    const Pair pairs[] = {
+        {"ssim_sweep_cells_total", expectedCells},
+        {"ssim_compile_cache_hits_total",
+         study.compileCache().hits()},
+        {"ssim_compile_cache_misses_total",
+         study.compileCache().misses()},
+        {"ssim_compile_cache_failures_total",
+         study.compileCache().failures()},
+        {"ssim_trace_cache_hits_total", study.traceCache().hits()},
+        {"ssim_trace_cache_misses_total",
+         study.traceCache().misses()},
+        {"ssim_trace_cache_evictions_total",
+         study.traceCache().evictions()},
+        {"ssim_trace_cache_fallbacks_total",
+         study.traceCache().fallbacks()},
+    };
+    for (const Pair &p : pairs) {
+        const std::uint64_t got = reg.counter(p.metric).value();
+        if (got != p.expected) {
+            return std::string("metric '") + p.metric + "' is " +
+                   std::to_string(got) +
+                   " but the stats-side counter says " +
+                   std::to_string(p.expected);
+        }
+    }
+    return {};
 }
 
 void

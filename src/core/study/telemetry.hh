@@ -9,12 +9,16 @@
 #ifndef SUPERSYM_CORE_STUDY_TELEMETRY_HH
 #define SUPERSYM_CORE_STUDY_TELEMETRY_HH
 
+#include <cstdint>
 #include <string>
 
 #include "core/study/driver.hh"
 #include "support/json.hh"
+#include "support/trace.hh"
 
 namespace ilp {
+
+class Study;
 
 /**
  * Build a Chrome tracing document ({"traceEvents": [...]}) from one
@@ -25,6 +29,27 @@ namespace ilp {
  */
 Json buildTraceEvents(const RunOutcome &outcome,
                       const MachineConfig &machine);
+
+/**
+ * Build a Chrome tracing document from a whole-sweep flight-recorder
+ * session: one pid ("sweep"), one named tid per worker thread, and a
+ * complete event per recorded span (compile phases, functional
+ * executions, timing replays, cache waits, cells) with the span's
+ * dynamic detail (cell index, workload, E-code) under args.
+ */
+Json buildSweepTraceEvents(const trace::Recording &recording,
+                           const MachineConfig &machine);
+
+/**
+ * Cross-check the process-global metrics registry against the
+ * study's own cache counters and an expected cell count — the two
+ * independent accounting paths over the same events (see
+ * support/metrics.hh).  Call with a metrics registry that was reset
+ * before the study ran.  @return empty when everything reconciles,
+ * else a description of the first mismatch.
+ */
+std::string checkMetricsReconciliation(const Study &study,
+                                       std::uint64_t expectedCells);
 
 /** Write a JSON document to `path` (SS_FATAL on I/O failure). */
 void writeJsonFile(const std::string &path, const Json &doc);

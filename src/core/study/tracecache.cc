@@ -1,12 +1,73 @@
 #include "core/study/tracecache.hh"
 
 #include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <limits>
 
 #include "support/logging.hh"
+#include "support/metrics.hh"
+#include "support/trace.hh"
 
 namespace ilp {
+
+namespace {
+
+// Dual accounting, same contract as CompileCache: the cache atomics
+// feed exportStats snapshots, the global counters feed the
+// process-wide metrics surface, and the two must reconcile exactly.
+metrics::Counter &
+traceCacheCounter(const char *name, const char *help)
+{
+    return metrics::Registry::global().counter(name, help);
+}
+
+metrics::Counter &
+traceHits()
+{
+    static metrics::Counter &c = traceCacheCounter(
+        "ssim_trace_cache_hits_total",
+        "Trace-cache lookups served from an existing entry.");
+    return c;
+}
+
+metrics::Counter &
+traceMisses()
+{
+    static metrics::Counter &c = traceCacheCounter(
+        "ssim_trace_cache_misses_total",
+        "Trace-cache lookups that had to execute.");
+    return c;
+}
+
+metrics::Counter &
+traceEvictions()
+{
+    static metrics::Counter &c = traceCacheCounter(
+        "ssim_trace_cache_evictions_total",
+        "Trace-cache entries dropped to fit the byte budget.");
+    return c;
+}
+
+metrics::Counter &
+traceFallbacks()
+{
+    static metrics::Counter &c = traceCacheCounter(
+        "ssim_trace_cache_fallbacks_total",
+        "Timing runs interpreted live (non-replayable artifact).");
+    return c;
+}
+
+metrics::Gauge &
+traceBytesHeld()
+{
+    static metrics::Gauge &g = metrics::Registry::global().gauge(
+        "ssim_trace_cache_bytes",
+        "Trace bytes currently accounted against the budget.");
+    return g;
+}
+
+} // namespace
 
 bool
 parseByteSize(const std::string &text, std::size_t &out)
@@ -92,7 +153,16 @@ TraceCache::evictLocked()
         bytes_held_ -= victim->second.bytes;
         entries_.erase(victim);
         evictions_.fetch_add(1, std::memory_order_relaxed);
+        traceEvictions().inc();
     }
+    traceBytesHeld().set(static_cast<double>(bytes_held_));
+}
+
+void
+TraceCache::noteFallback()
+{
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    traceFallbacks().inc();
 }
 
 std::shared_ptr<const TraceArtifact>
@@ -120,6 +190,7 @@ TraceCache::execute(const std::string &key, const Module &module)
 
     if (fill) {
         misses_.fetch_add(1, std::memory_order_relaxed);
+        traceMisses().inc();
         try {
             // Cap recording at the whole budget: a trace that cannot
             // fit even an empty cache becomes non-replayable rather
@@ -145,6 +216,15 @@ TraceCache::execute(const std::string &key, const Module &module)
         }
     } else {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        traceHits().inc();
+        // Parked on another worker's in-flight execution: make the
+        // wait visible on this worker's timeline.
+        if (trace::active() &&
+            future.wait_for(std::chrono::seconds(0)) !=
+                std::future_status::ready) {
+            trace::ScopedSpan span("trace-wait", "cache");
+            future.wait();
+        }
     }
 
     return future.get(); // rethrows a failed execution

@@ -95,11 +95,7 @@ class TraceCache
 
     /** Record that a caller had to interpret live because the
      *  artifact was not replayable. */
-    void
-    noteFallback()
-    {
-        fallbacks_.fetch_add(1, std::memory_order_relaxed);
-    }
+    void noteFallback();
 
     /** Lookups served from an existing entry. */
     std::uint64_t hits() const { return hits_.load(); }

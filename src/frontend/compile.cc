@@ -4,6 +4,7 @@
 #include "frontend/parser.hh"
 #include "ir/verifier.hh"
 #include "support/logging.hh"
+#include "support/trace.hh"
 
 namespace ilp {
 
@@ -11,12 +12,24 @@ Result<Module>
 compileToIrChecked(const std::string &source,
                    const UnrollOptions &unroll, const std::string &unit)
 {
-    Result<Program> parsed = parseProgramChecked(source, unit);
+    Result<Program> parsed = [&] {
+        trace::ScopedSpan span("frontend.parse", "compile");
+        if (span.armed())
+            span.detail(unit);
+        return parseProgramChecked(source, unit);
+    }();
     if (!parsed.ok())
         return Result<Module>::failure(parsed.takeDiags());
     Program program = parsed.take();
-    if (unroll.factor > 1)
+    if (unroll.factor > 1) {
+        trace::ScopedSpan span("frontend.unroll", "compile");
+        if (span.armed())
+            span.detail(unit);
         unrollProgram(program, unroll);
+    }
+    trace::ScopedSpan span("frontend.lower", "compile");
+    if (span.armed())
+        span.detail(unit);
     Result<Module> lowered = generateIrChecked(program, unit);
     if (lowered.ok()) {
         lowered.value().sourceName = unit;

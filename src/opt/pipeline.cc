@@ -4,6 +4,7 @@
 
 #include "ir/verifier.hh"
 #include "support/logging.hh"
+#include "support/trace.hh"
 
 namespace ilp {
 
@@ -41,6 +42,11 @@ void
 runPhase(CompileTelemetry *telemetry, const char *name,
          const Function &func, Fn &&body)
 {
+    // The flight recorder observes every phase even when the caller
+    // collects no CompileTelemetry (sweeps usually don't).
+    trace::ScopedSpan span(name, "compile");
+    if (span.armed())
+        span.detail(func.name);
     if (!telemetry) {
         body();
         return;

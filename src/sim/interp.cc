@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/logging.hh"
+#include "support/trace.hh"
 
 namespace ilp {
 
@@ -56,6 +57,9 @@ Interpreter::outOfFuel() const
 RunResult
 Interpreter::run(const std::string &entry, TraceSink *sink)
 {
+    trace::ScopedSpan span("interp", "sim");
+    if (span.armed())
+        span.detail(entry);
     sink_ = sink;
     executed_ = 0;
     class_counts_.fill(0);
