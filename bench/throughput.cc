@@ -303,6 +303,65 @@ BENCHMARK(BM_ParallelSweepTraced)
     ->Unit(benchmark::kMillisecond);
 
 void
+BM_WhatIfQuery(benchmark::State &state)
+{
+    // One analytic analyze() over a prebuilt dependence graph — the
+    // per-cell cost of a pruned sweep, to be read against
+    // BM_TimingReplay (the exact replay it substitutes for).
+    const Workload &w = wl();
+    const CompileOptions o = defaultCompileOptions(w);
+    const MachineConfig machine = idealSuperscalar(4);
+    Study study(1);
+    auto graph = study.dependenceGraph(w, machine, o);
+    std::uint64_t nodes = 0;
+    const auto t0 = BenchClock::now();
+    for (auto _ : state) {
+        AnalyticResult a = graph->analyze(machine);
+        nodes += a.instructions;
+        benchmark::DoNotOptimize(a.minorCycles);
+    }
+    const double wall = secondsSince(t0);
+    appendThroughputPoint(
+        "BM_WhatIfQuery", wall, state.iterations(),
+        wall > 0.0 ? static_cast<double>(nodes) / wall : 0.0);
+}
+BENCHMARK(BM_WhatIfQuery)->Unit(benchmark::kMillisecond);
+
+void
+BM_PrunedSweep(benchmark::State &state)
+{
+    // The figure-4-1 degree sweep through prune-then-confirm: same
+    // output as the exact sweep inside BM_ParallelSweep's cells, but
+    // only the extreme cells replay.  Fresh Study per iteration so
+    // graph/trace caches start cold, matching BM_ParallelSweep.
+    const Workload &w = workloadByName("whet");
+    const CompileOptions o = defaultCompileOptions(w);
+    std::uint64_t replays = 0;
+    const auto t0 = BenchClock::now();
+    for (auto _ : state) {
+        Study study(static_cast<int>(state.range(0)));
+        whatif::PruneOutcome po = whatif::prunedIlpSweep(study, w, o);
+        replays += po.exactReplays;
+        benchmark::DoNotOptimize(po.cells.data());
+    }
+    const double wall = secondsSince(t0);
+    state.counters["replays"] = static_cast<double>(
+        state.iterations() > 0
+            ? replays / static_cast<std::uint64_t>(state.iterations())
+            : 0);
+    appendThroughputPoint(
+        "BM_PrunedSweep/" + std::to_string(state.range(0)), wall,
+        state.iterations(), 0.0,
+        wall > 0.0
+            ? static_cast<double>(state.iterations()) * 8.0 / wall
+            : 0.0);
+}
+BENCHMARK(BM_PrunedSweep)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+void
 BM_ListScheduler(benchmark::State &state)
 {
     const Workload &w = workloadByName("linpack");

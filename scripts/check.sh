@@ -106,6 +106,49 @@ SSIM_TRACE_BUDGET=0 "$BUILD_DIR/src/cli/ssim" ilp \
     > "$TRACE_REPLAY"
 cmp "$TRACE_LIVE" "$TRACE_REPLAY"
 
+echo "== what-if smoke =="
+# The analytic engine must answer whatif queries (valid JSON, a
+# certified verdict on an ideal machine), the slack listing must
+# render, and a pruned ilp sweep must be byte-identical to the
+# unpruned one over the figure 4-1 grid while running at least 3x
+# fewer exact replays (asserted from the JSON meta).
+WHATIF_JSON="$BUILD_DIR/check_whatif.json"
+ILP_PLAIN="$BUILD_DIR/check_ilp_plain.txt"
+ILP_PRUNED="$BUILD_DIR/check_ilp_pruned.txt"
+ILP_PRUNED_JSON="$BUILD_DIR/check_ilp_pruned.json"
+"$BUILD_DIR/src/cli/ssim" whatif examples/mt/dotprod.mt \
+    --machine ss4 --stats-json "$WHATIF_JSON" \
+    > "$BUILD_DIR/check_whatif.txt"
+"$BUILD_DIR/src/cli/ssim" check-json "$WHATIF_JSON"
+grep -q 'certified exact' "$BUILD_DIR/check_whatif.txt"
+grep -q 'oracle ilp bound' "$BUILD_DIR/check_whatif.txt"
+"$BUILD_DIR/src/cli/ssim" profile examples/mt/dotprod.mt \
+    --machine cray1 --slack > "$BUILD_DIR/check_slack.txt"
+grep -q 'would speed up if' "$BUILD_DIR/check_slack.txt"
+"$BUILD_DIR/src/cli/ssim" ilp examples/mt/dotprod.mt \
+    > "$ILP_PLAIN"
+"$BUILD_DIR/src/cli/ssim" ilp examples/mt/dotprod.mt \
+    --prune-analytic --stats-json "$ILP_PRUNED_JSON" \
+    > "$ILP_PRUNED"
+cmp "$ILP_PLAIN" "$ILP_PRUNED"
+"$BUILD_DIR/src/cli/ssim" check-json "$ILP_PRUNED_JSON"
+grep -q '"prune"' "$ILP_PRUNED_JSON"
+awk '
+    /"exact_replays":/ { gsub(/[^0-9]/, ""); replays = $0 + 0 }
+    /"exact_replays_unpruned":/ {
+        gsub(/[^0-9]/, ""); unpruned = $0 + 0
+    }
+    END {
+        if (replays == 0 || unpruned < 3 * replays) {
+            printf "pruned sweep ran %d exact replays vs %d " \
+                   "unpruned: less than the required 3x cut\n",
+                   replays, unpruned
+            exit 1
+        }
+        printf "pruned sweep: %d exact replays vs %d unpruned\n",
+               replays, unpruned
+    }' "$ILP_PRUNED_JSON"
+
 echo "== flight recorder smoke =="
 # A traced sweep must be byte-identical to an untraced one on stdout,
 # and the sweep trace / metrics exports must be valid JSON with the

@@ -8,6 +8,11 @@
  *                                  stall attribution mapped back to
  *                                  MT source lines (docs/profiling.md)
  *   ssim mix FILE.mt [options]     dynamic instruction-class mix
+ *   ssim whatif FILE.mt [options]  analytic what-if queries from the
+ *                                  dynamic dependence graph: oracle
+ *                                  critical path / ILP bound, analytic
+ *                                  cycles, top critical dependence
+ *                                  edges (docs/whatif.md)
  *   ssim dump FILE.mt [options]    print the optimized, scheduled IR
  *   ssim suite [options]           run the built-in 8-benchmark suite
  *   ssim machines                  list predefined machine models
@@ -31,6 +36,19 @@
  *   --keep-going     ilp/suite: a failing sweep cell is reported in
  *                    place (error code + text) while the remaining
  *                    cells still run; exit stays nonzero
+ *   --prune-analytic ilp: prune-then-confirm sweep — cells the
+ *                    dependence-graph predictor models exactly take
+ *                    their cycles analytically; only the extremes of
+ *                    the predicted ranking (plus any non-certified
+ *                    cell) run the exact replay.  Output is
+ *                    byte-identical to the unpruned sweep; predictor
+ *                    error lands in the --stats-json meta
+ *                    (docs/whatif.md)
+ *   --top N          whatif: critical dependence edges shown
+ *                    (default 10)
+ *   --slack          profile: per-line slack / "would speed up if"
+ *                    listing from the dependence graph instead of
+ *                    the stall listing
  *
  * Observability (see docs/observability.md):
  *   --stats            print the full stats tree after the run
@@ -101,7 +119,8 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: ssim run|ilp|profile|mix|dump FILE.mt [options]\n"
+        "usage: ssim run|ilp|profile|mix|whatif|dump FILE.mt "
+        "[options]\n"
         "       ssim suite [options]\n"
         "       ssim machines\n"
         "       ssim check-json FILE\n"
@@ -109,6 +128,7 @@ usage()
         "         --alias conservative|arrays|symbols|careful|heroic\n"
         "         --temps N --homes N --jobs N --keep-going\n"
         "         --trace-budget BYTES[k|m|g]\n"
+        "         --prune-analytic --top N --slack\n"
         "         --stats --stats-json FILE --trace-events FILE\n"
         "         --trace-limit N\n"
         "         --metrics-json FILE --metrics-prom FILE --progress\n"
@@ -258,6 +278,13 @@ struct Cli
     MachineConfig diffA;
     MachineConfig diffB;
 
+    /** `ssim ilp --prune-analytic`: prune-then-confirm sweep. */
+    bool pruneAnalytic = false;
+    /** `ssim whatif --top N`: critical edges shown. */
+    std::size_t whatifTop = 10;
+    /** `ssim profile --slack`: per-line slack listing. */
+    bool slack = false;
+
     bool
     wantProfile() const
     {
@@ -297,7 +324,8 @@ parseArgs(int argc, char **argv)
     int i = 2;
     if (cli.command == "run" || cli.command == "ilp" ||
         cli.command == "profile" || cli.command == "mix" ||
-        cli.command == "dump" || cli.command == "check-json") {
+        cli.command == "whatif" || cli.command == "dump" ||
+        cli.command == "check-json") {
         if (argc < 3)
             usage();
         cli.file = argv[2];
@@ -337,6 +365,13 @@ parseArgs(int argc, char **argv)
                 parseIntOption("--jobs", next(), 1, 4096));
         else if (arg == "--keep-going")
             cli.keepGoing = true;
+        else if (arg == "--prune-analytic")
+            cli.pruneAnalytic = true;
+        else if (arg == "--top")
+            cli.whatifTop = static_cast<std::size_t>(
+                parseIntOption("--top", next(), 1, 100000));
+        else if (arg == "--slack")
+            cli.slack = true;
         else if (arg == "--trace-budget") {
             const std::string value = next();
             if (!parseByteSize(value, cli.traceBudget))
@@ -523,6 +558,22 @@ cmdProfile(const Cli &cli)
         const std::string mismatch = prof::checkReconciliation(p);
         if (!mismatch.empty())
             return fail("profile does not reconcile: " + mismatch);
+        if (cli.slack) {
+            // Per-line slack from the dependence graph instead of
+            // the stall listing: which lines sit on the oracle
+            // critical path ("would speed up if"), which have room.
+            std::shared_ptr<const DepGraph> graph =
+                study.dependenceGraph(w, cli.machine, cli.options);
+            SlackReport slack =
+                graph->slack(cli.machine, cli.profileTop);
+            std::printf("%s",
+                        whatif::renderSlackListing(p, slack, w.source,
+                                                   cli.profileTop)
+                            .c_str());
+            if (!cli.profileJsonPath.empty())
+                writeJsonFile(cli.profileJsonPath, prof::toJson(p));
+            return 0;
+        }
         std::printf("%s", prof::renderAnnotatedListing(
                               p, w.source, cli.profileTop)
                               .c_str());
@@ -638,29 +689,56 @@ cmdIlp(const Cli &cli)
     Study study(cli.jobs);
     if (cli.traceBudgetSet)
         study.traceCache().setBudget(cli.traceBudget);
-    auto cell = [&](std::size_t i) {
-        return study.speedup(
-            w, idealSuperscalar(static_cast<int>(i) + 1), cli.options);
-    };
 
-    SweepObservability obs(cli, study, 8);
     std::vector<CellOutcome<double>> cells;
-    if (cli.keepGoing) {
-        // Fault-isolated sweep: a failing degree is recorded as a
-        // structured CellError while the other degrees still run.
-        cells = study.runner().mapChecked<double>(8, cell);
-    } else {
+    Json prune;
+    bool pruned = false;
+    if (cli.pruneAnalytic) {
+        // Prune-then-confirm: analytic prediction per degree, exact
+        // replay only for the confirmation sample.  Certified
+        // predictions equal the issue engine cycle-for-cycle, so the
+        // table below is byte-identical to the unpruned sweep.
+        SweepObservability obs(cli, study, 8);
+        whatif::PruneOutcome po;
         try {
-            std::vector<double> speedups =
-                study.runner().map<double>(8, cell);
-            cells.resize(speedups.size());
-            for (std::size_t i = 0; i < speedups.size(); ++i)
-                cells[i].value = speedups[i];
-        } catch (...) {
-            return fail(currentCellError().message);
+            po = whatif::prunedIlpSweep(study, w, cli.options, 8);
+        } catch (const DiagException &e) {
+            return fail(formatDiags(e.diags()));
+        } catch (const TrapException &e) {
+            return fail(e.trap().format());
         }
+        obs.finish();
+        cells.resize(po.cells.size());
+        for (std::size_t i = 0; i < po.cells.size(); ++i)
+            cells[i].value = po.cells[i].speedup;
+        prune = whatif::pruneMeta(po);
+        pruned = true;
+    } else {
+        auto cell = [&](std::size_t i) {
+            return study.speedup(
+                w, idealSuperscalar(static_cast<int>(i) + 1),
+                cli.options);
+        };
+
+        SweepObservability obs(cli, study, 8);
+        if (cli.keepGoing) {
+            // Fault-isolated sweep: a failing degree is recorded as
+            // a structured CellError while the other degrees still
+            // run.
+            cells = study.runner().mapChecked<double>(8, cell);
+        } else {
+            try {
+                std::vector<double> speedups =
+                    study.runner().map<double>(8, cell);
+                cells.resize(speedups.size());
+                for (std::size_t i = 0; i < speedups.size(); ++i)
+                    cells[i].value = speedups[i];
+            } catch (...) {
+                return fail(currentCellError().message);
+            }
+        }
+        obs.finish();
     }
-    obs.finish();
 
     Table t("Available parallelism (ideal superscalar sweep):");
     t.setHeader({"degree", "speedup"});
@@ -676,6 +754,34 @@ cmdIlp(const Cli &cli)
     }
     t.print();
 
+    if (!cli.statsJsonPath.empty()) {
+        Json degrees = Json::array();
+        for (int d = 1; d <= 8; ++d) {
+            const CellOutcome<double> &c =
+                cells[static_cast<std::size_t>(d - 1)];
+            Json entry = Json::object();
+            entry.set("degree", d);
+            if (c.ok()) {
+                entry.set("speedup", c.value);
+            } else {
+                Json err = Json::object();
+                err.set("code",
+                        Json(std::string(errCodeId(c.error.code))));
+                err.set("message", Json(c.error.message));
+                entry.set("error", std::move(err));
+            }
+            degrees.push(std::move(entry));
+        }
+        Json doc = Json::object();
+        Json meta = documentMeta(cli.machine);
+        if (pruned)
+            meta.set("prune", std::move(prune));
+        doc.set("meta", std::move(meta));
+        doc.set("program", Json(cli.file));
+        doc.set("degrees", std::move(degrees));
+        writeJsonFile(cli.statsJsonPath, doc);
+    }
+
     int status = 0;
     for (int d = 1; d <= 8; ++d) {
         const CellOutcome<double> &c =
@@ -685,6 +791,28 @@ cmdIlp(const Cli &cli)
                           c.error.message);
     }
     return status;
+}
+
+int
+cmdWhatIf(const Cli &cli)
+{
+    Workload w{cli.file, "user program", readFile(cli.file), 0, false,
+               1};
+    Study study(cli.jobs);
+    if (cli.traceBudgetSet)
+        study.traceCache().setBudget(cli.traceBudget);
+    try {
+        whatif::Report r = whatif::analyze(
+            study, w, cli.machine, cli.options, cli.whatifTop);
+        std::printf("%s", whatif::render(r).c_str());
+        if (!cli.statsJsonPath.empty())
+            writeJsonFile(cli.statsJsonPath, whatif::toJson(r));
+        return 0;
+    } catch (const DiagException &e) {
+        return fail(formatDiags(e.diags()));
+    } catch (const TrapException &e) {
+        return fail(e.trap().format());
+    }
 }
 
 int
@@ -890,6 +1018,8 @@ main(int argc, char **argv)
         return cmdProfile(cli);
     if (cli.command == "mix")
         return cmdMix(cli);
+    if (cli.command == "whatif")
+        return cmdWhatIf(cli);
     if (cli.command == "dump")
         return cmdDump(cli);
     if (cli.command == "suite")

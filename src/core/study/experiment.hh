@@ -33,6 +33,7 @@
 #include "core/study/profile.hh"
 #include "core/study/sweep.hh"
 #include "core/study/tracecache.hh"
+#include "core/study/whatif.hh"
 
 namespace ilp {
 
@@ -117,6 +118,24 @@ class Study
     TraceCache &traceCache() { return trace_cache_; }
     const TraceCache &traceCache() const { return trace_cache_; }
 
+    /**
+     * The dynamic dependence graph of `workload` compiled for
+     * `machine` (cached per compile key, exactly like the trace it
+     * is built from).  Prefers the cached packed trace; a
+     * non-replayable artifact (trace over budget, cache disabled)
+     * falls back to streaming the graph straight out of live
+     * interpretation — same graph either way.  Throws TrapException
+     * when the workload faults.
+     */
+    std::shared_ptr<const DepGraph>
+    dependenceGraph(const Workload &workload,
+                    const MachineConfig &machine,
+                    const CompileOptions &options);
+
+    /** Shared dependence graphs (hit accounting, stats export). */
+    DepGraphCache &graphCache() { return graph_cache_; }
+    const DepGraphCache &graphCache() const { return graph_cache_; }
+
   private:
     static std::string fingerprint(const Workload &workload,
                                    const CompileOptions &options);
@@ -124,6 +143,7 @@ class Study
     SweepRunner runner_;
     CompileCache cache_;
     TraceCache trace_cache_;
+    DepGraphCache graph_cache_;
     std::mutex base_mu_;
     std::map<std::string, std::shared_future<double>> base_cycles_;
 };

@@ -97,7 +97,44 @@ ProgressReporter::cellFinished(double durSeconds)
             static_cast<std::uint64_t>(durSeconds * 1e6),
             std::memory_order_relaxed);
     }
+    noteCellAt(elapsedSeconds());
     maybeReport();
+}
+
+void
+ProgressReporter::noteCellAt(double elapsedSeconds)
+{
+    const auto idx = stamps_.fetch_add(1, std::memory_order_relaxed);
+    stampUs_[idx % kRateWindow].store(
+        static_cast<std::int64_t>(elapsedSeconds * 1e6),
+        std::memory_order_relaxed);
+}
+
+double
+ProgressReporter::windowRate(double elapsedSeconds) const
+{
+    const std::uint64_t recorded =
+        stamps_.load(std::memory_order_relaxed);
+    const std::uint64_t window =
+        recorded < kRateWindow ? recorded : kRateWindow;
+    if (window >= 2) {
+        const std::int64_t newest =
+            stampUs_[(recorded - 1) % kRateWindow].load(
+                std::memory_order_relaxed);
+        const std::int64_t oldest =
+            stampUs_[(recorded - window) % kRateWindow].load(
+                std::memory_order_relaxed);
+        if (newest > oldest) {
+            return static_cast<double>(window - 1) /
+                   (static_cast<double>(newest - oldest) / 1e6);
+        }
+    }
+    // Not enough samples (or all in the same microsecond): the
+    // whole-run average is the best estimate we have.
+    const std::size_t done = done_.load(std::memory_order_relaxed);
+    return elapsedSeconds > 0.0
+               ? static_cast<double>(done) / elapsedSeconds
+               : 0.0;
 }
 
 void
@@ -144,10 +181,10 @@ ProgressReporter::renderLine(double elapsedSeconds) const
         static_cast<double>(busyUs_.load(std::memory_order_relaxed)) /
         1e6;
 
-    const double rate =
-        elapsedSeconds > 0.0
-            ? static_cast<double>(done) / elapsedSeconds
-            : 0.0;
+    // Rate over the trailing completion window, so a cold-cache (or
+    // cache-hot) start stops skewing the ETA once a window of cells
+    // has finished.
+    const double rate = windowRate(elapsedSeconds);
     std::string eta = "-";
     if (config_.totalCells > done && rate > 0.0) {
         eta = renderDuration(

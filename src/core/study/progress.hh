@@ -17,6 +17,7 @@
 #ifndef SUPERSYM_CORE_STUDY_PROGRESS_HH
 #define SUPERSYM_CORE_STUDY_PROGRESS_HH
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -56,9 +57,20 @@ class ProgressReporter
     /** The installed reporter, or nullptr (what SweepRunner checks). */
     static ProgressReporter *current();
 
+    /** Completion timestamps kept for the rate estimate: the ETA is
+     *  computed from the last kRateWindow cells, not the whole run,
+     *  so a slow cold-cache start (or a fast cache-hit start) stops
+     *  skewing the forecast once a window of completions is in. */
+    static constexpr std::size_t kRateWindow = 64;
+
     /** One cell completed, taking `durSeconds` of worker time.
      *  Prints a throttled update when the interval elapsed. */
     void cellFinished(double durSeconds);
+
+    /** Record a completion at a synthetic elapsed time (seconds since
+     *  start).  Test seam for cellFinished's timestamping — lets the
+     *  ETA convergence test replay a schedule without sleeping. */
+    void noteCellAt(double elapsedSeconds);
 
     /** The finishing cell failed (keep-going mode). */
     void noteFailure();
@@ -80,6 +92,9 @@ class ProgressReporter
 
   private:
     double elapsedSeconds() const;
+    /** Cells/s over the trailing completion window (falls back to the
+     *  whole-run average until two completions are recorded). */
+    double windowRate(double elapsedSeconds) const;
     void maybeReport();
 
     Config config_;
@@ -90,6 +105,13 @@ class ProgressReporter
     std::atomic<std::uint64_t> busyUs_{0};
     /** Elapsed microseconds at the last printed update. */
     std::atomic<std::int64_t> lastReportUs_{-1};
+    /** Ring of completion timestamps (elapsed microseconds); slot =
+     *  completion index % kRateWindow.  Writers race benignly with
+     *  the render thread — a torn window only perturbs one printed
+     *  estimate. */
+    std::array<std::atomic<std::int64_t>, kRateWindow> stampUs_{};
+    /** Completions recorded into the ring (monotonic). */
+    std::atomic<std::uint64_t> stamps_{0};
     bool tty_ = false;
 };
 

@@ -12,6 +12,7 @@
 #include "core/study/experiment.hh"
 #include "core/study/sweep.hh"
 #include "core/study/tracecache.hh"
+#include "support/metrics.hh"
 #include "tests/helpers.hh"
 
 namespace ilp {
@@ -106,6 +107,73 @@ TEST(TraceCacheTest, EvictsLeastRecentlyUsedUnderATinyBudget)
     EXPECT_EQ(cache.misses(), 3u);
     EXPECT_EQ(cache.hits(), 0u);
     EXPECT_EQ(cache.evictions(), 2u); // "b" went out in turn
+}
+
+TEST(TraceCacheTest, SetBudgetShrinkEvictsDownDeterministically)
+{
+    // Regression for the shrink path: setBudget below the held bytes
+    // must evict immediately (not wait for the next execute), in LRU
+    // order, and the cache atomics must reconcile with the global
+    // metrics counters that mirror them.
+    Module m = compiledFor(smallWorkload(), idealSuperscalar(4));
+    TraceCache cache;
+    auto a = cache.execute("a", m);
+    ASSERT_TRUE(a->replayable);
+    cache.execute("b", m);
+    cache.execute("c", m);
+    cache.execute("a", m); // refresh "a": LRU order is now b, c, a
+    const std::size_t one = a->byteSize();
+    ASSERT_EQ(cache.bytesHeld(), 3 * one);
+
+    auto &evTotal = metrics::Registry::global().counter(
+        "ssim_trace_cache_evictions_total");
+    auto &bytesGauge = metrics::Registry::global().gauge(
+        "ssim_trace_cache_bytes");
+    const std::uint64_t evBefore = evTotal.value();
+
+    cache.setBudget(one); // room for exactly one entry
+    EXPECT_EQ(cache.evictions(), 2u); // b then c went out, not a
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.bytesHeld(), one);
+    EXPECT_LE(cache.bytesHeld(), cache.budget());
+    EXPECT_EQ(evTotal.value() - evBefore, 2u);
+    EXPECT_DOUBLE_EQ(bytesGauge.value(),
+                     static_cast<double>(cache.bytesHeld()));
+
+    // The survivor is the most recently used entry, served as a hit.
+    const std::uint64_t hitsBefore = cache.hits();
+    const std::uint64_t missesBefore = cache.misses();
+    cache.execute("a", m);
+    EXPECT_EQ(cache.hits(), hitsBefore + 1);
+    EXPECT_EQ(cache.misses(), missesBefore);
+
+    // Artifacts handed out before the shrink stay valid: eviction
+    // drops the cache's reference, not the shared ownership.
+    EXPECT_TRUE(a->replayable);
+    EXPECT_GT(a->trace.size(), 0u);
+}
+
+TEST(TraceCacheTest, ShrinkUnderConcurrentReadersNeverPoisons)
+{
+    // Readers racing a shrink must always receive a usable artifact:
+    // entries admitted before the shrink replay, entries admitted
+    // after record against the tiny budget and fall back — never a
+    // broken future or a trapped-looking result.
+    Module m = compiledFor(smallWorkload(), idealSuperscalar(4));
+    TraceCache cache;
+    SweepRunner runner(8);
+    runner.run(32, [&](std::size_t i) {
+        if (i == 7)
+            cache.setBudget(sizeof(PackedInstr));
+        auto art = cache.execute("k" + std::to_string(i % 4), m);
+        ASSERT_NE(art, nullptr);
+        EXPECT_FALSE(art->result.trapped());
+        EXPECT_GT(art->result.instructions, 0u);
+        if (!art->replayable)
+            cache.noteFallback();
+    });
+    EXPECT_LE(cache.bytesHeld(), cache.budget());
+    EXPECT_EQ(cache.hits() + cache.misses(), 32u);
 }
 
 TEST(TraceCacheTest, ZeroBudgetDisablesTheCache)
