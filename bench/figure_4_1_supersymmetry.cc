@@ -23,9 +23,15 @@ main()
     Table t;
     t.setHeader({"degree", "superscalar", "superpipelined",
                  "gap (SS/SP)"});
+    bench::journalHeader("Figure 4-1",
+                         static_cast<std::size_t>(kMaxDegree));
     for (int degree = 1; degree <= kMaxDegree; ++degree) {
         double ss = study.harmonicSpeedup(idealSuperscalar(degree));
         double sp = study.harmonicSpeedup(superpipelined(degree));
+        Json cell = Json::object();
+        cell.set("superscalar", Json(ss));
+        cell.set("superpipelined", Json(sp));
+        bench::journalCell("degree:" + std::to_string(degree), cell);
         t.row()
             .cell(static_cast<long long>(degree))
             .cell(ss, 3)

@@ -172,6 +172,31 @@ grep -q '"worker 0"' "$SWEEP_TRACE_JSON"
 grep -q 'ssim_sweep_cells_total' "$METRICS_PROM"
 grep -q 'quantile="0.99"' "$METRICS_PROM"
 
+echo "== survivability smoke =="
+# Fault injection must never change results: a sweep under a seeded
+# fault plan with retries enabled is byte-identical to a clean run,
+# and a run killed mid-sweep resumes from its journal byte-for-byte
+# (the full matrix runs nightly via scripts/chaos.sh).
+CHAOS_CLEAN="$BUILD_DIR/check_chaos_clean.txt"
+CHAOS_FAULTY="$BUILD_DIR/check_chaos_faulty.txt"
+CHAOS_JOURNAL="$BUILD_DIR/check_chaos.jsonl"
+CHAOS_RESUMED="$BUILD_DIR/check_chaos_resumed.txt"
+"$BUILD_DIR/src/cli/ssim" ilp examples/mt/dotprod.mt --jobs 8 \
+    > "$CHAOS_CLEAN"
+SSIM_FAULT='cell:trap:0.3:7,compile:alloc:0.2:8' \
+    "$BUILD_DIR/src/cli/ssim" ilp examples/mt/dotprod.mt --jobs 8 \
+    --cell-retries 10 > "$CHAOS_FAULTY"
+cmp "$CHAOS_CLEAN" "$CHAOS_FAULTY"
+rm -f "$CHAOS_JOURNAL"
+rc=0
+SSIM_FAULT='cell:exit:1:3' "$BUILD_DIR/src/cli/ssim" ilp \
+    examples/mt/dotprod.mt --jobs 1 --journal "$CHAOS_JOURNAL" \
+    > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 137 ]
+"$BUILD_DIR/src/cli/ssim" ilp examples/mt/dotprod.mt --jobs 8 \
+    --resume "$CHAOS_JOURNAL" > "$CHAOS_RESUMED"
+cmp "$CHAOS_CLEAN" "$CHAOS_RESUMED"
+
 echo "== tracing overhead guard (soft) =="
 # BM_ParallelSweepTraced vs BM_ParallelSweep at one job: warn — never
 # fail — when arming the flight recorder costs more than the 2%

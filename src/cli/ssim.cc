@@ -50,6 +50,30 @@
  *                    listing from the dependence graph instead of
  *                    the stall listing
  *
+ * Survivability (ilp/suite; see docs/robustness.md):
+ *   --cell-timeout S   cooperative per-attempt watchdog: a cell whose
+ *                      simulation exceeds S seconds traps with E0410
+ *                      trap-deadline-exceeded (deterministic message)
+ *                      and is quarantined (deadline overruns are
+ *                      permanent: the deterministic simulator would
+ *                      time out again)
+ *   --cell-retries N   retry transient-classed cell failures
+ *                      (E0409 injected faults, E0903 memory
+ *                      pressure) up to N times with exponential
+ *                      backoff before quarantining
+ *   --journal FILE     checkpoint every completed cell to an
+ *                      append-only JSONL journal (CRC-framed lines;
+ *                      a fresh sweep truncates FILE)
+ *   --resume FILE      resume from a journal: verify the sweep
+ *                      identity header, skip every journaled cell,
+ *                      run only what is missing, and keep appending
+ *                      to FILE.  Final output is byte-identical to
+ *                      an uninterrupted run
+ *
+ * Fault injection (chaos testing): set SSIM_FAULT to a seeded plan
+ * "site:kind:rate:seed[,...]" (see support/faultinject.hh); every
+ * injected fault surfaces as a classified cell error, never a crash.
+ *
  * Observability (see docs/observability.md):
  *   --stats            print the full stats tree after the run
  *   --stats-json FILE  write the stats tree as JSON (run/suite)
@@ -97,6 +121,7 @@
 
 #include "core/machine/models.hh"
 #include "core/study/experiment.hh"
+#include "core/study/journal.hh"
 #include "core/study/progress.hh"
 #include "core/study/sweep.hh"
 #include "core/study/telemetry.hh"
@@ -104,6 +129,7 @@
 #include "sim/trap.hh"
 #include "support/buildinfo.hh"
 #include "support/diag.hh"
+#include "support/faultinject.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
@@ -129,6 +155,8 @@ usage()
         "         --temps N --homes N --jobs N --keep-going\n"
         "         --trace-budget BYTES[k|m|g]\n"
         "         --prune-analytic --top N --slack\n"
+        "         --cell-timeout SECONDS --cell-retries N\n"
+        "         --journal FILE --resume FILE\n"
         "         --stats --stats-json FILE --trace-events FILE\n"
         "         --trace-limit N\n"
         "         --metrics-json FILE --metrics-prom FILE --progress\n"
@@ -165,6 +193,28 @@ parseIntOption(const char *flag, const std::string &value, long lo,
                      "ssim: invalid value '%s' for %s (expected an "
                      "integer in [%ld, %ld])\n",
                      value.c_str(), flag, lo, hi);
+        std::exit(2);
+    }
+    return parsed;
+}
+
+/**
+ * Checked decimal parsing for CLI seconds values: the whole token
+ * must be a finite non-negative decimal number.
+ */
+double
+parseSecondsOption(const char *flag, const std::string &value)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (value.empty() || end == value.c_str() || *end != '\0' ||
+        errno == ERANGE || !(parsed >= 0.0) ||
+        parsed > 86400.0) {
+        std::fprintf(stderr,
+                     "ssim: invalid value '%s' for %s (expected "
+                     "seconds in [0, 86400])\n",
+                     value.c_str(), flag);
         std::exit(2);
     }
     return parsed;
@@ -269,6 +319,27 @@ struct Cli
     std::size_t traceBudget = 0;
     bool traceBudgetSet = false;
 
+    /** Survivability policy for ilp/suite sweeps (docs/robustness.md):
+     *  per-attempt watchdog budget (0 = off) and transient-error
+     *  retry count. */
+    double cellTimeout = 0.0;
+    int cellRetries = 0;
+    /** Crash-safe checkpointing: journal every completed cell here
+     *  (fresh file), or resume from (and keep appending to) an
+     *  existing journal. */
+    std::string journalPath;
+    std::string resumePath;
+
+    CellPolicy
+    cellPolicy() const
+    {
+        CellPolicy p;
+        p.timeoutSeconds = cellTimeout;
+        p.maxRetries = cellRetries;
+        p.keepGoing = keepGoing;
+        return p;
+    }
+
     /** Cycle-profiler flags (docs/profiling.md). */
     bool profile = false;
     std::string profileJsonPath;
@@ -365,6 +436,16 @@ parseArgs(int argc, char **argv)
                 parseIntOption("--jobs", next(), 1, 4096));
         else if (arg == "--keep-going")
             cli.keepGoing = true;
+        else if (arg == "--cell-timeout")
+            cli.cellTimeout =
+                parseSecondsOption("--cell-timeout", next());
+        else if (arg == "--cell-retries")
+            cli.cellRetries = static_cast<int>(
+                parseIntOption("--cell-retries", next(), 0, 1000));
+        else if (arg == "--journal")
+            cli.journalPath = next();
+        else if (arg == "--resume")
+            cli.resumePath = next();
         else if (arg == "--prune-analytic")
             cli.pruneAnalytic = true;
         else if (arg == "--top")
@@ -410,6 +491,15 @@ parseArgs(int argc, char **argv)
         else
             usage();
     }
+    if (!cli.resumePath.empty() && cli.pruneAnalytic)
+        usageError("--resume cannot be combined with "
+                   "--prune-analytic (the pruned sweep has no "
+                   "per-cell journal)");
+    if (!cli.resumePath.empty() && !cli.journalPath.empty() &&
+        cli.resumePath != cli.journalPath)
+        usageError("--resume and --journal name different files; "
+                   "--resume already appends to the journal it "
+                   "resumes from");
     return cli;
 }
 
@@ -590,12 +680,20 @@ cmdProfile(const Cli &cli)
 void
 writeTextFile(const std::string &path, const std::string &text)
 {
-    std::ofstream out(path);
-    if (!out)
-        SS_FATAL("cannot open '", path, "' for writing");
-    out << text;
-    if (!out)
-        SS_FATAL("write to '", path, "' failed");
+    // Same temp-and-rename contract as writeJsonFile: scrapers never
+    // see a torn exposition file.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            SS_FATAL("cannot open '", tmp, "' for writing");
+        out << text;
+        out.flush();
+        if (!out)
+            SS_FATAL("write to '", tmp, "' failed");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        SS_FATAL("cannot rename '", tmp, "' to '", path, "'");
 }
 
 /**
@@ -633,6 +731,21 @@ class SweepObservability
     void
     finish()
     {
+        finishImpl(nullptr);
+    }
+
+    /** Hardened-sweep variant: additionally reconciles the four
+     *  survivability counters against mapHardened's totals. */
+    void
+    finish(const HardeningTotals &totals)
+    {
+        finishImpl(&totals);
+    }
+
+  private:
+    void
+    finishImpl(const HardeningTotals *totals)
+    {
         if (progress_) {
             progress_->finish();
             progress_.reset();
@@ -664,19 +777,115 @@ class SweepObservability
             writeTextFile(cli_.metricsPromPath, prom);
         }
         const std::string mismatch =
-            checkMetricsReconciliation(study_, expected_);
+            totals ? checkMetricsReconciliation(study_, expected_,
+                                                *totals)
+                   : checkMetricsReconciliation(study_, expected_);
         if (!mismatch.empty())
             SS_WARN("metrics do not reconcile with the stats "
                     "registry: ",
                     mismatch);
     }
 
-  private:
     const Cli &cli_;
     const Study &study_;
     std::uint64_t expected_;
     std::unique_ptr<ProgressReporter> progress_;
 };
+
+/**
+ * The crash-safe checkpoint state of one ilp/suite sweep: an
+ * append-only journal writer plus whatever a --resume recovered.
+ * Cells found in the journal are "skipped" (their values replay from
+ * disk); the rest run and append as they complete.
+ */
+struct SweepJournal
+{
+    journal::Writer writer;
+    /** Journaled cell values recovered by --resume, by cell key. */
+    std::map<std::string, Json> resumed;
+    /** Journal lines dropped for CRC/parse failure on load. */
+    std::size_t corrupt = 0;
+    bool resuming = false;
+
+    /**
+     * Open the journal named by --journal/--resume (no-op when
+     * neither is given).  A fresh --journal truncates; --resume
+     * loads existing cells first and verifies the sweep-identity
+     * header matches `identity` byte-for-byte — a mismatched journal
+     * is an error, never a silently poisoned resume.  @return false
+     * with `error` filled on identity mismatch or I/O failure.
+     */
+    bool
+    setup(const Cli &cli, const Json &identity, std::string *error)
+    {
+        const std::string &path =
+            cli.resumePath.empty() ? cli.journalPath : cli.resumePath;
+        if (path.empty())
+            return true;
+        bool need_header = true;
+        if (!cli.resumePath.empty()) {
+            resuming = true;
+            journal::LoadResult lr = journal::load(path);
+            // A missing journal is a legal resume (first run of a
+            // retry loop): everything runs, the journal is created.
+            if (lr.ok) {
+                if (!lr.identity.isNull() &&
+                    lr.identity.dump() != identity.dump()) {
+                    *error = "journal '" + path +
+                             "' was written by a different sweep "
+                             "(command, program, options, or machine "
+                             "changed); refusing to resume";
+                    return false;
+                }
+                need_header = lr.identity.isNull();
+                resumed = std::move(lr.cells);
+                corrupt = lr.corrupt;
+                if (corrupt > 0)
+                    SS_WARN("journal '", path, "': dropped ", corrupt,
+                            " corrupt record(s); those cells re-run");
+            }
+        } else {
+            // A fresh --journal replaces any stale file so the
+            // header that follows is the file's single identity.
+            std::remove(path.c_str());
+        }
+        if (!writer.open(path, error))
+            return false;
+        if (need_header)
+            writer.writeHeader(identity);
+        return true;
+    }
+};
+
+/** Survivability accounting for the sweep's stats-json meta block:
+ *  cell totals plus (when resuming) the skipped/replayed split. */
+template <typename T>
+Json
+sweepCellsMeta(const std::vector<CellOutcome<T>> &cells,
+               const HardeningTotals &totals)
+{
+    std::uint64_t failed = 0;
+    for (const CellOutcome<T> &c : cells)
+        if (!c.ok())
+            ++failed;
+    Json m = Json::object();
+    m.set("total", Json(static_cast<std::uint64_t>(cells.size())));
+    m.set("failed", Json(failed));
+    m.set("retries", Json(totals.retries));
+    m.set("timeouts", Json(totals.timeouts));
+    m.set("quarantined", Json(totals.quarantined));
+    m.set("degraded", Json(totals.degraded));
+    return m;
+}
+
+Json
+sweepResumeMeta(std::size_t skipped, std::size_t replayed)
+{
+    Json r = Json::object();
+    r.set("skipped", Json(static_cast<std::uint64_t>(skipped)));
+    r.set("replayed", Json(static_cast<std::uint64_t>(replayed)));
+    return r;
+}
 
 int
 cmdIlp(const Cli &cli)
@@ -691,6 +900,9 @@ cmdIlp(const Cli &cli)
         study.traceCache().setBudget(cli.traceBudget);
 
     std::vector<CellOutcome<double>> cells;
+    HardeningTotals totals;
+    SweepJournal sj;
+    std::size_t ran = 0;
     Json prune;
     bool pruned = false;
     if (cli.pruneAnalytic) {
@@ -714,30 +926,82 @@ cmdIlp(const Cli &cli)
         prune = whatif::pruneMeta(po);
         pruned = true;
     } else {
-        auto cell = [&](std::size_t i) {
-            return study.speedup(
+        constexpr std::size_t kDegrees = 8;
+        // Stable cell keys (compile key + machine-spec hash): pure
+        // functions of the sweep spec, so a resumed process derives
+        // the same keys and matches them against the journal.
+        std::vector<std::string> keys(kDegrees);
+        for (std::size_t i = 0; i < kDegrees; ++i) {
+            const MachineConfig m =
+                idealSuperscalar(static_cast<int>(i) + 1);
+            keys[i] = CompileCache::key(w, m, cli.options) + "|mh" +
+                      std::to_string(m.specHash());
+        }
+        Json identity = Json::object();
+        identity.set("command", Json("ilp"));
+        identity.set("program", Json(cli.file));
+        identity.set("source_crc",
+                     Json(static_cast<std::uint64_t>(
+                         journal::crc32(w.source))));
+        identity.set("fingerprint",
+                     Json(Study::fingerprint(w, cli.options)));
+        identity.set("cells",
+                     Json(static_cast<std::uint64_t>(kDegrees)));
+        std::string jerr;
+        if (!sj.setup(cli, identity, &jerr))
+            return fail(jerr);
+
+        cells.resize(kDegrees);
+        std::vector<std::size_t> todo;
+        for (std::size_t i = 0; i < kDegrees; ++i) {
+            auto it = sj.resumed.find(keys[i]);
+            const Json *v = it != sj.resumed.end()
+                                ? it->second.find("speedup")
+                                : nullptr;
+            if (v && v->isNumber())
+                cells[i].value = v->asNumber();
+            else
+                todo.push_back(i);
+        }
+        ran = todo.size();
+
+        auto cell = [&](std::size_t j) {
+            const std::size_t i = todo[j];
+            const double speedup = study.speedup(
                 w, idealSuperscalar(static_cast<int>(i) + 1),
                 cli.options);
+            // Checkpoint at the success point, on the worker thread:
+            // a kill after this line costs nothing on resume.
+            if (sj.writer.isOpen()) {
+                Json value = Json::object();
+                value.set("speedup", Json(speedup));
+                sj.writer.writeCell(keys[i], value);
+            }
+            return speedup;
         };
 
-        SweepObservability obs(cli, study, 8);
+        SweepObservability obs(cli, study, todo.size());
+        HardenedSweep<double> hs;
         if (cli.keepGoing) {
             // Fault-isolated sweep: a failing degree is recorded as
             // a structured CellError while the other degrees still
-            // run.
-            cells = study.runner().mapChecked<double>(8, cell);
+            // run; transient failures retry, permanent ones are
+            // quarantined.
+            hs = study.runner().mapHardened<double>(
+                todo.size(), cli.cellPolicy(), cell);
         } else {
             try {
-                std::vector<double> speedups =
-                    study.runner().map<double>(8, cell);
-                cells.resize(speedups.size());
-                for (std::size_t i = 0; i < speedups.size(); ++i)
-                    cells[i].value = speedups[i];
+                hs = study.runner().mapHardened<double>(
+                    todo.size(), cli.cellPolicy(), cell);
             } catch (...) {
                 return fail(currentCellError().message);
             }
         }
-        obs.finish();
+        for (std::size_t j = 0; j < todo.size(); ++j)
+            cells[todo[j]] = hs.cells[j];
+        totals = hs.totals;
+        obs.finish(totals);
+        sj.writer.close();
     }
 
     Table t("Available parallelism (ideal superscalar sweep):");
@@ -776,6 +1040,12 @@ cmdIlp(const Cli &cli)
         Json meta = documentMeta(cli.machine);
         if (pruned)
             meta.set("prune", std::move(prune));
+        else {
+            meta.set("cells", sweepCellsMeta(cells, totals));
+            if (sj.resuming)
+                meta.set("resume",
+                         sweepResumeMeta(cells.size() - ran, ran));
+        }
         doc.set("meta", std::move(meta));
         doc.set("program", Json(cli.file));
         doc.set("degrees", std::move(degrees));
@@ -875,37 +1145,106 @@ cmdSuite(const Cli &cli)
     Study study(cli.jobs);
     if (cli.traceBudgetSet)
         study.traceCache().setBudget(cli.traceBudget);
-    auto cell = [&](std::size_t i) {
-        const Workload &w = suite[i];
+
+    // Cell keys and journal identity, as in cmdIlp.  The identity
+    // carries the stats flag because journaled cell records only
+    // contain a stats tree when the sweep collected one — resuming
+    // with a different telemetry shape must not mix records.
+    std::vector<std::string> keys(suite.size());
+    auto cellOptions = [&](std::size_t i) {
         CompileOptions o = cli.options;
-        o.unroll.factor = std::max(o.unroll.factor, w.defaultUnroll);
+        o.unroll.factor =
+            std::max(o.unroll.factor, suite[i].defaultUnroll);
+        return o;
+    };
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        keys[i] = CompileCache::key(suite[i], cli.machine,
+                                    cellOptions(i)) +
+                  "|mh" + std::to_string(cli.machine.specHash());
+    Json identity = Json::object();
+    identity.set("command", Json("suite"));
+    identity.set("machine", Json(cli.machine.name));
+    identity.set("machine_hash",
+                 Json(std::to_string(cli.machine.specHash())));
+    identity.set("fingerprint",
+                 Json(Study::fingerprint(suite[0], cli.options)));
+    identity.set("stats", Json(telemetry.collectStats));
+    identity.set("cells",
+                 Json(static_cast<std::uint64_t>(suite.size())));
+    SweepJournal sj;
+    std::string jerr;
+    if (!sj.setup(cli, identity, &jerr))
+        return fail(jerr);
+
+    std::vector<CellOutcome<SuiteCell>> cells(suite.size());
+    std::vector<std::size_t> todo;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        auto it = sj.resumed.find(keys[i]);
+        if (it == sj.resumed.end()) {
+            todo.push_back(i);
+            continue;
+        }
+        const Json &v = it->second;
+        const Json *instr = v.find("instructions");
+        const Json *cyc = v.find("cycles");
+        const Json *base = v.find("base_cycles");
+        const Json *stats = v.find("stats");
+        if (!instr || !instr->isNumber() || !cyc ||
+            !cyc->isNumber() || !base || !base->isNumber() ||
+            (telemetry.collectStats && !stats)) {
+            todo.push_back(i); // malformed record: re-run the cell
+            continue;
+        }
+        SuiteCell &c = cells[i].value;
+        c.out.instructions =
+            static_cast<std::uint64_t>(instr->asNumber());
+        c.out.cycles = cyc->asNumber();
+        c.base.cycles = base->asNumber();
+        if (stats)
+            c.out.stats.root = *stats;
+    }
+    const std::size_t ran = todo.size();
+
+    auto cell = [&](std::size_t j) {
+        const std::size_t i = todo[j];
+        const Workload &w = suite[i];
         SuiteCell c;
-        c.base = study.timedRun(w, baseMachine(), o);
-        c.out = study.timedRun(w, cli.machine, o, telemetry);
+        c.base = study.timedRun(w, baseMachine(), cellOptions(i));
+        c.out = study.timedRun(w, cli.machine, cellOptions(i),
+                               telemetry);
         if (c.base.trapped())
             throw TrapException(c.base.trap);
         if (c.out.trapped())
             throw TrapException(c.out.trap);
+        if (sj.writer.isOpen()) {
+            Json value = Json::object();
+            value.set("instructions", Json(c.out.instructions));
+            value.set("cycles", Json(c.out.cycles));
+            value.set("base_cycles", Json(c.base.cycles));
+            if (telemetry.collectStats)
+                value.set("stats", c.out.stats.root);
+            sj.writer.writeCell(keys[i], value);
+        }
         return c;
     };
 
-    SweepObservability obs(cli, study, suite.size());
-    std::vector<CellOutcome<SuiteCell>> cells;
+    SweepObservability obs(cli, study, todo.size());
+    HardenedSweep<SuiteCell> hs;
     if (cli.keepGoing) {
-        cells = study.runner().mapChecked<SuiteCell>(suite.size(),
-                                                     cell);
+        hs = study.runner().mapHardened<SuiteCell>(
+            todo.size(), cli.cellPolicy(), cell);
     } else {
         try {
-            std::vector<SuiteCell> values =
-                study.runner().map<SuiteCell>(suite.size(), cell);
-            cells.resize(values.size());
-            for (std::size_t i = 0; i < values.size(); ++i)
-                cells[i].value = std::move(values[i]);
+            hs = study.runner().mapHardened<SuiteCell>(
+                todo.size(), cli.cellPolicy(), cell);
         } catch (...) {
             return fail(currentCellError().message);
         }
     }
-    obs.finish();
+    for (std::size_t j = 0; j < todo.size(); ++j)
+        cells[todo[j]] = std::move(hs.cells[j]);
+    obs.finish(hs.totals);
+    sj.writer.close();
 
     int status = 0;
     for (std::size_t i = 0; i < suite.size(); ++i) {
@@ -953,7 +1292,12 @@ cmdSuite(const Cli &cli)
     t.print();
     if (want_json) {
         Json doc = Json::object();
-        doc.set("meta", documentMeta(cli.machine));
+        Json meta = documentMeta(cli.machine);
+        meta.set("cells", sweepCellsMeta(cells, hs.totals));
+        if (sj.resuming)
+            meta.set("resume",
+                     sweepResumeMeta(cells.size() - ran, ran));
+        doc.set("meta", std::move(meta));
         doc.set("machine", Json(cli.machine.name));
         doc.set("opt_level", Json(optLevelName(cli.options.level)));
         doc.set("benchmarks", std::move(benchmarks));
@@ -1009,6 +1353,10 @@ cmdMachines()
 int
 main(int argc, char **argv)
 {
+    // Arm chaos injection from $SSIM_FAULT before any sweep machinery
+    // runs; with the variable unset every site visit is one relaxed
+    // atomic load.
+    fault::configureFromEnv();
     Cli cli = parseArgs(argc, argv);
     if (cli.command == "run")
         return cmdRun(cli);

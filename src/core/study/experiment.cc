@@ -48,6 +48,14 @@ Study::baseCycles(const Workload &workload,
                 throw TrapException(out.trap);
             fill->set_value(out.cycles);
         } catch (...) {
+            // Mirror the caches: evict the failed entry before
+            // handing the exception to parked waiters, so a
+            // transient fault (injected, memory pressure) is not
+            // memoized forever — retried cells recompute.
+            {
+                std::lock_guard<std::mutex> lock(base_mu_);
+                base_cycles_.erase(key);
+            }
             fill->set_exception(std::current_exception());
         }
     }
@@ -78,6 +86,10 @@ Study::timedRun(const Workload &workload, const MachineConfig &machine,
                              *module);
     if (!artifact->replayable) {
         trace_cache_.noteFallback();
+        // Graceful degradation under memory pressure / non-packable
+        // traces: the cell still completes, via live interpretation;
+        // hardened sweeps count it as degraded rather than failed.
+        noteDegradedCell();
         return runOnMachine(*module, machine, telemetry, ct);
     }
     return timeTrace(*artifact, machine, telemetry, ct);

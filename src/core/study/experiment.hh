@@ -136,10 +136,12 @@ class Study
     DepGraphCache &graphCache() { return graph_cache_; }
     const DepGraphCache &graphCache() const { return graph_cache_; }
 
-  private:
+    /** Stable identity of a (workload, compile options) pair: keys
+     *  the base-cycles memo and fingerprints sweep journals. */
     static std::string fingerprint(const Workload &workload,
                                    const CompileOptions &options);
 
+  private:
     SweepRunner runner_;
     CompileCache cache_;
     TraceCache trace_cache_;

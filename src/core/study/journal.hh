@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Crash-safe sweep checkpointing: an append-only JSONL journal.
+ *
+ * A full-taxonomy sweep is hours of deterministic work; a killed
+ * process (OOM, preemption, ctrl-C) must not lose it.  The journal
+ * records every completed cell as one line of JSON,
+ *
+ *     {"c":"<crc32 hex>","r":{<record>}}
+ *
+ * where the CRC covers the compact dump of `r`.  Records are either
+ * the sweep header (written once, carrying the sweep's full identity:
+ * command, workload/options fingerprint, machine-config hashes, cell
+ * count) or one cell result keyed by compile-key + machine hash.
+ *
+ * Crash-safety model:
+ *  - the file is opened O_APPEND and every record is a single
+ *    write(2) of a complete line, so concurrent or dying writers
+ *    never interleave partial records *within* a line;
+ *  - fsync is batched (every kSyncInterval records, plus on close),
+ *    trading at most a few records of durability against disk churn
+ *    — process death alone loses nothing (the page cache survives);
+ *  - the loader verifies the CRC of every line and drops corrupt or
+ *    truncated ones (counting them), so a line torn by power loss
+ *    degrades into one re-run cell, never a poisoned resume.
+ *
+ * Resume (`--resume <journal>`): the caller re-derives its cell keys
+ * (pure functions of the sweep spec), loads the journal, verifies
+ * the header matches its own identity byte-for-byte, and skips every
+ * cell whose key is present — values are replayed from the journal,
+ * producing final output byte-identical to an uninterrupted run
+ * (JSON numbers round-trip exactly through the writer/parser).
+ */
+
+#ifndef SUPERSYM_CORE_STUDY_JOURNAL_HH
+#define SUPERSYM_CORE_STUDY_JOURNAL_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "support/json.hh"
+
+namespace ilp::journal {
+
+/** CRC-32 (IEEE 802.3, the zlib polynomial) of `text`. */
+std::uint32_t crc32(const std::string &text);
+
+/**
+ * Append-only journal writer.  Thread-safe: cells complete on worker
+ * threads and write their records directly.
+ */
+class Writer
+{
+  public:
+    /** Records between fsync batches. */
+    static constexpr unsigned kSyncInterval = 16;
+
+    Writer() = default;
+    ~Writer();
+
+    Writer(const Writer &) = delete;
+    Writer &operator=(const Writer &) = delete;
+
+    /** Open (creating or appending) the journal at `path`.
+     *  @return false with `error` filled on I/O failure. */
+    bool open(const std::string &path, std::string *error = nullptr);
+
+    bool isOpen() const { return fd_ >= 0; }
+
+    /** Append the sweep-identity header record. */
+    void writeHeader(const Json &identity);
+
+    /** Append one completed cell: its stable key and its value. */
+    void writeCell(const std::string &key, const Json &value);
+
+    /** Flush batched records to stable storage. */
+    void sync();
+
+    void close();
+
+  private:
+    void writeRecord(const Json &record);
+
+    int fd_ = -1;
+    unsigned unsynced_ = 0;
+    std::mutex mu_;
+};
+
+/** Everything load() recovered from a journal. */
+struct LoadResult
+{
+    /** File existed and was readable (corrupt lines are not an
+     *  error — they are dropped and counted). */
+    bool ok = false;
+    std::string error;
+
+    /** The first valid header record's identity (null Json when the
+     *  journal has none — e.g. only torn lines survived). */
+    Json identity;
+    /** Completed cells: key -> journaled value (last record wins,
+     *  so a cell re-run after a partial resume stays consistent). */
+    std::map<std::string, Json> cells;
+    /** Lines dropped for failed CRC or unparseable JSON. */
+    std::size_t corrupt = 0;
+};
+
+/** Read and validate a journal.  Never throws; I/O problems land in
+ *  the result's ok/error. */
+LoadResult load(const std::string &path);
+
+} // namespace ilp::journal
+
+#endif // SUPERSYM_CORE_STUDY_JOURNAL_HH

@@ -43,6 +43,48 @@ cellSeconds()
     return h;
 }
 
+metrics::Counter &
+cellRetriesTotal()
+{
+    static metrics::Counter &c = metrics::Registry::global().counter(
+        "ssim_sweep_cell_retries_total",
+        "Transient-fault cell retries under hardened sweeps.");
+    return c;
+}
+
+metrics::Counter &
+cellTimeoutsTotal()
+{
+    static metrics::Counter &c = metrics::Registry::global().counter(
+        "ssim_sweep_cell_timeouts_total",
+        "Cell attempts cancelled by the watchdog deadline.");
+    return c;
+}
+
+metrics::Counter &
+cellsQuarantinedTotal()
+{
+    static metrics::Counter &c = metrics::Registry::global().counter(
+        "ssim_sweep_cells_quarantined_total",
+        "Cells isolated after permanent failure or retry "
+        "exhaustion.");
+    return c;
+}
+
+metrics::Counter &
+cellsDegradedTotal()
+{
+    static metrics::Counter &c = metrics::Registry::global().counter(
+        "ssim_sweep_cells_degraded_total",
+        "Cells that completed via live-interpretation fallback.");
+    return c;
+}
+
+/** Set while a hardened cell attempt degraded to live interpretation
+ *  (Study::timedRun's fallback path notes it; mapHardened reads it
+ *  back after the attempt). */
+thread_local bool tl_cell_degraded = false;
+
 /** One cell evaluation wrapped in its observability: a flight-recorder
  *  span (which a keep-going failure annotates rather than truncates),
  *  the cell metrics, and the live progress notification. */
@@ -68,6 +110,72 @@ runSweepCell(const std::function<void(std::size_t)> &fn, std::size_t i)
 } // namespace
 
 void
+noteDegradedCell()
+{
+    tl_cell_degraded = true;
+}
+
+namespace detail {
+
+void
+beginCellAttempt()
+{
+    tl_cell_degraded = false;
+}
+
+bool
+cellAttemptDegraded()
+{
+    return tl_cell_degraded;
+}
+
+void
+noteRetryMetric()
+{
+    cellRetriesTotal().inc();
+}
+
+void
+noteTimeoutMetric()
+{
+    cellTimeoutsTotal().inc();
+}
+
+void
+noteQuarantineMetric()
+{
+    cellsQuarantinedTotal().inc();
+}
+
+void
+noteDegradedMetric()
+{
+    cellsDegradedTotal().inc();
+}
+
+void
+backoffBeforeRetry(std::size_t cell, int attempt)
+{
+    // Exponential base (1 ms << attempt, capped at 64 ms) scaled by
+    // a deterministic jitter in [0.5, 1.5) drawn from (cell,
+    // attempt), so colliding retries decorrelate identically on
+    // every run.
+    const int exp = attempt < 7 ? attempt : 6;
+    const double base_ms = static_cast<double>(1u << exp);
+    std::uint64_t h = (static_cast<std::uint64_t>(cell) << 32) ^
+                      static_cast<std::uint64_t>(attempt + 1);
+    h += 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    const double jitter = 0.5 + static_cast<double>(h & 0x3FF) / 1024.0;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(base_ms * jitter));
+}
+
+} // namespace detail
+
+void
 noteCellFailure(const CellError &error)
 {
     cellsFailedTotal().inc();
@@ -88,6 +196,10 @@ currentCellError()
         return {e.code(), formatDiags(e.diags())};
     } catch (const TrapException &e) {
         return {e.trap().code, e.trap().format()};
+    } catch (const std::bad_alloc &) {
+        // Memory pressure — real or injected — is transient: the
+        // hardened runner may retry the cell once pressure clears.
+        return {ErrCode::ResourceExhausted, "out of memory"};
     } catch (const std::exception &e) {
         return {ErrCode::Internal, e.what()};
     } catch (...) {
@@ -281,6 +393,8 @@ CompileCache::compile(const Workload &workload,
                 span.detail(workload.name);
             metrics::ScopedTimer timer(metrics::Registry::global(),
                                        metric_seconds);
+            if (fault::enabled())
+                fault::maybeInject("compile");
             Compiled c;
             Result<Module> r = compileWorkloadChecked(
                 workload.source, machine, options, &c.telemetry,

@@ -41,6 +41,8 @@
 #include <vector>
 
 #include "core/study/driver.hh"
+#include "sim/cancel.hh"
+#include "support/faultinject.hh"
 
 namespace ilp {
 
@@ -81,9 +83,71 @@ struct CellOutcome
 {
     T value{};
     CellError error;
+    /** Evaluation attempts this cell took (1 = first try succeeded;
+     *  only mapHardened retries, so mapChecked always reports 1). */
+    int attempts = 1;
+    /** The cell completed, but at least one attempt fell back to
+     *  live interpretation (memory pressure / non-replayable trace). */
+    bool degraded = false;
+    /** The cell failed permanently (or exhausted its retries) and
+     *  was isolated from the sweep. */
+    bool quarantined = false;
 
     bool ok() const { return !error.valid(); }
 };
+
+/** Per-cell survivability policy for mapHardened. */
+struct CellPolicy
+{
+    /** Cooperative watchdog budget per *attempt*; <= 0 disables. */
+    double timeoutSeconds = 0.0;
+    /** Max retries after the first attempt, for transient-classed
+     *  errors only (errCodeTransient). */
+    int maxRetries = 0;
+    /** Quarantine failing cells instead of aborting the sweep. */
+    bool keepGoing = false;
+};
+
+/** Sweep-wide survivability accounting; each field reconciles
+ *  exactly with its ssim_sweep_* metric counter. */
+struct HardeningTotals
+{
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t degraded = 0;
+};
+
+/** Result of a hardened sweep: index-ordered outcomes plus totals. */
+template <typename T>
+struct HardenedSweep
+{
+    std::vector<CellOutcome<T>> cells;
+    HardeningTotals totals;
+};
+
+/** Record that the current cell attempt degraded to live
+ *  interpretation (called from Study::timedRun's fallback path;
+ *  no-op outside a hardened cell). */
+void noteDegradedCell();
+
+namespace detail {
+
+/** Clear / read the thread-local degraded flag around one attempt. */
+void beginCellAttempt();
+bool cellAttemptDegraded();
+
+/** Bump the hardening metric counters (one relaxed atomic each). */
+void noteRetryMetric();
+void noteTimeoutMetric();
+void noteQuarantineMetric();
+void noteDegradedMetric();
+
+/** Sleep the exponential-backoff delay (deterministic jitter from
+ *  (cell, attempt), ~1-100 ms) before a retry. */
+void backoffBeforeRetry(std::size_t cell, int attempt);
+
+} // namespace detail
 
 /**
  * A fixed worker pool over an atomic-index work queue.  Stateless
@@ -143,6 +207,79 @@ class SweepRunner
                 noteCellFailure(out[i].error);
             }
         });
+        return out;
+    }
+
+    /**
+     * The survivable sweep: mapChecked plus per-attempt watchdog
+     * deadlines, bounded retry with exponential backoff for
+     * transient-classed errors (injected faults, memory pressure),
+     * and quarantine of permanently failing cells.  Values stay
+     * index-ordered and — because retried cells recompute the same
+     * deterministic computation — byte-identical to a fault-free run.
+     * Without keepGoing a quarantined cell aborts the sweep by
+     * rethrowing (the fail-fast contract of run()).
+     */
+    template <typename T, typename Fn>
+    HardenedSweep<T>
+    mapHardened(std::size_t count, const CellPolicy &policy,
+                Fn &&fn) const
+    {
+        HardenedSweep<T> out;
+        out.cells.resize(count);
+        std::atomic<std::uint64_t> retries{0}, timeouts{0},
+            quarantined{0}, degraded{0};
+        run(count, [&](std::size_t i) {
+            CellOutcome<T> &slot = out.cells[i];
+            for (int attempt = 0;; ++attempt) {
+                std::exception_ptr raised;
+                detail::beginCellAttempt();
+                try {
+                    cancel::ScopedCellDeadline watchdog(
+                        policy.timeoutSeconds);
+                    if (fault::enabled())
+                        fault::maybeInject("cell");
+                    slot.value = fn(i);
+                } catch (...) {
+                    raised = std::current_exception();
+                    slot.error = currentCellError();
+                }
+                slot.attempts = attempt + 1;
+                if (!raised) {
+                    slot.error = {};
+                    if (detail::cellAttemptDegraded()) {
+                        slot.degraded = true;
+                        degraded.fetch_add(1,
+                                           std::memory_order_relaxed);
+                        detail::noteDegradedMetric();
+                    }
+                    return;
+                }
+                if (slot.error.code ==
+                    ErrCode::TrapDeadlineExceeded) {
+                    timeouts.fetch_add(1, std::memory_order_relaxed);
+                    detail::noteTimeoutMetric();
+                }
+                if (errCodeTransient(slot.error.code) &&
+                    attempt < policy.maxRetries) {
+                    retries.fetch_add(1, std::memory_order_relaxed);
+                    detail::noteRetryMetric();
+                    detail::backoffBeforeRetry(i, attempt);
+                    continue;
+                }
+                slot.quarantined = true;
+                quarantined.fetch_add(1, std::memory_order_relaxed);
+                detail::noteQuarantineMetric();
+                noteCellFailure(slot.error);
+                if (!policy.keepGoing)
+                    std::rethrow_exception(raised);
+                return;
+            }
+        });
+        out.totals.retries = retries.load();
+        out.totals.timeouts = timeouts.load();
+        out.totals.quarantined = quarantined.load();
+        out.totals.degraded = degraded.load();
         return out;
     }
 

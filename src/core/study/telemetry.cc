@@ -1,8 +1,10 @@
 #include "core/study/telemetry.hh"
 
+#include <cstdio>
 #include <fstream>
 
 #include "core/study/experiment.hh"
+#include "core/study/sweep.hh"
 #include "support/buildinfo.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
@@ -187,15 +189,58 @@ checkMetricsReconciliation(const Study &study,
     return {};
 }
 
+std::string
+checkMetricsReconciliation(const Study &study,
+                           std::uint64_t expectedCells,
+                           const HardeningTotals &totals)
+{
+    std::string mismatch =
+        checkMetricsReconciliation(study, expectedCells);
+    if (!mismatch.empty())
+        return mismatch;
+    metrics::Registry &reg = metrics::Registry::global();
+    struct Pair
+    {
+        const char *metric;
+        std::uint64_t expected;
+    };
+    const Pair pairs[] = {
+        {"ssim_sweep_cell_retries_total", totals.retries},
+        {"ssim_sweep_cell_timeouts_total", totals.timeouts},
+        {"ssim_sweep_cells_quarantined_total", totals.quarantined},
+        {"ssim_sweep_cells_degraded_total", totals.degraded},
+    };
+    for (const Pair &p : pairs) {
+        const std::uint64_t got = reg.counter(p.metric).value();
+        if (got != p.expected) {
+            return std::string("metric '") + p.metric + "' is " +
+                   std::to_string(got) +
+                   " but the sweep-side counter says " +
+                   std::to_string(p.expected);
+        }
+    }
+    return {};
+}
+
 void
 writeJsonFile(const std::string &path, const Json &doc)
 {
-    std::ofstream out(path);
-    if (!out)
-        SS_FATAL("cannot open '", path, "' for writing");
-    out << doc.dump(2) << "\n";
-    if (!out)
-        SS_FATAL("write to '", path, "' failed");
+    // Temp-and-rename: rename(2) is atomic within a filesystem, so
+    // consumers polling `path` (dashboards, resume tooling) never
+    // observe a torn document, and a crash mid-write leaves the old
+    // file intact.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            SS_FATAL("cannot open '", tmp, "' for writing");
+        out << doc.dump(2) << "\n";
+        out.flush();
+        if (!out)
+            SS_FATAL("write to '", tmp, "' failed");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        SS_FATAL("cannot rename '", tmp, "' to '", path, "'");
 }
 
 } // namespace ilp

@@ -19,6 +19,7 @@
 namespace ilp {
 
 class Study;
+struct HardeningTotals;
 
 /**
  * Build a Chrome tracing document ({"traceEvents": [...]}) from one
@@ -51,7 +52,21 @@ Json buildSweepTraceEvents(const trace::Recording &recording,
 std::string checkMetricsReconciliation(const Study &study,
                                        std::uint64_t expectedCells);
 
-/** Write a JSON document to `path` (SS_FATAL on I/O failure). */
+/**
+ * The hardened-sweep variant: additionally reconciles the four
+ * survivability counters (retries, timeouts, quarantined, degraded)
+ * against the totals mapHardened accumulated in its own atomics.
+ */
+std::string checkMetricsReconciliation(const Study &study,
+                                       std::uint64_t expectedCells,
+                                       const HardeningTotals &totals);
+
+/**
+ * Write a JSON document to `path` (SS_FATAL on I/O failure).
+ * Crash-safe: the document lands in a sibling temp file first and is
+ * renamed into place, so a reader (or a killed writer) never sees a
+ * partial document at `path`.
+ */
 void writeJsonFile(const std::string &path, const Json &doc);
 
 } // namespace ilp

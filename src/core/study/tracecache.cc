@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "sim/trap.hh"
+#include "support/faultinject.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/trace.hh"
@@ -192,20 +194,49 @@ TraceCache::execute(const std::string &key, const Module &module)
         misses_.fetch_add(1, std::memory_order_relaxed);
         traceMisses().inc();
         try {
+            if (fault::enabled())
+                fault::maybeInject("execute");
             // Cap recording at the whole budget: a trace that cannot
             // fit even an empty cache becomes non-replayable rather
             // than blowing past the budget.
             auto art = std::make_shared<const TraceArtifact>(
                 executeWorkload(module, cap));
+            // A deadline or transient-fault trap is a property of
+            // this *attempt*, not of the module: caching it would
+            // poison every later request (including untimed resumes),
+            // so it propagates as a failure and the entry is evicted
+            // — the retry re-executes.  Genuine workload traps stay
+            // cached as non-replayable artifacts (live fallback).
+            const Trap &trap = art->result.trap;
+            if (trap.valid() &&
+                (errCodeTransient(trap.code) ||
+                 trap.code == ErrCode::TrapDeadlineExceeded))
+                throw TrapException(trap);
+            if (fault::enabled())
+                fault::maybeInject("tracecache.insert");
             const std::size_t bytes = art->byteSize();
             fill->set_value(std::move(art));
+            const bool forced_evict =
+                fault::enabled() &&
+                fault::shouldEvict("tracecache.evict");
             std::lock_guard<std::mutex> lock(mu_);
             auto it = entries_.find(key);
             if (it != entries_.end()) {
-                it->second.bytes = bytes;
-                it->second.ready = true;
-                bytes_held_ += bytes;
-                evictLocked();
+                if (forced_evict) {
+                    // Chaos: drop the entry immediately.  Waiters
+                    // already share the artifact via the future;
+                    // later requesters re-execute, exactly as after
+                    // a budget eviction.
+                    entries_.erase(it);
+                    evictions_.fetch_add(1,
+                                         std::memory_order_relaxed);
+                    traceEvictions().inc();
+                } else {
+                    it->second.bytes = bytes;
+                    it->second.ready = true;
+                    bytes_held_ += bytes;
+                    evictLocked();
+                }
             }
         } catch (...) {
             // Mirror CompileCache: hand the exception to parked

@@ -10,6 +10,7 @@
 #include "sim/interp.hh"
 #include "sim/trap.hh"
 #include "support/buildinfo.hh"
+#include "support/faultinject.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/table.hh"
@@ -91,6 +92,8 @@ DepGraphCache::get(const std::string &key,
         try {
             metrics::ScopedTimer timer(metrics::Registry::global(),
                                        graphBuildSeconds());
+            if (fault::enabled())
+                fault::maybeInject("depgraph");
             fill->set_value(
                 std::make_shared<const DepGraph>(build()));
             graphBuilds().inc();

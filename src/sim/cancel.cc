@@ -1,0 +1,61 @@
+#include "sim/cancel.hh"
+
+#include <cstdio>
+
+#include "sim/trap.hh"
+
+namespace ilp::cancel {
+
+namespace {
+
+thread_local bool tl_armed = false;
+thread_local std::chrono::steady_clock::time_point tl_at;
+thread_local double tl_seconds = 0.0;
+
+} // namespace
+
+bool
+deadlineArmed()
+{
+    return tl_armed;
+}
+
+void
+pollDeadline()
+{
+    if (!tl_armed)
+        return;
+    if (std::chrono::steady_clock::now() < tl_at)
+        return;
+    // Deterministic message: the configured budget, not the elapsed
+    // time — a timed-out cell must report identically at any job
+    // count and on any machine.
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "cell deadline of %g s exceeded", tl_seconds);
+    throw TrapException(
+        Trap{ErrCode::TrapDeadlineExceeded, "", buf});
+}
+
+ScopedCellDeadline::ScopedCellDeadline(double seconds)
+    : prev_armed_(tl_armed), prev_at_(tl_at),
+      prev_seconds_(tl_seconds)
+{
+    if (seconds > 0.0) {
+        tl_armed = true;
+        tl_at = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(seconds));
+        tl_seconds = seconds;
+    }
+}
+
+ScopedCellDeadline::~ScopedCellDeadline()
+{
+    tl_armed = prev_armed_;
+    tl_at = prev_at_;
+    tl_seconds = prev_seconds_;
+}
+
+} // namespace ilp::cancel

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Cooperative per-cell deadlines (the sweep watchdog).
+ *
+ * A runaway cell — a pathological unroll factor, a near-infinite MT
+ * loop that stays inside its fuel, an adversarial machine spec — must
+ * not stall a whole sweep.  Preemption is off the table (cells share
+ * caches and allocate), so cancellation is cooperative: the hardened
+ * sweep layer arms a steady-clock deadline on the worker thread
+ * (ScopedCellDeadline), and the two execution hot loops poll it at
+ * natural chunk boundaries — the interpreter every 4096 executed
+ * instructions, trace replay once per 64 Ki-instruction chunk.
+ *
+ * An expired deadline raises TrapException(E0410
+ * trap-deadline-exceeded) — a *permanent* error class: the simulator
+ * is deterministic, so a cell that blew its budget once will blow it
+ * again, and retrying would only double the damage.  The hardened
+ * runner quarantines such cells instead.
+ *
+ * The trap message carries the configured budget, never the elapsed
+ * time, so a timed-out cell reports identically at any job count.
+ */
+
+#ifndef SUPERSYM_SIM_CANCEL_HH
+#define SUPERSYM_SIM_CANCEL_HH
+
+#include <chrono>
+
+namespace ilp::cancel {
+
+/** True when the calling thread has an armed deadline. */
+bool deadlineArmed();
+
+/**
+ * Throw TrapException(TrapDeadlineExceeded) if the calling thread's
+ * deadline has passed; no-op (one thread-local load) when no deadline
+ * is armed.  Called from the interpreter and replay chunk loops.
+ */
+void pollDeadline();
+
+/**
+ * Arm a deadline of `seconds` from now on the calling thread for the
+ * lifetime of the object; seconds <= 0 arms nothing.  Nests: the
+ * previous deadline (if any) is restored on destruction.
+ */
+class ScopedCellDeadline
+{
+  public:
+    explicit ScopedCellDeadline(double seconds);
+    ~ScopedCellDeadline();
+
+    ScopedCellDeadline(const ScopedCellDeadline &) = delete;
+    ScopedCellDeadline &operator=(const ScopedCellDeadline &) = delete;
+
+  private:
+    bool prev_armed_;
+    std::chrono::steady_clock::time_point prev_at_;
+    double prev_seconds_;
+};
+
+} // namespace ilp::cancel
+
+#endif // SUPERSYM_SIM_CANCEL_HH

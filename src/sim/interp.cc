@@ -3,6 +3,8 @@
 #include <bit>
 #include <cmath>
 
+#include "sim/cancel.hh"
+#include "support/faultinject.hh"
 #include "support/logging.hh"
 #include "support/trace.hh"
 
@@ -200,6 +202,14 @@ Interpreter::execFrame(const Function &func,
 
         if (++executed_ > opts_.fuel)
             outOfFuel();
+        // Watchdog / chaos poll points, amortized to one branch per
+        // 4096 instructions: the cooperative cell deadline, and the
+        // "interp" fault-injection site.
+        if ((executed_ & 0xFFF) == 0) {
+            cancel::pollDeadline();
+            if (fault::enabled())
+                fault::maybeInject("interp");
+        }
         ++class_counts_[static_cast<std::size_t>(opcodeClass(in.op))];
 
         DynInstr di;

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/cancel.hh"
 #include "sim/trace.hh"
 
 namespace ilp {
@@ -164,12 +165,15 @@ class PackedTrace
     /**
      * Replay the whole trace into a sink (the time-many half: feed
      * the IssueEngine / CacheSink without re-executing anything).
-     * Unpacks chunk-linearly — this is the sweep hot path.
+     * Unpacks chunk-linearly — this is the sweep hot path.  The
+     * cooperative cell deadline is polled once per chunk, so a
+     * watchdogged replay cancels within 64 Ki instructions.
      */
     void
     replay(TraceSink &sink) const
     {
         for (const auto &chunk : chunks_) {
+            cancel::pollDeadline();
             for (const PackedInstr &pi : chunk)
                 sink.emit(pi.unpack());
         }

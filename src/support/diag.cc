@@ -38,11 +38,14 @@ errCodeId(ErrCode code)
       case ErrCode::TrapStackOverflow: return "E0406";
       case ErrCode::TrapCallDepthExceeded: return "E0407";
       case ErrCode::TrapNoEntry: return "E0408";
+      case ErrCode::TrapTransientFault: return "E0409";
+      case ErrCode::TrapDeadlineExceeded: return "E0410";
 
       case ErrCode::OptTempRegsExhausted: return "E0501";
 
       case ErrCode::IoError: return "E0901";
       case ErrCode::JsonParseError: return "E0902";
+      case ErrCode::ResourceExhausted: return "E0903";
       case ErrCode::Internal: return "E0999";
     }
     return "E????";
@@ -95,15 +98,31 @@ errCodeName(ErrCode code)
       case ErrCode::TrapCallDepthExceeded:
         return "trap-call-depth-exceeded";
       case ErrCode::TrapNoEntry: return "trap-no-entry";
+      case ErrCode::TrapTransientFault: return "trap-transient-fault";
+      case ErrCode::TrapDeadlineExceeded:
+        return "trap-deadline-exceeded";
 
       case ErrCode::OptTempRegsExhausted:
         return "opt-temp-regs-exhausted";
 
       case ErrCode::IoError: return "io-error";
       case ErrCode::JsonParseError: return "json-parse-error";
+      case ErrCode::ResourceExhausted: return "resource-exhausted";
       case ErrCode::Internal: return "internal";
     }
     return "unknown";
+}
+
+bool
+errCodeTransient(ErrCode code)
+{
+    switch (code) {
+      case ErrCode::TrapTransientFault:
+      case ErrCode::ResourceExhausted:
+        return true;
+      default:
+        return false;
+    }
 }
 
 std::string

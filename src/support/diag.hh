@@ -89,6 +89,8 @@ enum class ErrCode
     TrapStackOverflow,
     TrapCallDepthExceeded,
     TrapNoEntry,
+    TrapTransientFault,
+    TrapDeadlineExceeded,
 
     // Compile-environment limits (E05xx).
     OptTempRegsExhausted,
@@ -96,6 +98,7 @@ enum class ErrCode
     // Generic (E09xx).
     IoError,
     JsonParseError,
+    ResourceExhausted,
     Internal,
 };
 
@@ -104,6 +107,16 @@ const char *errCodeId(ErrCode code);
 
 /** A short kebab-case name, e.g. "parse-unexpected-token". */
 const char *errCodeName(ErrCode code);
+
+/**
+ * Transient errors are environmental — a resource shortage or an
+ * injected/worker fault that a retry of the *same* deterministic
+ * computation may not hit again.  Everything else (malformed input,
+ * genuine simulator traps, deadline expiry of a deterministic run) is
+ * permanent: retrying reproduces it exactly, so hardened sweeps
+ * quarantine instead of retrying.
+ */
+bool errCodeTransient(ErrCode code);
 
 /** A source position; line/col are 1-based, 0 means "unknown". */
 struct SourceLoc

@@ -1,0 +1,79 @@
+#!/bin/sh
+# Kill-mid-sweep / resume acceptance test (docs/robustness.md).
+#
+# Uses the seeded "exit" fault kind to _exit(137) the ssim process at
+# the 4th cell attempt of an 8-degree ilp sweep, then resumes from
+# the journal and requires:
+#  - the journal holds exactly header + 3 completed cells,
+#  - the resumed run's stdout is byte-identical to an uninterrupted
+#    run,
+#  - the stats-json meta.resume block reports the skipped/replayed
+#    split exactly,
+#  - a second resume skips every cell and still reproduces the
+#    output byte-for-byte.
+#
+# usage: resume_kill_test.sh /path/to/ssim /path/to/program.mt
+set -eu
+
+SSIM="$1"
+SRC="$2"
+TMP="${TMPDIR:-/tmp}/resume_kill_$$"
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+    echo "resume_kill_test: $1" >&2
+    exit 1
+}
+
+# Uninterrupted reference run.
+"$SSIM" ilp "$SRC" --jobs 1 > "$TMP/clean.out" \
+    || fail "clean run failed"
+
+# Deterministic kill: the exit rule fires at cell-site draw index 3,
+# i.e. right before the 4th cell runs (jobs 1 keeps draw order equal
+# to cell order).
+rc=0
+SSIM_FAULT='cell:exit:1:3' "$SSIM" ilp "$SRC" --jobs 1 \
+    --journal "$TMP/sweep.jsonl" > "$TMP/killed.out" 2>&1 || rc=$?
+[ "$rc" -eq 137 ] || fail "expected kill exit 137, got $rc"
+[ -f "$TMP/sweep.jsonl" ] || fail "no journal written before kill"
+
+lines=$(wc -l < "$TMP/sweep.jsonl")
+[ "$lines" -eq 4 ] \
+    || fail "expected 4 journal lines (header + 3 cells), got $lines"
+
+# Resume completes the remaining 5 cells and reproduces the clean
+# output byte-for-byte.
+"$SSIM" ilp "$SRC" --jobs 1 --resume "$TMP/sweep.jsonl" \
+    --stats-json "$TMP/resumed.json" > "$TMP/resumed.out" \
+    || fail "resume run failed"
+cmp -s "$TMP/resumed.out" "$TMP/clean.out" \
+    || fail "resumed stdout differs from the clean run"
+grep -q '"skipped": 3' "$TMP/resumed.json" \
+    || fail "meta.resume.skipped != 3"
+grep -q '"replayed": 5' "$TMP/resumed.json" \
+    || fail "meta.resume.replayed != 5"
+
+# A second resume finds every cell journaled: nothing re-runs, the
+# output is still identical.
+"$SSIM" ilp "$SRC" --jobs 1 --resume "$TMP/sweep.jsonl" \
+    --stats-json "$TMP/resumed2.json" > "$TMP/resumed2.out" \
+    || fail "second resume failed"
+cmp -s "$TMP/resumed2.out" "$TMP/clean.out" \
+    || fail "fully-journaled resume stdout differs"
+grep -q '"skipped": 8' "$TMP/resumed2.json" \
+    || fail "second resume should skip all 8 cells"
+grep -q '"replayed": 0' "$TMP/resumed2.json" \
+    || fail "second resume should replay 0 cells"
+
+# Identity guard: resuming with different compile options must be
+# refused, not silently mixed.
+rc=0
+"$SSIM" ilp "$SRC" --unroll 4 --jobs 1 \
+    --resume "$TMP/sweep.jsonl" > "$TMP/mismatch.out" 2>&1 || rc=$?
+[ "$rc" -eq 1 ] || fail "identity mismatch should exit 1, got $rc"
+grep -q "refusing to resume" "$TMP/mismatch.out" \
+    || fail "identity mismatch should name the refusal"
+
+echo "resume_kill_test: ok"

@@ -2,16 +2,21 @@
  * @file
  * Corpus replay driver: a plain main() for fuzz targets when
  * libFuzzer is unavailable (gcc builds, CI smoke).  Runs
- * LLVMFuzzerTestOneInput over every file named on the command line —
- * the same entry point libFuzzer drives — so crash regressions and
- * seed corpora stay checkable in every toolchain.
+ * LLVMFuzzerTestOneInput over every file — or every regular file
+ * inside every directory, in sorted order for reproducible runs —
+ * named on the command line.  This is the same entry point libFuzzer
+ * drives, so crash regressions and seed corpora stay checkable in
+ * every toolchain; ctest registers one replay per corpus directory.
  *
- * Exit status: 0 if every input was processed, 2 on usage/IO error.
+ * Exit status: 0 if every input was processed, 2 on usage/IO error
+ * or an empty corpus (an empty run must not pass silently).
  * A containment failure inside the target aborts, which is the point.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -20,26 +25,61 @@
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
                                       std::size_t size);
 
+namespace {
+
+bool
+replayFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string bytes = ss.str();
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t *>(bytes.data()),
+        bytes.size());
+    return true;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::fprintf(stderr, "usage: %s CORPUS_FILE...\n", argv[0]);
+        std::fprintf(stderr, "usage: %s CORPUS_FILE_OR_DIR...\n",
+                     argv[0]);
         return 2;
     }
+    int replayed = 0;
     for (int i = 1; i < argc; ++i) {
-        std::ifstream in(argv[i], std::ios::binary);
-        if (!in) {
-            std::fprintf(stderr, "cannot open '%s'\n", argv[i]);
-            return 2;
+        std::error_code ec;
+        if (std::filesystem::is_directory(argv[i], ec)) {
+            std::vector<std::string> files;
+            for (const auto &entry :
+                 std::filesystem::directory_iterator(argv[i])) {
+                if (entry.is_regular_file())
+                    files.push_back(entry.path().string());
+            }
+            std::sort(files.begin(), files.end());
+            for (const std::string &f : files) {
+                if (!replayFile(f))
+                    return 2;
+                ++replayed;
+            }
+        } else {
+            if (!replayFile(argv[i]))
+                return 2;
+            ++replayed;
         }
-        std::ostringstream ss;
-        ss << in.rdbuf();
-        const std::string bytes = ss.str();
-        LLVMFuzzerTestOneInput(
-            reinterpret_cast<const std::uint8_t *>(bytes.data()),
-            bytes.size());
     }
-    std::printf("replayed %d input(s)\n", argc - 1);
+    if (replayed == 0) {
+        std::fprintf(stderr, "empty corpus: nothing replayed\n");
+        return 2;
+    }
+    std::printf("replayed %d input(s)\n", replayed);
     return 0;
 }
