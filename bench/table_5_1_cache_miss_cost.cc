@@ -10,7 +10,7 @@
 #include "bench/common.hh"
 #include "core/study/driver.hh"
 #include "sim/cache.hh"
-#include "sim/interp.hh"
+#include "sim/exec.hh"
 
 using namespace ilp;
 
@@ -83,8 +83,8 @@ main()
             TeeSink tee;
             tee.addSink(&cache);
             tee.addSink(&engine);
-            Interpreter interp(m);
-            RunResult r = interp.run("main", &tee);
+            std::unique_ptr<Executor> exec = makeExecutor(m);
+            RunResult r = exec->run("main", &tee);
 
             MeasuredRow row;
             row.refsPerInstr =

@@ -13,6 +13,7 @@
 #include "core/study/experiment.hh"
 #include "core/study/sweep.hh"
 #include "core/machine/models.hh"
+#include "sim/exec.hh"
 #include "sim/interp.hh"
 #include "sim/issue.hh"
 #include "support/trace.hh"
@@ -93,6 +94,35 @@ BM_FunctionalSimulation(benchmark::State &state)
         static_cast<double>(instrs), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FunctionalSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_BytecodeRun(benchmark::State &state)
+{
+    // BM_FunctionalSimulation on the bytecode backend: same workload,
+    // same artifacts, threaded dispatch over the lowered image.  The
+    // image is built once (executors are reusable across runs), so
+    // the loop measures pure execution rate; the gap to
+    // BM_FunctionalSimulation is the whole bytecode win.
+    const Workload &w = wl();
+    CompileOptions o = defaultCompileOptions(w);
+    Module m = compileWorkload(w.source, baseMachine(), o);
+    std::unique_ptr<Executor> exec =
+        makeExecutor(m, ExecBackend::Bytecode);
+    std::uint64_t instrs = 0;
+    const auto t0 = BenchClock::now();
+    for (auto _ : state) {
+        RunResult r = exec->run();
+        instrs += r.instructions;
+        benchmark::DoNotOptimize(r.returnValue);
+    }
+    const double wall = secondsSince(t0);
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+    appendThroughputPoint(
+        "BM_BytecodeRun", wall, state.iterations(),
+        wall > 0.0 ? static_cast<double>(instrs) / wall : 0.0);
+}
+BENCHMARK(BM_BytecodeRun)->Unit(benchmark::kMillisecond);
 
 void
 BM_TimingSimulation(benchmark::State &state)

@@ -69,6 +69,40 @@ for plan in $MATRIX; do
     echo "  plan $n ok: $plan"
 done
 
+echo "== chaos: fault matrix x execution backend =="
+# The matrix above runs on the session-default backend.  Re-run a
+# representative slice with SSIM_EXEC pinned each way: containment
+# and retry must behave identically whether the faulty cell executed
+# on the interpreter or the bytecode VM, and both must land on the
+# clean bytes.  (The `interp` fault site is the shared
+# per-instruction site — both backends visit it.)
+for backend in interp bytecode; do
+    for plan in 'interp:trap:0.001:206' 'execute:trap:0.3:205' \
+        'cell:trap:0.25:201,compile:alloc:0.2:202'; do
+        SSIM_EXEC="$backend" SSIM_FAULT="$plan" "$SSIM" ilp "$MT" \
+            --jobs 8 --cell-retries 25 \
+            > "$OUT/ilp_exec_faulty.txt" \
+            || fail "exec $backend plan '$plan': nonzero exit"
+        cmp -s "$OUT/ilp_clean.txt" "$OUT/ilp_exec_faulty.txt" \
+            || fail "exec $backend plan '$plan': output diverged"
+    done
+    echo "  backend $backend ok"
+done
+
+echo "== chaos: kill on bytecode, resume on interp =="
+# A journal written by one backend must resume on the other — the
+# sweep artifacts are backend-independent by contract.
+J="$OUT/kill_xbackend.jsonl"
+rm -f "$J"
+rc=0
+SSIM_EXEC=bytecode SSIM_FAULT='cell:exit:1:3' "$SSIM" ilp "$MT" \
+    --jobs 1 --journal "$J" > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 137 ] || fail "xbackend kill: expected exit 137, got $rc"
+SSIM_EXEC=interp "$SSIM" ilp "$MT" --jobs 8 --resume "$J" \
+    > "$OUT/resumed_xbackend.txt" || fail "xbackend resume failed"
+cmp -s "$OUT/ilp_clean.txt" "$OUT/resumed_xbackend.txt" \
+    || fail "xbackend resume diverged"
+
 echo "== chaos: retry exhaustion fails structurally =="
 # rate 1 faults exhaust any retry budget: the sweep must exit 1 with
 # the transient-fault E-code on stderr — no crash, no zero exit.

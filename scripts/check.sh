@@ -72,6 +72,30 @@ rc=0
 echo "== fuzz corpus replay =="
 "$BUILD_DIR/tools/fuzz/fuzz_mt_parser_replay" tools/fuzz/corpus/mt/*
 "$BUILD_DIR/tools/fuzz/fuzz_json_replay" tools/fuzz/corpus/json/*
+# Parseable corpus programs also execute under both backends with
+# their checksums diffed (the differential oracle).
+"$BUILD_DIR/tools/fuzz/fuzz_mt_exec_replay" tools/fuzz/corpus/mt/*
+
+echo "== bytecode backend smoke =="
+# The execution backend must be invisible in every output byte: the
+# suite under the interpreter and under the bytecode VM (the default)
+# must agree, and the --exec flag must select like SSIM_EXEC does.
+EXEC_INTERP="$BUILD_DIR/check_exec_interp.txt"
+EXEC_BC="$BUILD_DIR/check_exec_bytecode.txt"
+SSIM_EXEC=interp "$BUILD_DIR/src/cli/ssim" suite --machine ss4 \
+    > "$EXEC_INTERP"
+SSIM_EXEC=bytecode "$BUILD_DIR/src/cli/ssim" suite --machine ss4 \
+    > "$EXEC_BC"
+cmp "$EXEC_INTERP" "$EXEC_BC"
+"$BUILD_DIR/src/cli/ssim" run examples/mt/dotprod.mt --exec interp \
+    > "$EXEC_INTERP"
+"$BUILD_DIR/src/cli/ssim" run examples/mt/dotprod.mt --exec bytecode \
+    > "$EXEC_BC"
+cmp "$EXEC_INTERP" "$EXEC_BC"
+rc=0
+"$BUILD_DIR/src/cli/ssim" run examples/mt/dotprod.mt --exec jit \
+    2> /dev/null || rc=$?
+[ "$rc" -eq 2 ]
 
 echo "== parallel sweep smoke =="
 # A bench sweep must be byte-identical serial vs parallel, and the
@@ -230,6 +254,33 @@ if [ -n "$base_ms" ] && [ -n "$traced_ms" ]; then
     }'
 else
     echo "WARNING: could not parse benchmark medians from $BENCH_JSON"
+fi
+
+echo "== bytecode speed guard (soft) =="
+# BM_BytecodeRun vs BM_FunctionalSimulation: the bytecode VM must
+# never be slower than the IR-walk interpreter on the smoke workload.
+# Warn — never fail — so a loaded CI host cannot flake the gate.
+EXEC_BENCH_JSON="$BUILD_DIR/check_exec_bench.json"
+"$BUILD_DIR/bench/throughput" \
+    --benchmark_filter='BM_(FunctionalSimulation|BytecodeRun)$' \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json > "$EXEC_BENCH_JSON" 2> /dev/null
+BENCH_JSON="$EXEC_BENCH_JSON"
+interp_ms="$(bench_median 'BM_FunctionalSimulation_median')"
+bc_ms="$(bench_median 'BM_BytecodeRun_median')"
+if [ -n "$interp_ms" ] && [ -n "$bc_ms" ]; then
+    awk -v i="$interp_ms" -v b="$bc_ms" 'BEGIN {
+        if (b <= i)
+            printf "bytecode %.2fms vs interp %.2fms (%.1fx)\n",
+                   b, i, i / b
+        else
+            printf "WARNING: bytecode backend (%.2fms) slower than " \
+                   "the interpreter (%.2fms) on the smoke workload\n",
+                   b, i
+    }'
+else
+    echo "WARNING: could not parse medians from $EXEC_BENCH_JSON"
 fi
 
 echo "== OK =="

@@ -126,6 +126,7 @@
 #include "core/study/sweep.hh"
 #include "core/study/telemetry.hh"
 #include "ir/printer.hh"
+#include "sim/exec.hh"
 #include "sim/trap.hh"
 #include "support/buildinfo.hh"
 #include "support/diag.hh"
@@ -153,6 +154,7 @@ usage()
         "options: --machine NAME --level 0..4 --unroll N --careful\n"
         "         --alias conservative|arrays|symbols|careful|heroic\n"
         "         --temps N --homes N --jobs N --keep-going\n"
+        "         --exec interp|bytecode\n"
         "         --trace-budget BYTES[k|m|g]\n"
         "         --prune-analytic --top N --slack\n"
         "         --cell-timeout SECONDS --cell-retries N\n"
@@ -436,6 +438,15 @@ parseArgs(int argc, char **argv)
                 parseIntOption("--jobs", next(), 1, 4096));
         else if (arg == "--keep-going")
             cli.keepGoing = true;
+        else if (arg == "--exec") {
+            const std::string value = next();
+            std::optional<ExecBackend> backend =
+                parseExecBackend(value);
+            if (!backend)
+                usageError("unknown backend '" + value +
+                           "' for --exec (interp|bytecode)");
+            setDefaultExecBackend(backend);
+        }
         else if (arg == "--cell-timeout")
             cli.cellTimeout =
                 parseSecondsOption("--cell-timeout", next());

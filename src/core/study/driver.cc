@@ -3,6 +3,7 @@
 #include <bit>
 #include <chrono>
 
+#include "sim/exec.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
 #include "support/trace.hh"
@@ -190,7 +191,7 @@ runOnMachine(const Module &module, const MachineConfig &machine,
         span.detail(module.sourceName);
     metrics::ScopedTimer timer(metrics::Registry::global(),
                                liveRunSeconds());
-    Interpreter interp(module);
+    std::unique_ptr<Executor> exec = makeExecutor(module);
     IssueEngine engine(machine);
     if (telemetry.timelineLimit > 0)
         engine.recordTimeline(telemetry.timelineLimit);
@@ -203,15 +204,17 @@ runOnMachine(const Module &module, const MachineConfig &machine,
         TeeSink tee;
         tee.addSink(&engine);
         tee.addSink(&dcache);
-        r = interp.run("main", &tee);
+        r = exec->run("main", &tee);
     } else {
-        r = interp.run("main", &engine);
+        // Fused: the backend binds the engine's emit directly into
+        // its dispatch loop.
+        r = exec->runTimed("main", engine);
     }
 
     double fpChecksum = 0.0;
     if (!r.trapped() && module.findGlobal("result_fp")) {
         fpChecksum = std::bit_cast<double>(
-            interp.memory().readGlobal(module, "result_fp"));
+            exec->memory().readGlobal(module, "result_fp"));
     }
     return assembleOutcome(r, fpChecksum, engine, dcache, telemetry,
                            compile);
@@ -227,12 +230,12 @@ executeWorkload(const Module &module, std::size_t maxTraceBytes)
                                executeSeconds());
     TraceArtifact art;
     art.pcCount = module.pcCount();
-    Interpreter interp(module);
+    std::unique_ptr<Executor> exec = makeExecutor(module);
     PackedSink sink(art.trace, maxTraceBytes);
-    art.result = interp.run("main", &sink);
+    art.result = exec->runPacked("main", sink);
     if (!art.result.trapped() && module.findGlobal("result_fp")) {
         art.fpChecksumBits =
-            interp.memory().readGlobal(module, "result_fp");
+            exec->memory().readGlobal(module, "result_fp");
         art.hasFpChecksum = true;
     }
     art.replayable = sink.complete() && !art.result.trapped();
@@ -295,9 +298,9 @@ profileWorkload(const Workload &workload, const CompileOptions &options)
 {
     MachineConfig base = MachineConfig{};
     Module module = compileWorkload(workload.source, base, options);
-    Interpreter interp(module);
+    std::unique_ptr<Executor> exec = makeExecutor(module);
     ClassProfileSink profile;
-    RunResult r = interp.run("main", &profile);
+    RunResult r = exec->run("main", &profile);
     if (r.trapped())
         SS_FATAL(r.trap.format());
     return profile.frequencies();

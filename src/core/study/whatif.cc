@@ -7,7 +7,7 @@
 
 #include "core/machine/models.hh"
 #include "core/study/experiment.hh"
-#include "sim/interp.hh"
+#include "sim/exec.hh"
 #include "sim/trap.hh"
 #include "support/buildinfo.hh"
 #include "support/faultinject.hh"
@@ -164,10 +164,11 @@ Study::dependenceGraph(const Workload &workload,
             trace_cache_.noteFallback();
         }
         // Cache disabled or trace over budget: stream the graph
-        // straight out of live interpretation — identical result.
+        // straight out of live execution — identical result on
+        // either backend.
         DepGraph::Builder builder;
-        Interpreter interp(*module);
-        RunResult r = interp.run("main", &builder);
+        std::unique_ptr<Executor> exec = makeExecutor(*module);
+        RunResult r = exec->run("main", &builder);
         if (r.trapped())
             throw TrapException(r.trap);
         return builder.take();

@@ -7,9 +7,10 @@
  * not stall a whole sweep.  Preemption is off the table (cells share
  * caches and allocate), so cancellation is cooperative: the hardened
  * sweep layer arms a steady-clock deadline on the worker thread
- * (ScopedCellDeadline), and the two execution hot loops poll it at
- * natural chunk boundaries — the interpreter every 4096 executed
- * instructions, trace replay once per 64 Ki-instruction chunk.
+ * (ScopedCellDeadline), and the execution hot loops — the IR-walk
+ * interpreter, the bytecode VM, and the packed-trace replayer — poll
+ * it every kDeadlinePollInterval executed instructions (one shared,
+ * tested constant, below).
  *
  * An expired deadline raises TrapException(E0410
  * trap-deadline-exceeded) — a *permanent* error class: the simulator
@@ -25,8 +26,26 @@
 #define SUPERSYM_SIM_CANCEL_HH
 
 #include <chrono>
+#include <cstdint>
 
 namespace ilp::cancel {
+
+/**
+ * Deadline-poll cadence for every functional-execution hot loop: the
+ * IR-walk interpreter, the bytecode VM, and the packed-trace replayer
+ * all poll the cooperative deadline (and the fault-injection site)
+ * once per this many dynamic instructions.  One shared, tested value
+ * — the cadence used to be duplicated per poll site, which let the
+ * loops drift apart.  Must stay a power of two: the loops use
+ * `(executed & kDeadlinePollMask) == 0`, one AND and one predictable
+ * branch per instruction.
+ */
+inline constexpr std::uint64_t kDeadlinePollInterval = 4096;
+inline constexpr std::uint64_t kDeadlinePollMask =
+    kDeadlinePollInterval - 1;
+static_assert((kDeadlinePollInterval &
+               (kDeadlinePollInterval - 1)) == 0,
+              "poll cadence must be a power of two (mask test)");
 
 /** True when the calling thread has an armed deadline. */
 bool deadlineArmed();

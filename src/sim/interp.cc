@@ -1,59 +1,17 @@
 #include "sim/interp.hh"
 
-#include <bit>
-#include <cmath>
-
 #include "sim/cancel.hh"
+#include "sim/semantics.hh"
 #include "support/faultinject.hh"
 #include "support/logging.hh"
 #include "support/trace.hh"
 
 namespace ilp {
 
-namespace {
-
-constexpr int kMaxCallDepth = 4096;
-
-std::int64_t
-asInt(std::uint64_t bits)
-{
-    return static_cast<std::int64_t>(bits);
-}
-
-std::uint64_t
-fromInt(std::int64_t v)
-{
-    return static_cast<std::uint64_t>(v);
-}
-
-double
-asF(std::uint64_t bits)
-{
-    return std::bit_cast<double>(bits);
-}
-
-std::uint64_t
-fromF(double v)
-{
-    return std::bit_cast<std::uint64_t>(v);
-}
-
-} // namespace
-
 Interpreter::Interpreter(const Module &module, InterpOptions options)
     : module_(module), opts_(options), mem_(module, options.stackBytes)
 {
     stack_top_ = mem_.stackBase();
-}
-
-void
-Interpreter::outOfFuel() const
-{
-    throw TrapException(
-        Trap{ErrCode::TrapFuelExhausted, "",
-             "interpreter fuel exhausted after " +
-                 std::to_string(executed_) +
-                 " instructions — runaway workload?"});
 }
 
 RunResult
@@ -73,15 +31,10 @@ Interpreter::run(const std::string &entry, TraceSink *sink)
     try {
         FuncId id = module_.findFunction(entry);
         if (id == kNoFunc)
-            throw TrapException(
-                Trap{ErrCode::TrapNoEntry, "",
-                     "no entry function '" + entry + "'"});
+            sem::trapNoEntry(entry);
         const Function &func = module_.function(id);
         if (!func.paramRegs.empty())
-            throw TrapException(
-                Trap{ErrCode::TrapNoEntry, "",
-                     "entry function '" + entry +
-                         "' must take no arguments"});
+            sem::trapEntryTakesArgs(entry);
         result.returnValue = callFunction(func, {});
     } catch (const TrapException &e) {
         // Containment boundary: every frame below has unwound its
@@ -135,11 +88,8 @@ Interpreter::execFrame(const Function &func,
 {
     SS_ASSERT(args.size() == func.paramRegs.size(),
               "arity mismatch calling ", func.name);
-    if (call_depth_ >= kMaxCallDepth)
-        throw TrapException(
-            Trap{ErrCode::TrapCallDepthExceeded, func.name,
-                 "call depth exceeded (" +
-                     std::to_string(kMaxCallDepth) + ")"});
+    if (call_depth_ >= sem::kMaxCallDepth)
+        sem::trapCallDepthExceeded(func.name);
     ++call_depth_;
 
     const std::size_t nregs =
@@ -168,12 +118,11 @@ Interpreter::execFrame(const Function &func,
     } frame{*this, func, base};
 
     if (stack_top_ > mem_.limit())
-        throw TrapException(Trap{ErrCode::TrapStackOverflow,
-                                 func.name, "stack overflow"});
+        sem::trapStackOverflow(func.name);
 
     Reg fp_reg = func.framePointer();
     if (fp_reg != kNoReg && fp_reg < nregs)
-        arena_[base + fp_reg] = fromInt(fp);
+        arena_[base + fp_reg] = sem::fromInt(fp);
     for (std::size_t i = 0; i < args.size(); ++i)
         arena_[base + func.paramRegs[i]] = args[i];
 
@@ -191,25 +140,18 @@ Interpreter::execFrame(const Function &func,
     while (running) {
         if (block < 0 ||
             static_cast<std::size_t>(block) >= func.blocks.size())
-            throw TrapException(
-                Trap{ErrCode::TrapBadJump, func.name,
-                     "jump to invalid block " +
-                         std::to_string(block)});
+            sem::trapBadJump(func.name, block);
         const BasicBlock &bb = func.blocks[block];
         SS_ASSERT(ip < bb.instrs.size(), "fell off block in ",
                   func.name);
         const Instr &in = bb.instrs[ip];
 
         if (++executed_ > opts_.fuel)
-            outOfFuel();
-        // Watchdog / chaos poll points, amortized to one branch per
-        // 4096 instructions: the cooperative cell deadline, and the
-        // "interp" fault-injection site.
-        if ((executed_ & 0xFFF) == 0) {
-            cancel::pollDeadline();
-            if (fault::enabled())
-                fault::maybeInject("interp");
-        }
+            sem::trapFuelExhausted(executed_);
+        // Watchdog / chaos poll point, amortized to one branch per
+        // instruction (cancel::kDeadlinePollInterval cadence, shared
+        // with the bytecode VM and the replayer).
+        sem::pollPoint(executed_);
         ++class_counts_[static_cast<std::size_t>(opcodeClass(in.op))];
 
         DynInstr di;
@@ -221,7 +163,7 @@ Interpreter::execFrame(const Function &func,
 
         // Fetch ALU operands.
         auto rhs = [&]() -> std::uint64_t {
-            return in.hasImm ? fromInt(in.imm) : get(in.src2);
+            return in.hasImm ? sem::fromInt(in.imm) : get(in.src2);
         };
 
         std::uint64_t value = 0;
@@ -229,86 +171,15 @@ Interpreter::execFrame(const Function &func,
         std::int64_t next_block = -1;
 
         switch (in.op) {
-          case Opcode::AddI:
-            value = fromInt(asInt(get(in.src1)) + asInt(rhs()));
-            break;
-          case Opcode::SubI:
-            value = fromInt(asInt(get(in.src1)) - asInt(rhs()));
-            break;
-          case Opcode::MulI:
-            value = fromInt(asInt(get(in.src1)) * asInt(rhs()));
-            break;
-          case Opcode::DivI: {
-            std::int64_t d = asInt(rhs());
-            if (d == 0)
-                throw TrapException(
-                    Trap{ErrCode::TrapDivideByZero, func.name,
-                         "integer division by zero"});
-            value = fromInt(asInt(get(in.src1)) / d);
-            break;
-          }
-          case Opcode::RemI: {
-            std::int64_t d = asInt(rhs());
-            if (d == 0)
-                throw TrapException(
-                    Trap{ErrCode::TrapDivideByZero, func.name,
-                         "integer remainder by zero"});
-            value = fromInt(asInt(get(in.src1)) % d);
-            break;
-          }
-          case Opcode::CmpEqI:
-            value = asInt(get(in.src1)) == asInt(rhs()) ? 1 : 0;
-            break;
-          case Opcode::CmpNeI:
-            value = asInt(get(in.src1)) != asInt(rhs()) ? 1 : 0;
-            break;
-          case Opcode::CmpLtI:
-            value = asInt(get(in.src1)) < asInt(rhs()) ? 1 : 0;
-            break;
-          case Opcode::CmpLeI:
-            value = asInt(get(in.src1)) <= asInt(rhs()) ? 1 : 0;
-            break;
-          case Opcode::CmpGtI:
-            value = asInt(get(in.src1)) > asInt(rhs()) ? 1 : 0;
-            break;
-          case Opcode::CmpGeI:
-            value = asInt(get(in.src1)) >= asInt(rhs()) ? 1 : 0;
-            break;
-          case Opcode::AndI:
-            value = get(in.src1) & rhs();
-            break;
-          case Opcode::OrI:
-            value = get(in.src1) | rhs();
-            break;
-          case Opcode::XorI:
-            value = get(in.src1) ^ rhs();
-            break;
-          case Opcode::NotI:
-            value = ~get(in.src1);
-            break;
-          case Opcode::ShlI:
-            value = fromInt(asInt(get(in.src1))
-                            << (asInt(rhs()) & 63));
-            break;
-          case Opcode::ShrAI:
-            value = fromInt(asInt(get(in.src1)) >> (asInt(rhs()) & 63));
-            break;
-          case Opcode::ShrLI:
-            value = get(in.src1) >> (asInt(rhs()) & 63);
-            break;
-          case Opcode::MovI:
-          case Opcode::MovF:
-            value = get(in.src1);
-            break;
           case Opcode::LiI:
-            value = fromInt(in.imm);
+            value = sem::fromInt(in.imm);
             break;
           case Opcode::LiF:
-            value = fromF(in.fimm);
+            value = sem::fromF(in.fimm);
             break;
           case Opcode::LoadW:
           case Opcode::LoadF: {
-            std::int64_t addr = asInt(get(in.src1)) + in.imm;
+            std::int64_t addr = sem::asInt(get(in.src1)) + in.imm;
             value = mem_.loadWord(addr);
             if (sink_)
                 di.addr = addr;
@@ -316,55 +187,13 @@ Interpreter::execFrame(const Function &func,
           }
           case Opcode::StoreW:
           case Opcode::StoreF: {
-            std::int64_t addr = asInt(get(in.src1)) + in.imm;
+            std::int64_t addr = sem::asInt(get(in.src1)) + in.imm;
             mem_.storeWord(addr, get(in.src2));
             if (sink_)
                 di.addr = addr;
             writes = false;
             break;
           }
-          case Opcode::AddF:
-            value = fromF(asF(get(in.src1)) + asF(get(in.src2)));
-            break;
-          case Opcode::SubF:
-            value = fromF(asF(get(in.src1)) - asF(get(in.src2)));
-            break;
-          case Opcode::MulF:
-            value = fromF(asF(get(in.src1)) * asF(get(in.src2)));
-            break;
-          case Opcode::DivF:
-            value = fromF(asF(get(in.src1)) / asF(get(in.src2)));
-            break;
-          case Opcode::NegF:
-            value = fromF(-asF(get(in.src1)));
-            break;
-          case Opcode::AbsF:
-            value = fromF(std::fabs(asF(get(in.src1))));
-            break;
-          case Opcode::CmpEqF:
-            value = asF(get(in.src1)) == asF(get(in.src2)) ? 1 : 0;
-            break;
-          case Opcode::CmpNeF:
-            value = asF(get(in.src1)) != asF(get(in.src2)) ? 1 : 0;
-            break;
-          case Opcode::CmpLtF:
-            value = asF(get(in.src1)) < asF(get(in.src2)) ? 1 : 0;
-            break;
-          case Opcode::CmpLeF:
-            value = asF(get(in.src1)) <= asF(get(in.src2)) ? 1 : 0;
-            break;
-          case Opcode::CmpGtF:
-            value = asF(get(in.src1)) > asF(get(in.src2)) ? 1 : 0;
-            break;
-          case Opcode::CmpGeF:
-            value = asF(get(in.src1)) >= asF(get(in.src2)) ? 1 : 0;
-            break;
-          case Opcode::CvtIF:
-            value = fromF(static_cast<double>(asInt(get(in.src1))));
-            break;
-          case Opcode::CvtFI:
-            value = fromInt(static_cast<std::int64_t>(asF(get(in.src1))));
-            break;
           case Opcode::Br:
             next_block = get(in.src1) != 0 ? in.target0 : in.target1;
             writes = false;
@@ -428,8 +257,16 @@ Interpreter::execFrame(const Function &func,
             writes = false;
             break;
           default:
-            SS_PANIC("unhandled opcode in interpreter: ",
-                     opcodeName(in.op));
+            // Every computational opcode: evaluated by the shared
+            // semantics (sim/semantics.hh), the same code the
+            // bytecode VM runs.
+            if (isBinaryAlu(in.op))
+                value = sem::evalBinary(in.op, get(in.src1), rhs());
+            else if (isUnaryAlu(in.op))
+                value = sem::evalUnary(in.op, get(in.src1));
+            else
+                SS_PANIC("unhandled opcode in interpreter: ",
+                         opcodeName(in.op));
         }
 
         if (writes && in.dst != kNoReg)

@@ -84,7 +84,6 @@ class Interpreter
                                const std::vector<std::uint64_t> &args);
     std::uint64_t execFrame(const Function &func,
                             const std::vector<std::uint64_t> &args);
-    [[noreturn]] void outOfFuel() const;
 
     const Module &module_;
     InterpOptions opts_;

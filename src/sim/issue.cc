@@ -36,155 +36,10 @@ IssueEngine::IssueEngine(const MachineConfig &config)
         unit_free_[u].assign(
             static_cast<std::size_t>(config_.units[u].multiplicity), 0);
     counts_.assign(static_cast<std::size_t>(config_.issueWidth) + 1, 0);
+    for (std::size_t c = 0; c < kNumInstrClasses; ++c)
+        unit_for_[c] = config_.unitFor(static_cast<InstrClass>(c));
     SS_DEBUG("issue", "engine for ", config_.name, ": width ",
              config_.issueWidth, ", degree ", config_.pipelineDegree);
-}
-
-std::uint64_t
-IssueEngine::regReady(Reg r) const
-{
-    return r < reg_ready_.size() ? reg_ready_[r] : 0;
-}
-
-void
-IssueEngine::setRegReady(Reg r, std::uint64_t t)
-{
-    if (r >= reg_ready_.size())
-        reg_ready_.resize(static_cast<std::size_t>(r) + 1, 0);
-    reg_ready_[r] = t;
-}
-
-void
-IssueEngine::emit(const DynInstr &di)
-{
-    const InstrClass cls = di.cls();
-    const std::uint64_t width =
-        static_cast<std::uint64_t>(config_.issueWidth);
-
-    // Component earliest-issue times, kept separate so a stall can be
-    // charged to the binding constraint.
-    std::uint64_t t_data = 0;
-
-    // Register RAW.
-    for (std::uint8_t i = 0; i < di.numSrcs; ++i)
-        t_data = std::max(t_data, regReady(di.srcs[i]));
-
-    // Memory RAW / WAW through the actual word address.
-    if (di.addr >= 0) {
-        auto it = store_ready_.find(di.addr);
-        if (it != store_ready_.end())
-            t_data = std::max(t_data, it->second);
-    }
-
-    // Functional-unit availability (class conflicts).
-    int unit = config_.unitFor(cls);
-    std::size_t copy = 0;
-    std::uint64_t t_unit = 0;
-    if (unit >= 0) {
-        auto &copies = unit_free_[static_cast<std::size_t>(unit)];
-        copy = 0;
-        for (std::size_t i = 1; i < copies.size(); ++i) {
-            if (copies[i] < copies[copy])
-                copy = i;
-        }
-        t_unit = copies[copy];
-    }
-
-    // Earliest issue: in order, after the branch fence, operands
-    // ready, and a unit copy free.
-    std::uint64_t t = std::max(
-        std::max(cur_cycle_, fence_), std::max(t_data, t_unit));
-
-    // Profile bucket for this record (last slot = unattributed).
-    std::size_t pslot = 0;
-    if (profile_enabled_)
-        pslot = di.pc < profile_.size() - 1
-                    ? static_cast<std::size_t>(di.pc)
-                    : profile_.size() - 1;
-
-    // Issue-slot availability: if we moved past the cycle being
-    // filled, the new cycle starts empty; otherwise check the width.
-    if (t > cur_cycle_) {
-        // The cycle being filled closes short, plus (t-cur-1) fully
-        // empty cycles: charge every lost slot to the binding
-        // constraint (latency beats unit beats fence on ties — the
-        // paper's headline cause wins ambiguous slots).
-        StallCause cause = StallCause::BranchFence;
-        if (t_data >= t)
-            cause = StallCause::RawLatency;
-        else if (t_unit >= t)
-            cause = StallCause::UnitConflict;
-        const std::uint64_t lost =
-            (width - static_cast<std::uint64_t>(cur_count_)) +
-            (t - cur_cycle_ - 1) * width;
-        stalls_[cause] += lost;
-        if (profile_enabled_)
-            profile_[pslot]
-                .stallSlots[static_cast<std::size_t>(cause)] += lost;
-        ++counts_[static_cast<std::size_t>(cur_count_)];
-        empty_cycles_ += t - cur_cycle_ - 1;
-        cur_cycle_ = t;
-        cur_count_ = 0;
-    } else if (cur_count_ >= config_.issueWidth) {
-        ++counts_[static_cast<std::size_t>(cur_count_)];
-        t = ++cur_cycle_;
-        cur_count_ = 0;
-        // Re-check unit availability at the new cycle: the chosen
-        // copy is still the earliest-free one, so only max() again.
-        if (unit >= 0)
-            t = std::max(
-                t, unit_free_[static_cast<std::size_t>(unit)][copy]);
-        if (t > cur_cycle_) {
-            const std::uint64_t lost = (t - cur_cycle_) * width;
-            stalls_[StallCause::UnitConflict] += lost;
-            if (profile_enabled_)
-                profile_[pslot].stallSlots[static_cast<std::size_t>(
-                    StallCause::UnitConflict)] += lost;
-            empty_cycles_ += t - cur_cycle_;
-            cur_cycle_ = t;
-        }
-    }
-
-    // --- Issue at minor cycle t. ---
-    if (timeline_enabled_) {
-        if (timeline_.size() < timeline_limit_) {
-            IssueEvent ev;
-            ev.cycle = t;
-            ev.slot = static_cast<std::uint16_t>(cur_count_);
-            ev.latencyMinor = static_cast<std::uint32_t>(
-                config_.latencyMinor(cls));
-            ev.cls = cls;
-            timeline_.push_back(ev);
-        } else {
-            ++timeline_dropped_;
-        }
-    }
-    ++class_issued_[static_cast<std::size_t>(cls)];
-    ++cur_count_;
-    ++instructions_;
-    if (profile_enabled_) {
-        ++profile_[pslot].issued;
-        last_profile_slot_ = pslot;
-    }
-
-    const std::uint64_t lat =
-        static_cast<std::uint64_t>(config_.latencyMinor(cls));
-    const std::uint64_t done = t + lat;
-    last_complete_ = std::max(last_complete_, done);
-
-    if (di.dst != kNoReg)
-        setRegReady(di.dst, done);
-    if (di.addr >= 0 && isStore(di.op))
-        store_ready_[di.addr] = done;
-    if (unit >= 0) {
-        unit_free_[static_cast<std::size_t>(unit)][copy] =
-            t + static_cast<std::uint64_t>(
-                    config_.units[static_cast<std::size_t>(unit)]
-                        .issueLatency);
-    }
-    if (!config_.issueAcrossBranches &&
-        (cls == InstrClass::Branch || cls == InstrClass::Jump))
-        fence_ = t + 1;
 }
 
 std::uint64_t

@@ -23,6 +23,7 @@
 #ifndef SUPERSYM_SIM_PTRACE_HH
 #define SUPERSYM_SIM_PTRACE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -166,16 +167,28 @@ class PackedTrace
      * Replay the whole trace into a sink (the time-many half: feed
      * the IssueEngine / CacheSink without re-executing anything).
      * Unpacks chunk-linearly — this is the sweep hot path.  The
-     * cooperative cell deadline is polled once per chunk, so a
-     * watchdogged replay cancels within 64 Ki instructions.
+     * cooperative cell deadline is polled every
+     * cancel::kDeadlinePollInterval records (the same cadence as the
+     * execution backends), so a watchdogged replay cancels promptly.
+     *
+     * Templated on the concrete sink type: replaying into a final
+     * sink class (IssueEngine, the common case) devirtualizes and
+     * inlines the per-record emit; passing a TraceSink& keeps the
+     * old dynamic-dispatch behavior.
      */
+    template <class Sink>
     void
-    replay(TraceSink &sink) const
+    replay(Sink &sink) const
     {
         for (const auto &chunk : chunks_) {
-            cancel::pollDeadline();
-            for (const PackedInstr &pi : chunk)
-                sink.emit(pi.unpack());
+            for (std::size_t i = 0; i < chunk.size();
+                 i += cancel::kDeadlinePollInterval) {
+                cancel::pollDeadline();
+                const std::size_t stop = std::min(
+                    chunk.size(), i + cancel::kDeadlinePollInterval);
+                for (std::size_t j = i; j < stop; ++j)
+                    sink.emit(chunk[j].unpack());
+            }
         }
     }
 
@@ -192,7 +205,7 @@ class PackedTrace
  * but the functional execution streams on unharmed; complete()
  * reports whether the trace covers the whole run.
  */
-class PackedSink : public TraceSink
+class PackedSink final : public TraceSink
 {
   public:
     explicit PackedSink(PackedTrace &out,

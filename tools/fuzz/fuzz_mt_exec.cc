@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Differential fuzz target for the execution backends: any MT source
+ * that compiles must produce *identical* observable results from the
+ * IR-walk interpreter and the bytecode VM — same checksum, same
+ * instruction count, same trap record.  A divergence is a bug in one
+ * of the backends, surfaced as a fuzzer crash.
+ *
+ * Built two ways (tools/fuzz/CMakeLists.txt), like the parser target:
+ * a libFuzzer binary under -DSS_BUILD_FUZZERS=ON, and always a replay
+ * driver (fuzz_mt_exec_replay) that ctest runs over corpus/mt.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "core/machine/models.hh"
+#include "frontend/compile.hh"
+#include "opt/pipeline.hh"
+#include "sim/exec.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    if (size > 1 << 16)
+        return 0;
+    std::string source(reinterpret_cast<const char *>(data), size);
+    ilp::Result<ilp::Module> r =
+        ilp::compileToIrChecked(source, {}, "<fuzz>");
+    if (!r.ok())
+        return 0; // parser containment is fuzz_mt_parser's job
+    ilp::Module m = r.take();
+    try {
+        ilp::OptimizeOptions oo;
+        oo.level = ilp::OptLevel::None;
+        ilp::optimizeModule(m, ilp::baseMachine(), oo);
+    } catch (const ilp::DiagException &) {
+        return 0; // machine-limit diagnostics are fine
+    }
+
+    // Tight fuel keeps adversarial loops fast; both backends see the
+    // same budget, so fuel traps must also match exactly.
+    ilp::InterpOptions options;
+    options.fuel = 2'000'000;
+    ilp::RunResult results[2];
+    int i = 0;
+    for (ilp::ExecBackend backend :
+         {ilp::ExecBackend::Interp, ilp::ExecBackend::Bytecode}) {
+        std::unique_ptr<ilp::Executor> exec =
+            ilp::makeExecutor(m, backend, options);
+        results[i++] = exec->run();
+    }
+    const ilp::RunResult &a = results[0];
+    const ilp::RunResult &b = results[1];
+    const bool diverged =
+        a.trapped() != b.trapped() ||
+        a.instructions != b.instructions ||
+        a.classCounts != b.classCounts ||
+        (!a.trapped() && a.returnValue != b.returnValue) ||
+        (a.trapped() && a.trap.format() != b.trap.format());
+    if (diverged) {
+        std::fprintf(stderr,
+                     "backend divergence: interp ret=%llu n=%llu "
+                     "trap='%s' | bytecode ret=%llu n=%llu trap='%s'\n",
+                     static_cast<unsigned long long>(a.returnValue),
+                     static_cast<unsigned long long>(a.instructions),
+                     a.trapped() ? a.trap.format().c_str() : "",
+                     static_cast<unsigned long long>(b.returnValue),
+                     static_cast<unsigned long long>(b.instructions),
+                     b.trapped() ? b.trap.format().c_str() : "");
+        __builtin_trap();
+    }
+    return 0;
+}
