@@ -16,21 +16,13 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <mutex>
-#include <sstream>
 #include <string>
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <fcntl.h>
-#include <sys/file.h>
-#include <unistd.h>
-#endif
 
 #include "core/machine/models.hh"
 #include "core/study/experiment.hh"
 #include "core/study/journal.hh"
 #include "core/study/sweep.hh"
+#include "support/bench.hh"
 #include "support/json.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
@@ -57,18 +49,18 @@ sweeper()
 
 // ------------------------------------------- stats trajectory (opt-in)
 //
-// When SSIM_BENCH_STATS names a file, bench binaries append stats
-// snapshots of their runs to it as a JSON array of
-// {artifact, label, stats} entries (the BENCH_*.json trajectory).
-// Future perf PRs diff these entries to prove where cycles went.
-// Unset, everything below is a no-op and runs collect nothing.
+// When SSIM_BENCH_STATS names a file, bench binaries append bench-v2
+// datapoints to it (support/bench.hh): stats snapshots from the
+// figure binaries, sampled rates from the throughput bench.  Future
+// perf PRs diff these entries to prove where cycles went, and the
+// regression sentinel (`ssim bench-check`) judges the newest point of
+// every label against its rolling baseline.  Unset, everything below
+// is a no-op and runs collect nothing.
 //
-// Appends are safe under concurrency: a process-local mutex covers
-// bench worker threads, an advisory flock() covers parallel bench
-// *processes*, and the file is replaced via temp-file + atomic rename
-// so readers never observe a half-written array.  A corrupt or
-// truncated trajectory (e.g. from a killed run) is preserved under
-// `.bak` and the trajectory restarts rather than aborting the bench.
+// Appends are safe under concurrency (process-local mutex + advisory
+// flock() + temp-file/atomic rename) and a corrupt trajectory is
+// preserved under `.bak` rather than aborting the bench — all
+// inherited from bench::appendPoint.
 
 /** Path of the trajectory file, or nullptr when disabled. */
 inline const char *
@@ -88,7 +80,9 @@ benchTelemetry()
     return t;
 }
 
-/** Append one snapshot to the trajectory (no-op when disabled). */
+/** Append one stats snapshot to the trajectory as a bench-v2
+ *  datapoint (no-op when disabled; append failures warn, never
+ *  abort the bench). */
 inline void
 appendStatsTrajectory(const std::string &artifact,
                       const std::string &label,
@@ -97,80 +91,11 @@ appendStatsTrajectory(const std::string &artifact,
     const char *path = statsTrajectoryPath();
     if (!path)
         return;
-
-    static std::mutex mu;
-    std::lock_guard<std::mutex> lock(mu);
-
-    int lock_fd = -1;
-#if defined(__unix__) || defined(__APPLE__)
-    const std::string lock_path = std::string(path) + ".lock";
-    lock_fd = ::open(lock_path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
-                     0644);
-    if (lock_fd >= 0)
-        ::flock(lock_fd, LOCK_EX);
-#endif
-
-    Json doc = Json::array();
-    {
-        std::ifstream in(path);
-        if (in) {
-            std::ostringstream ss;
-            ss << in.rdbuf();
-            const std::string text = ss.str();
-            Json parsed;
-            std::string error;
-            if (text.empty()) {
-                // fresh file: start a new array
-            } else if (Json::tryParse(text, parsed, &error) &&
-                       parsed.isArray()) {
-                doc = std::move(parsed);
-            } else {
-                const std::string bak = std::string(path) + ".bak";
-                std::rename(path, bak.c_str());
-                std::fprintf(stderr,
-                             "warning: stats trajectory %s unreadable"
-                             " (%s); preserved as %s, starting "
-                             "fresh\n",
-                             path,
-                             error.empty() ? "not a JSON array"
-                                           : error.c_str(),
-                             bak.c_str());
-            }
-        }
-    }
-
-    Json entry = Json::object();
-    entry.set("artifact", Json(artifact));
-    entry.set("label", Json(label));
-    entry.set("stats", snapshot.root);
-    doc.push(std::move(entry));
-
-    const std::string tmp = std::string(path) + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::trunc);
-        if (!out) {
-            std::fprintf(stderr,
-                         "warning: cannot write stats trajectory "
-                         "%s\n",
-                         tmp.c_str());
-#if defined(__unix__) || defined(__APPLE__)
-            if (lock_fd >= 0) {
-                ::flock(lock_fd, LOCK_UN);
-                ::close(lock_fd);
-            }
-#endif
-            return;
-        }
-        out << doc.dump(2) << "\n";
-    }
-    std::rename(tmp.c_str(), path);
-
-#if defined(__unix__) || defined(__APPLE__)
-    if (lock_fd >= 0) {
-        ::flock(lock_fd, LOCK_UN);
-        ::close(lock_fd);
-    }
-#endif
+    std::string error;
+    if (!appendPoint(path, makeStatsPoint(artifact, label, snapshot.root),
+                     &error))
+        std::fprintf(stderr, "warning: stats trajectory %s: %s\n",
+                     path, error.c_str());
 }
 
 // --------------------------------------------- sweep journal (opt-in)

@@ -38,31 +38,24 @@ secondsSince(BenchClock::time_point t0)
 }
 
 /**
- * Append one throughput datapoint to the SSIM_BENCH_STATS trajectory
- * (BENCH_throughput.json): wall seconds across the timed loop,
- * iteration count, and the workload rate where one is meaningful.
- * No-op when the trajectory is disabled, so default bench cost is
- * unchanged.
+ * Record one per-repetition rate sample for the SSIM_BENCH_STATS
+ * trajectory (BENCH_throughput.json).  google-benchmark invokes each
+ * BM function several times — calibration runs at small iteration
+ * counts, then the settled repetitions — so every invocation records
+ * one sample here and main() folds each label's samples into a single
+ * bench-v2 datapoint (robust summary + provenance) at exit;
+ * bench::flushSamples drops the calibration runs as warmup by their
+ * iteration counts.  No-op when the trajectory is disabled, so the
+ * default bench cost is unchanged.
  */
 void
-appendThroughputPoint(const std::string &label, double wallSeconds,
-                      std::int64_t iterations, double instrPerSec,
-                      double cellsPerSec = 0.0)
+recordRateSample(const std::string &label, const char *unit,
+                 double value, const benchmark::State &state)
 {
     if (!bench::statsTrajectoryPath())
         return;
-    stats::Registry registry;
-    stats::Group &g =
-        registry.group("throughput", "bench wall-clock trajectory");
-    g.scalar("wall_s", "wall-clock seconds across the timed loop")
-        .set(wallSeconds);
-    g.counter("iterations", "benchmark iterations timed")
-        .inc(static_cast<std::uint64_t>(iterations));
-    g.scalar("instr_per_s", "simulated instructions per second")
-        .set(instrPerSec);
-    g.scalar("cells_per_s", "sweep cells per second").set(cellsPerSec);
-    bench::appendStatsTrajectory("throughput", label,
-                                 registry.snapshot());
+    bench::recordSample(label, unit, "higher", value,
+                        static_cast<std::uint64_t>(state.iterations()));
 }
 
 void
@@ -84,14 +77,19 @@ BM_FunctionalSimulation(benchmark::State &state)
     CompileOptions o = defaultCompileOptions(w);
     Module m = compileWorkload(w.source, baseMachine(), o);
     std::uint64_t instrs = 0;
+    const auto t0 = BenchClock::now();
     for (auto _ : state) {
         Interpreter interp(m);
         RunResult r = interp.run();
         instrs += r.instructions;
         benchmark::DoNotOptimize(r.returnValue);
     }
+    const double wall = secondsSince(t0);
     state.counters["instr/s"] = benchmark::Counter(
         static_cast<double>(instrs), benchmark::Counter::kIsRate);
+    recordRateSample(
+        "BM_FunctionalSimulation", "instr_per_s",
+        wall > 0.0 ? static_cast<double>(instrs) / wall : 0.0, state);
 }
 BENCHMARK(BM_FunctionalSimulation)->Unit(benchmark::kMillisecond);
 
@@ -118,9 +116,9 @@ BM_BytecodeRun(benchmark::State &state)
     const double wall = secondsSince(t0);
     state.counters["instr/s"] = benchmark::Counter(
         static_cast<double>(instrs), benchmark::Counter::kIsRate);
-    appendThroughputPoint(
-        "BM_BytecodeRun", wall, state.iterations(),
-        wall > 0.0 ? static_cast<double>(instrs) / wall : 0.0);
+    recordRateSample(
+        "BM_BytecodeRun", "instr_per_s",
+        wall > 0.0 ? static_cast<double>(instrs) / wall : 0.0, state);
 }
 BENCHMARK(BM_BytecodeRun)->Unit(benchmark::kMillisecond);
 
@@ -135,14 +133,19 @@ BM_TimingSimulation(benchmark::State &state)
     TraceBuffer trace;
     trace_run.run("main", &trace);
     std::uint64_t instrs = 0;
+    const auto t0 = BenchClock::now();
     for (auto _ : state) {
         IssueEngine engine(mc);
         trace.replay(engine);
         instrs += engine.instructions();
         benchmark::DoNotOptimize(engine.baseCycles());
     }
+    const double wall = secondsSince(t0);
     state.counters["instr/s"] = benchmark::Counter(
         static_cast<double>(instrs), benchmark::Counter::kIsRate);
+    recordRateSample(
+        "BM_TimingSimulation", "instr_per_s",
+        wall > 0.0 ? static_cast<double>(instrs) / wall : 0.0, state);
 }
 BENCHMARK(BM_TimingSimulation)->Unit(benchmark::kMillisecond);
 
@@ -166,9 +169,9 @@ BM_LiveRun(benchmark::State &state)
     const double wall = secondsSince(t0);
     state.counters["instr/s"] = benchmark::Counter(
         static_cast<double>(instrs), benchmark::Counter::kIsRate);
-    appendThroughputPoint(
-        "BM_LiveRun", wall, state.iterations(),
-        wall > 0.0 ? static_cast<double>(instrs) / wall : 0.0);
+    recordRateSample(
+        "BM_LiveRun", "instr_per_s",
+        wall > 0.0 ? static_cast<double>(instrs) / wall : 0.0, state);
 }
 BENCHMARK(BM_LiveRun)->Unit(benchmark::kMillisecond);
 
@@ -196,9 +199,9 @@ BM_TraceReplay(benchmark::State &state)
         static_cast<double>(instrs), benchmark::Counter::kIsRate);
     state.counters["trace_mb"] =
         static_cast<double>(artifact.byteSize()) / (1024.0 * 1024.0);
-    appendThroughputPoint(
-        "BM_TraceReplay", wall, state.iterations(),
-        wall > 0.0 ? static_cast<double>(instrs) / wall : 0.0);
+    recordRateSample(
+        "BM_TraceReplay", "instr_per_s",
+        wall > 0.0 ? static_cast<double>(instrs) / wall : 0.0, state);
 }
 BENCHMARK(BM_TraceReplay)->Unit(benchmark::kMillisecond);
 
@@ -246,8 +249,13 @@ BM_CompileCacheHit(benchmark::State &state)
     state.counters["hit_rate"] =
         static_cast<double>(cache.hits()) /
         static_cast<double>(cache.hits() + cache.misses());
-    appendThroughputPoint("BM_CompileCacheHit", wall,
-                          state.iterations(), 0.0);
+    // Hits per second, not raw loop wall time: a rate stays
+    // comparable across runs whose iteration counts differ.
+    recordRateSample(
+        "BM_CompileCacheHit", "hits_per_s",
+        wall > 0.0 ? static_cast<double>(state.iterations()) / wall
+                   : 0.0,
+        state);
 }
 BENCHMARK(BM_CompileCacheHit);
 
@@ -275,12 +283,13 @@ BM_ParallelSweep(benchmark::State &state)
     const double wall = secondsSince(t0);
     state.counters["jobs"] = static_cast<double>(
         SweepRunner(static_cast<int>(state.range(0))).jobs());
-    appendThroughputPoint(
-        "BM_ParallelSweep/" + std::to_string(state.range(0)), wall,
-        state.iterations(), 0.0,
+    recordRateSample(
+        "BM_ParallelSweep/" + std::to_string(state.range(0)),
+        "cells_per_s",
         wall > 0.0
             ? static_cast<double>(state.iterations()) * 8.0 / wall
-            : 0.0);
+            : 0.0,
+        state);
 }
 BENCHMARK(BM_ParallelSweep)
     ->Arg(1)
@@ -320,12 +329,13 @@ BM_ParallelSweepTraced(benchmark::State &state)
         state.iterations() > 0
             ? spans / static_cast<std::size_t>(state.iterations())
             : 0);
-    appendThroughputPoint(
+    recordRateSample(
         "BM_ParallelSweepTraced/" + std::to_string(state.range(0)),
-        wall, state.iterations(), 0.0,
+        "cells_per_s",
         wall > 0.0
             ? static_cast<double>(state.iterations()) * 8.0 / wall
-            : 0.0);
+            : 0.0,
+        state);
 }
 BENCHMARK(BM_ParallelSweepTraced)
     ->Arg(1)
@@ -351,9 +361,9 @@ BM_WhatIfQuery(benchmark::State &state)
         benchmark::DoNotOptimize(a.minorCycles);
     }
     const double wall = secondsSince(t0);
-    appendThroughputPoint(
-        "BM_WhatIfQuery", wall, state.iterations(),
-        wall > 0.0 ? static_cast<double>(nodes) / wall : 0.0);
+    recordRateSample(
+        "BM_WhatIfQuery", "instr_per_s",
+        wall > 0.0 ? static_cast<double>(nodes) / wall : 0.0, state);
 }
 BENCHMARK(BM_WhatIfQuery)->Unit(benchmark::kMillisecond);
 
@@ -379,12 +389,13 @@ BM_PrunedSweep(benchmark::State &state)
         state.iterations() > 0
             ? replays / static_cast<std::uint64_t>(state.iterations())
             : 0);
-    appendThroughputPoint(
-        "BM_PrunedSweep/" + std::to_string(state.range(0)), wall,
-        state.iterations(), 0.0,
+    recordRateSample(
+        "BM_PrunedSweep/" + std::to_string(state.range(0)),
+        "cells_per_s",
         wall > 0.0
             ? static_cast<double>(state.iterations()) * 8.0 / wall
-            : 0.0);
+            : 0.0,
+        state);
 }
 BENCHMARK(BM_PrunedSweep)
     ->Arg(1)
@@ -406,4 +417,18 @@ BENCHMARK(BM_ListScheduler)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded so the recorded samples can be flushed
+// after every benchmark (and all its repetitions) has run: one
+// bench-v2 datapoint per label per invocation of this binary.
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (const char *path = bench::statsTrajectoryPath())
+        bench::flushSamples("throughput", path);
+    return 0;
+}

@@ -221,66 +221,78 @@ SSIM_FAULT='cell:exit:1:3' "$BUILD_DIR/src/cli/ssim" ilp \
     --resume "$CHAOS_JOURNAL" > "$CHAOS_RESUMED"
 cmp "$CHAOS_CLEAN" "$CHAOS_RESUMED"
 
+echo "== lock artifact lint =="
+# flock() sidecars (*.lock) are runtime artifacts; one committed by
+# accident would make every later bench append contend on a tracked
+# file.  Fail when any is in the index.
+if [ -n "$(git ls-files '*.lock' 2>/dev/null)" ]; then
+    echo "ERROR: lock artifacts are committed:" >&2
+    git ls-files '*.lock' >&2
+    exit 1
+fi
+
 echo "== tracing overhead guard (soft) =="
 # BM_ParallelSweepTraced vs BM_ParallelSweep at one job: warn — never
 # fail — when arming the flight recorder costs more than the 2%
-# budget.  Medians over 3 repetitions to shrug off scheduler noise.
-BENCH_JSON="$BUILD_DIR/check_overhead.json"
-"$BUILD_DIR/bench/throughput" \
+# budget.  Samples from 3 repetitions land in a fresh bench-v2
+# trajectory; the sentinel's --compare mode judges pooled medians
+# (rank-test p-value reported alongside).
+GUARD_TRAJ="$BUILD_DIR/check_guard_bench.json"
+rm -f "$GUARD_TRAJ" "$GUARD_TRAJ.bak" "$GUARD_TRAJ.lock"
+SSIM_BENCH_STATS="$GUARD_TRAJ" "$BUILD_DIR/bench/throughput" \
     --benchmark_filter='BM_ParallelSweep(Traced)?/1$' \
-    --benchmark_repetitions=3 \
-    --benchmark_report_aggregates_only=true \
-    --benchmark_format=json > "$BENCH_JSON" 2> /dev/null
-bench_median() {
-    awk -v want="\"name\": \"$1\"" '
-        index($0, want) { grab = 1 }
-        grab && /"real_time"/ {
-            gsub(/[^0-9.eE+-]/, "", $2)
-            print $2
-            exit
-        }' "$BENCH_JSON"
-}
-base_ms="$(bench_median 'BM_ParallelSweep/1_median')"
-traced_ms="$(bench_median 'BM_ParallelSweepTraced/1_median')"
-if [ -n "$base_ms" ] && [ -n "$traced_ms" ]; then
-    awk -v b="$base_ms" -v t="$traced_ms" 'BEGIN {
-        pct = 100.0 * (t / b - 1.0)
-        if (t <= b * 1.02)
-            printf "tracing overhead %+.1f%% (budget 2%%)\n", pct
-        else
-            printf "WARNING: tracing overhead %+.1f%% exceeds the " \
-                   "2%% budget (base %.1fms, traced %.1fms)\n",
-                   pct, b, t
-    }'
-else
-    echo "WARNING: could not parse benchmark medians from $BENCH_JSON"
-fi
+    --benchmark_repetitions=3 > /dev/null 2>&1
+"$BUILD_DIR/src/cli/ssim" bench-check "$GUARD_TRAJ" --soft \
+    --compare 'BM_ParallelSweep/1' 'BM_ParallelSweepTraced/1' \
+    --budget 2
 
 echo "== bytecode speed guard (soft) =="
 # BM_BytecodeRun vs BM_FunctionalSimulation: the bytecode VM must
-# never be slower than the IR-walk interpreter on the smoke workload.
-# Warn — never fail — so a loaded CI host cannot flake the gate.
-EXEC_BENCH_JSON="$BUILD_DIR/check_exec_bench.json"
-"$BUILD_DIR/bench/throughput" \
+# never be slower than the IR-walk interpreter on the smoke workload
+# (budget 0%: any overhead is a warning).  Warn — never fail — so a
+# loaded CI host cannot flake the gate.
+EXEC_TRAJ="$BUILD_DIR/check_exec_bench.json"
+rm -f "$EXEC_TRAJ" "$EXEC_TRAJ.bak" "$EXEC_TRAJ.lock"
+SSIM_BENCH_STATS="$EXEC_TRAJ" "$BUILD_DIR/bench/throughput" \
     --benchmark_filter='BM_(FunctionalSimulation|BytecodeRun)$' \
-    --benchmark_repetitions=3 \
-    --benchmark_report_aggregates_only=true \
-    --benchmark_format=json > "$EXEC_BENCH_JSON" 2> /dev/null
-BENCH_JSON="$EXEC_BENCH_JSON"
-interp_ms="$(bench_median 'BM_FunctionalSimulation_median')"
-bc_ms="$(bench_median 'BM_BytecodeRun_median')"
-if [ -n "$interp_ms" ] && [ -n "$bc_ms" ]; then
-    awk -v i="$interp_ms" -v b="$bc_ms" 'BEGIN {
-        if (b <= i)
-            printf "bytecode %.2fms vs interp %.2fms (%.1fx)\n",
-                   b, i, i / b
-        else
-            printf "WARNING: bytecode backend (%.2fms) slower than " \
-                   "the interpreter (%.2fms) on the smoke workload\n",
-                   b, i
-    }'
-else
-    echo "WARNING: could not parse medians from $EXEC_BENCH_JSON"
+    --benchmark_repetitions=3 > /dev/null 2>&1
+"$BUILD_DIR/src/cli/ssim" bench-check "$EXEC_TRAJ" --soft \
+    --compare 'BM_FunctionalSimulation' 'BM_BytecodeRun' \
+    --budget 0
+
+echo "== bench sentinel smoke =="
+# The committed perf trajectory must load (v1 rows normalize, v2 rows
+# parse) and the verdict table must be byte-stable across reruns on
+# identical input — CI diffs it against the job summary.
+SENTINEL_A="$BUILD_DIR/check_sentinel_a.txt"
+SENTINEL_B="$BUILD_DIR/check_sentinel_b.txt"
+"$BUILD_DIR/src/cli/ssim" bench-check BENCH_throughput.json --soft \
+    > "$SENTINEL_A" 2> /dev/null
+"$BUILD_DIR/src/cli/ssim" bench-check BENCH_throughput.json --soft \
+    > "$SENTINEL_B" 2> /dev/null
+cmp "$SENTINEL_A" "$SENTINEL_B"
+grep -q 'verdict' "$SENTINEL_A"
+
+echo "== report smoke =="
+# `ssim report` must emit one self-contained HTML document (inline
+# SVG, no script tag, no external fetches), deterministically.
+REPORT_A="$BUILD_DIR/check_report_a.html"
+REPORT_B="$BUILD_DIR/check_report_b.html"
+"$BUILD_DIR/src/cli/ssim" report --bench BENCH_throughput.json \
+    --stats-in "$STATS_JSON" --metrics "$METRICS_JSON" \
+    --profile-in "$PROF_JSON" --out "$REPORT_A" > /dev/null
+"$BUILD_DIR/src/cli/ssim" report --bench BENCH_throughput.json \
+    --stats-in "$STATS_JSON" --metrics "$METRICS_JSON" \
+    --profile-in "$PROF_JSON" --out "$REPORT_B" > /dev/null
+cmp "$REPORT_A" "$REPORT_B"
+grep -q '<svg' "$REPORT_A"
+if grep -q '<script' "$REPORT_A"; then
+    echo "ERROR: report contains a script tag" >&2
+    exit 1
+fi
+if grep -Eq 'src="http|href="http' "$REPORT_A"; then
+    echo "ERROR: report references external resources" >&2
+    exit 1
 fi
 
 echo "== OK =="

@@ -17,6 +17,19 @@
  *   ssim suite [options]           run the built-in 8-benchmark suite
  *   ssim machines                  list predefined machine models
  *   ssim check-json FILE           validate a JSON file (exit status)
+ *   ssim bench-check FILE [opts]   regression sentinel over a bench
+ *                                  trajectory: newest datapoint per
+ *                                  label vs a rolling baseline window
+ *                                  (Mann-Whitney U + relative-median
+ *                                  threshold), or --compare A B for a
+ *                                  head-to-head overhead budget
+ *   ssim bench-migrate FILE        rewrite a trajectory in the
+ *                                  bench-v2 schema in place (legacy
+ *                                  rows gain null provenance)
+ *   ssim report [options]          self-contained HTML dashboard from
+ *                                  the observability artifacts
+ *                                  (bench trajectory, stats-json,
+ *                                  metrics-json, profile-json)
  *
  * Options:
  *   --machine NAME   base | ssN | spM | ssNxM | multititan | cray1 |
@@ -100,6 +113,24 @@
  *   --diff A B         profile: compare machines A and B instead of
  *                      listing --machine
  *
+ * Sentinel (bench-check; docs/observability.md):
+ *   --window N         baseline points per label     (default 8)
+ *   --min-baseline N   fewer points -> "insufficient" (default 3)
+ *   --alpha A          rank-test significance level  (default 0.05)
+ *   --threshold PCT    median shift that matters, %  (default 5)
+ *   --compare A B      head-to-head: pooled samples of label B vs
+ *                      label A instead of the trajectory sentinel
+ *   --budget PCT       allowed overhead for --compare (default 2)
+ *   --soft             report, but always exit 0 (CI soft guards)
+ *
+ * Dashboard (report):
+ *   --bench FILE       bench trajectory (BENCH_*.json)
+ *   --stats-in FILE    a --stats-json document (run or suite)
+ *   --metrics FILE     a --metrics-json snapshot
+ *   --profile-in FILE  a --profile-json document (schema profile-v1)
+ *   --out FILE         output path              (default report.html)
+ *   --title TEXT       page title
+ *
  * Exit status (see docs/robustness.md):
  *   0  success
  *   1  compile or simulation error (malformed program, trap,
@@ -128,12 +159,14 @@
 #include "ir/printer.hh"
 #include "sim/exec.hh"
 #include "sim/trap.hh"
+#include "support/bench.hh"
 #include "support/buildinfo.hh"
 #include "support/diag.hh"
 #include "support/faultinject.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
+#include "support/report.hh"
 #include "support/table.hh"
 #include "support/trace.hh"
 
@@ -151,6 +184,14 @@ usage()
         "       ssim suite [options]\n"
         "       ssim machines\n"
         "       ssim check-json FILE\n"
+        "       ssim bench-check FILE [--window N --min-baseline N\n"
+        "                              --alpha A --threshold PCT\n"
+        "                              --compare A B --budget PCT\n"
+        "                              --soft]\n"
+        "       ssim bench-migrate FILE\n"
+        "       ssim report [--bench FILE --stats-in FILE\n"
+        "                    --metrics FILE --profile-in FILE\n"
+        "                    --out FILE --title TEXT --profile-top N]\n"
         "options: --machine NAME --level 0..4 --unroll N --careful\n"
         "         --alias conservative|arrays|symbols|careful|heroic\n"
         "         --temps N --homes N --jobs N --keep-going\n"
@@ -217,6 +258,28 @@ parseSecondsOption(const char *flag, const std::string &value)
                      "ssim: invalid value '%s' for %s (expected "
                      "seconds in [0, 86400])\n",
                      value.c_str(), flag);
+        std::exit(2);
+    }
+    return parsed;
+}
+
+/**
+ * Checked decimal parsing for CLI rate/percent values: the whole
+ * token must be a finite decimal number in [lo, hi].
+ */
+double
+parseDoubleOption(const char *flag, const std::string &value,
+                  double lo, double hi)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (value.empty() || end == value.c_str() || *end != '\0' ||
+        errno == ERANGE || !(parsed >= lo) || !(parsed <= hi)) {
+        std::fprintf(stderr,
+                     "ssim: invalid value '%s' for %s (expected a "
+                     "number in [%g, %g])\n",
+                     value.c_str(), flag, lo, hi);
         std::exit(2);
     }
     return parsed;
@@ -358,6 +421,23 @@ struct Cli
     /** `ssim profile --slack`: per-line slack listing. */
     bool slack = false;
 
+    /** `ssim bench-check` knobs (docs/observability.md). */
+    bench::SentinelConfig sentinel;
+    bool compareSet = false;
+    std::string compareA;
+    std::string compareB;
+    double benchBudget = 2.0; ///< --compare overhead budget, percent
+    /** Report the verdict but always exit 0 (CI soft guards). */
+    bool benchSoft = false;
+
+    /** `ssim report` inputs and output. */
+    std::string reportBenchPath;
+    std::string reportStatsPath;
+    std::string reportMetricsPath;
+    std::string reportProfilePath;
+    std::string reportOutPath = "report.html";
+    std::string reportTitle = "supersym perf report";
+
     bool
     wantProfile() const
     {
@@ -398,12 +478,14 @@ parseArgs(int argc, char **argv)
     if (cli.command == "run" || cli.command == "ilp" ||
         cli.command == "profile" || cli.command == "mix" ||
         cli.command == "whatif" || cli.command == "dump" ||
-        cli.command == "check-json") {
+        cli.command == "check-json" || cli.command == "bench-check" ||
+        cli.command == "bench-migrate") {
         if (argc < 3)
             usage();
         cli.file = argv[2];
         i = 3;
-    } else if (cli.command != "suite" && cli.command != "machines") {
+    } else if (cli.command != "suite" && cli.command != "machines" &&
+               cli.command != "report") {
         usage();
     }
 
@@ -499,6 +581,41 @@ parseArgs(int argc, char **argv)
         else if (arg == "--trace-limit")
             cli.traceLimit = static_cast<std::size_t>(parseIntOption(
                 "--trace-limit", next(), 0, LONG_MAX));
+        else if (arg == "--window")
+            cli.sentinel.window = static_cast<std::size_t>(
+                parseIntOption("--window", next(), 1, 100000));
+        else if (arg == "--min-baseline")
+            cli.sentinel.minBaseline = static_cast<std::size_t>(
+                parseIntOption("--min-baseline", next(), 1, 100000));
+        else if (arg == "--alpha")
+            cli.sentinel.alpha =
+                parseDoubleOption("--alpha", next(), 0.0, 1.0);
+        else if (arg == "--threshold")
+            cli.sentinel.threshold =
+                parseDoubleOption("--threshold", next(), 0.0, 1000.0) /
+                100.0;
+        else if (arg == "--compare") {
+            cli.compareA = next();
+            cli.compareB = next();
+            cli.compareSet = true;
+        }
+        else if (arg == "--budget")
+            cli.benchBudget =
+                parseDoubleOption("--budget", next(), 0.0, 1000.0);
+        else if (arg == "--soft")
+            cli.benchSoft = true;
+        else if (arg == "--bench")
+            cli.reportBenchPath = next();
+        else if (arg == "--stats-in")
+            cli.reportStatsPath = next();
+        else if (arg == "--metrics")
+            cli.reportMetricsPath = next();
+        else if (arg == "--profile-in")
+            cli.reportProfilePath = next();
+        else if (arg == "--out")
+            cli.reportOutPath = next();
+        else if (arg == "--title")
+            cli.reportTitle = next();
         else
             usage();
     }
@@ -1335,6 +1452,106 @@ cmdCheckJson(const Cli &cli)
 }
 
 int
+cmdBenchCheck(const Cli &cli)
+{
+    // Soft mode is the CI guard contract inherited from the old awk
+    // threshold: report everything, never fail the build — including
+    // on a missing or short trajectory (first run of a fresh repo).
+    auto soften = [&](const std::string &message) {
+        std::fprintf(stderr, "ssim: bench-check (soft): %s\n",
+                     message.c_str());
+        return 0;
+    };
+    bench::Trajectory traj;
+    std::string error;
+    if (!bench::loadTrajectory(cli.file, &traj, &error))
+        return cli.benchSoft ? soften(error) : fail(error);
+
+    if (cli.compareSet) {
+        bench::CompareResult r;
+        if (!bench::compareLabels(traj, cli.compareA, cli.compareB,
+                                  cli.benchBudget, &r, &error))
+            return cli.benchSoft ? soften(error) : fail(error);
+        std::printf("%s",
+                    bench::renderCompare(r, cli.benchBudget).c_str());
+        if (r.withinBudget)
+            return 0;
+        return cli.benchSoft
+                   ? soften("'" + cli.compareB + "' exceeds the " +
+                            cli.compareA + " budget")
+                   : 1;
+    }
+
+    const std::vector<bench::LabelVerdict> rows =
+        bench::sentinelCheck(traj, cli.sentinel);
+    if (rows.empty())
+        return cli.benchSoft
+                   ? soften("no benchmark datapoints in '" + cli.file +
+                            "'")
+                   : fail("no benchmark datapoints in '" + cli.file +
+                          "'");
+    std::printf("%s",
+                bench::renderVerdictTable(rows, cli.sentinel).c_str());
+    if (!bench::anyRegression(rows))
+        return 0;
+    return cli.benchSoft ? soften("regression detected") : 1;
+}
+
+int
+cmdBenchMigrate(const Cli &cli)
+{
+    std::string error;
+    std::size_t migrated = 0;
+    if (!bench::migrateTrajectory(cli.file, &error, &migrated))
+        return fail(error);
+    std::printf("%s: %zu row(s) rewritten in the %s schema\n",
+                cli.file.c_str(), migrated, bench::kSchemaV2);
+    return 0;
+}
+
+int
+cmdReport(const Cli &cli)
+{
+    report::ReportInputs inputs;
+    inputs.sentinel = cli.sentinel;
+    inputs.profileTop = cli.profileTop;
+    inputs.title = cli.reportTitle;
+
+    bench::Trajectory traj;
+    std::string error;
+    if (!cli.reportBenchPath.empty()) {
+        if (!bench::loadTrajectory(cli.reportBenchPath, &traj, &error))
+            return fail(error);
+        inputs.bench = &traj;
+    }
+    auto loadDoc = [&](const std::string &path, Json &doc) {
+        if (!Json::tryParse(readFile(path), doc, &error)) {
+            std::fprintf(stderr, "ssim: %s: %s\n", path.c_str(),
+                         error.c_str());
+            std::exit(1);
+        }
+    };
+    Json stats;
+    Json metricsDoc;
+    Json profileDoc;
+    if (!cli.reportStatsPath.empty()) {
+        loadDoc(cli.reportStatsPath, stats);
+        inputs.stats = &stats;
+    }
+    if (!cli.reportMetricsPath.empty()) {
+        loadDoc(cli.reportMetricsPath, metricsDoc);
+        inputs.metrics = &metricsDoc;
+    }
+    if (!cli.reportProfilePath.empty()) {
+        loadDoc(cli.reportProfilePath, profileDoc);
+        inputs.profile = &profileDoc;
+    }
+    writeTextFile(cli.reportOutPath, report::renderHtml(inputs));
+    std::printf("wrote %s\n", cli.reportOutPath.c_str());
+    return 0;
+}
+
+int
 cmdMachines()
 {
     Table t("Predefined machine models:");
@@ -1387,5 +1604,11 @@ main(int argc, char **argv)
         return cmdMachines();
     if (cli.command == "check-json")
         return cmdCheckJson(cli);
+    if (cli.command == "bench-check")
+        return cmdBenchCheck(cli);
+    if (cli.command == "bench-migrate")
+        return cmdBenchMigrate(cli);
+    if (cli.command == "report")
+        return cmdReport(cli);
     usage();
 }

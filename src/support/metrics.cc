@@ -146,6 +146,28 @@ Histogram::exposition(std::string &out) const
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    std::uint64_t observations = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+        const std::uint64_t n =
+            other.buckets_[static_cast<std::size_t>(i)].load(
+                std::memory_order_relaxed);
+        if (n == 0)
+            continue;
+        buckets_[static_cast<std::size_t>(i)].fetch_add(
+            n, std::memory_order_relaxed);
+        observations += n;
+    }
+    // Mirror the other side's count/sum totals, not its count_ field:
+    // a concurrent observe() on `other` between the bucket pass and
+    // here must not make count_ disagree with the bucket sums.
+    count_.fetch_add(observations, std::memory_order_relaxed);
+    sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+}
+
+void
 Histogram::reset()
 {
     for (auto &b : buckets_)

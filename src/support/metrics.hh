@@ -174,6 +174,16 @@ class Histogram : public Metric
     void exposition(std::string &out) const override;
     void reset() override;
 
+    /**
+     * Fold another histogram's observations into this one (bucket-wise
+     * sum; identical bucketing makes this exact — quantile error after
+     * a merge is no worse than either input's).  Used to combine
+     * per-shard histograms into one process view.  Not atomic as a
+     * whole: concurrent observes on either side land in one or the
+     * other, never lost.
+     */
+    void merge(const Histogram &other);
+
     /** Bucket index for a value; exposed for tests. */
     static int bucketIndex(double v);
     /** Representative (geometric midpoint) value of a bucket. */

@@ -113,6 +113,84 @@ TEST(HistogramTest, EmptyHistogramQuantileIsZero)
     EXPECT_EQ(reg.histogram("t").quantile(0.99), 0.0);
 }
 
+TEST(HistogramTest, MergeMatchesObservingTheUnion)
+{
+    // Identical log-linear bucketing on both sides makes merge()
+    // exact: bucket-wise sums give the same counts, sum, and
+    // quantiles as observing every sample into one histogram.
+    metrics::Registry reg;
+    metrics::Histogram &a = reg.histogram("a");
+    metrics::Histogram &b = reg.histogram("b");
+    metrics::Histogram &u = reg.histogram("union");
+
+    std::uint64_t seed = 0xdecafbadull;
+    for (int i = 0; i < 5000; ++i) {
+        const double x =
+            static_cast<double>(nextRand(seed) % 1000000) / 1000.0;
+        const double y =
+            static_cast<double>(nextRand(seed) % 1000000) / 7.0;
+        a.observe(x);
+        b.observe(y);
+        u.observe(x);
+        u.observe(y);
+    }
+    a.merge(b);
+
+    EXPECT_EQ(a.count(), u.count());
+    // Addition order differs (a's total + b's total vs interleaved
+    // observes), so the sums agree only up to rounding.
+    EXPECT_NEAR(a.sum(), u.sum(), 1e-9 * u.sum());
+    for (double q : {0.01, 0.5, 0.9, 0.99})
+        EXPECT_EQ(a.quantile(q), u.quantile(q)) << "q=" << q;
+}
+
+TEST(HistogramTest, MergePreservesTheQuantileErrorBound)
+{
+    // Quantiles of a merged histogram keep the single-histogram
+    // worst-case relative error: shards see disjoint decade ranges,
+    // the merged view must still track the exact order statistics of
+    // the union within 2/kSubBuckets.
+    metrics::Registry reg;
+    metrics::Histogram &lo = reg.histogram("lo");
+    metrics::Histogram &hi = reg.histogram("hi");
+
+    std::uint64_t seed = 0x5eedull;
+    std::vector<double> all;
+    for (int i = 0; i < 10000; ++i) {
+        const double u =
+            static_cast<double>(nextRand(seed) % 1000000) / 1000000.0;
+        const double small = std::pow(10.0, -6.0 + 3.0 * u);
+        const double large = std::pow(10.0, 0.0 + 3.0 * u);
+        lo.observe(small);
+        hi.observe(large);
+        all.push_back(small);
+        all.push_back(large);
+    }
+    lo.merge(hi);
+    std::sort(all.begin(), all.end());
+
+    EXPECT_EQ(lo.count(), all.size());
+    const double tol =
+        2.0 / static_cast<double>(metrics::Histogram::kSubBuckets);
+    for (double q : {0.1, 0.5, 0.9, 0.99}) {
+        const double exact = exactQuantile(all, q);
+        const double est = lo.quantile(q);
+        EXPECT_NEAR(est / exact, 1.0, tol)
+            << "q=" << q << " exact=" << exact << " est=" << est;
+    }
+}
+
+TEST(HistogramTest, MergingAnEmptyHistogramIsANoOp)
+{
+    metrics::Registry reg;
+    metrics::Histogram &a = reg.histogram("a");
+    metrics::Histogram &empty = reg.histogram("empty");
+    a.observe(1.5);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.sum(), 1.5);
+}
+
 // -------------------------------------------------- registry plumbing
 
 TEST(MetricsRegistryTest, CountersGaugesAndLookupStability)
